@@ -1,0 +1,139 @@
+/**
+ * @file
+ * DES engine microbenchmarks (google-benchmark): raw event throughput,
+ * clock math, RNG, JSON parsing, and end-to-end simulation rate — the
+ * capabilities §III-A's engine rests on.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/clock.h"
+#include "core/simulator.h"
+#include "json/settings.h"
+#include "rng/random.h"
+#include "sim/builder.h"
+
+namespace {
+
+void
+BM_EventScheduleExecute(benchmark::State& state)
+{
+    ss::Simulator sim;
+    struct Chain : ss::Event {
+        ss::Simulator* sim;
+        std::uint64_t remaining;
+        void
+        process() override
+        {
+            if (remaining-- > 0) {
+                sim->schedule(this, sim->now().plusTicks(1));
+            }
+        }
+    } chain;
+    chain.sim = &sim;
+    for (auto _ : state) {
+        (void)_;
+        chain.remaining = 10000;
+        sim.schedule(&chain, sim.now().plusTicks(1));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 10001);
+}
+BENCHMARK(BM_EventScheduleExecute);
+
+void
+BM_EventQueueFanout(benchmark::State& state)
+{
+    // Many events pending at once: heap behavior under load.
+    const std::int64_t n = state.range(0);
+    for (auto _ : state) {
+        (void)_;
+        ss::Simulator sim;
+        ss::Random rng(1);
+        int executed = 0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            sim.schedule(ss::Time(1 + rng.nextU64(1000)),
+                         [&executed]() { ++executed; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueFanout)->Arg(1000)->Arg(100000);
+
+void
+BM_ClockEdges(benchmark::State& state)
+{
+    ss::Clock clock(3, 1);
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(clock.nextEdge(t));
+        benchmark::DoNotOptimize(clock.cycle(t));
+        ++t;
+    }
+}
+BENCHMARK(BM_ClockEdges);
+
+void
+BM_RandomU64(benchmark::State& state)
+{
+    ss::Random rng(42);
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(rng.nextU64(17));
+    }
+}
+BENCHMARK(BM_RandomU64);
+
+void
+BM_JsonParse(benchmark::State& state)
+{
+    std::string text = R"({
+      "network": {"topology": "torus", "widths": [4, 4, 4],
+                   "router": {"architecture": "input_queued",
+                              "input_buffer_size": 64}},
+      "workload": {"applications": [{"type": "blast",
+                                      "injection_rate": 0.25}]}
+    })";
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(ss::json::parse(text));
+    }
+    state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_JsonParse);
+
+void
+BM_EndToEndTorusSimulation(benchmark::State& state)
+{
+    // Whole-stack flit-level simulation rate (events/second reported as
+    // items/second).
+    ss::json::Value config = ss::json::parse(R"({
+      "simulator": {"seed": 1, "time_limit": 0},
+      "network": {
+        "topology": "torus", "widths": [4, 4], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 16, "crossbar_latency": 1},
+        "routing": {"algorithm": "torus_dimension_order"}
+      },
+      "workload": {"applications": [{
+        "type": "blast", "injection_rate": 0.3, "message_size": 1,
+        "num_samples": 50, "warmup_duration": 500,
+        "traffic": {"type": "uniform_random"}}]}
+    })");
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        (void)_;
+        ss::RunResult result = ss::runSimulation(config);
+        events += result.eventsExecuted;
+        benchmark::DoNotOptimize(result.sampler.count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EndToEndTorusSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 12 — latency of the flow control techniques with 8 VCs and
+ * 32-flit messages on the 4-D torus.
+ *
+ * With long messages the blocking effects are severe, and 8 VCs give
+ * the scheduler room to route around blocked packets. Expected shape:
+ * flit-buffer lowest latency, packet-buffer highest, winner-take-all in
+ * between (it is a hybrid of the two).
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "json/settings.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace ss;
+    bool full = bench::fullMode(argc, argv);
+    std::string widths = full ? "4,4,4,4" : "3,3,3";
+
+    auto make_config = [&](const std::string& fc,
+                           unsigned input_buffer) {
+        return json::parse(strf(R"({
+          "simulator": {"seed": 19, "time_limit": 90000},
+          "network": {
+            "topology": "torus",
+            "widths": [)", widths, R"(],
+            "concentration": 1,
+            "num_vcs": 8,
+            "clock_period": 1,
+            "channel_latency": 5,
+            "router": {
+              "architecture": "input_queued",
+              "input_buffer_size": )", input_buffer, R"(,
+              "crossbar_latency": 25,
+              "crossbar_scheduler": {"flow_control": ")", fc, R"("}
+            },
+            "routing": {"algorithm": "torus_dimension_order"}
+          },
+          "workload": {
+            "applications": [{
+              "type": "blast",
+              "injection_rate": 0.0,
+              "message_size": 32,
+              "max_packet_size": 32,
+              "warmup_duration": 6000,
+              "sample_duration": 10000,
+              "traffic": {"type": "uniform_random"}
+            }]
+          }
+        })"));
+    };
+
+    std::printf("# Figure 12: load-latency of FB/PB/WTA with 8 VCs and "
+                "32-flit messages (torus [%s])\n", widths.c_str());
+    std::vector<double> loads{0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                              0.6, 0.7, 0.8, 0.9};
+    struct Result {
+        std::string fc;
+        std::vector<bench::LoadPoint> points;
+    };
+    // Two buffer regimes: the paper's 128-flit buffers (loose at this
+    // scale: reservation never binds, so PB looks mildly better), and a
+    // tight 40-flit regime where the blocking mechanism the paper
+    // describes dominates — PB's full-packet reservation wait and FB's
+    // per-flit resilience become visible.
+    for (unsigned buffer : {128u, 40u}) {
+        std::vector<Result> results;
+        for (const char* fc :
+             {"flit_buffer", "packet_buffer", "winner_take_all"}) {
+            auto points =
+                bench::loadSweep(make_config(fc, buffer), loads);
+            bench::printLoadPoints(
+                "experiment",
+                strf("fig12_buf", buffer, "_", fc), points);
+            results.push_back(Result{fc, std::move(points)});
+        }
+        std::printf("\n# summary (input buffers %u flits): mean latency "
+                    "per common load point\n", buffer);
+        std::printf("load,fb,pb,wta\n");
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            bool have_all = true;
+            for (const auto& r : results) {
+                if (i >= r.points.size() || r.points[i].saturated) {
+                    have_all = false;
+                }
+            }
+            if (!have_all) {
+                break;
+            }
+            std::printf("%.2f,%.1f,%.1f,%.1f\n", loads[i],
+                        results[0].points[i].meanLatency,
+                        results[1].points[i].meanLatency,
+                        results[2].points[i].meanLatency);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 9 — latent congestion detection (case study §VI-A).
+ *
+ * A folded-Clos with idealistic output-queued routers and adaptive
+ * uprouting: every input port's routing engine picks the up port whose
+ * *sensed* output-queue occupancy is lowest. The sensed value lags
+ * reality by 1..32 ns. With infinite output queues (Figure 9a) stale
+ * information only inflates latency; with finite 64-flit queues
+ * (Figure 9b) the resulting pile-ons exhaust queues and throughput
+ * collapses as the delay grows.
+ *
+ * Output: load-latency rows per (queue type, sensing delay), then the
+ * saturation-throughput summary per delay — the series of Figures 9a/9b.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "json/settings.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace ss;
+    bool full = bench::fullMode(argc, argv);
+    // Scaled: half_radix 4 -> 64 terminals; --full: 8 -> 512 terminals
+    // (the paper's own radix-16 small-system variant).
+    unsigned half_radix = full ? 8 : 4;
+
+    auto make_config = [&](unsigned sensor_latency,
+                           unsigned output_queue) {
+        return json::parse(strf(R"({
+          "simulator": {"seed": 7, "time_limit": 35000},
+          "network": {
+            "topology": "folded_clos",
+            "half_radix": )", half_radix, R"(, "levels": 3,
+            "num_vcs": 1,
+            "clock_period": 1,
+            "channel_latency": 50,
+            "router": {
+              "architecture": "output_queued",
+              "input_buffer_size": 150,
+              "output_buffer_size": )", output_queue, R"(,
+              "core_latency": 50,
+              "congestion_sensor": {
+                "type": "credit", "latency": )", sensor_latency, R"(,
+                "granularity": "vc", "pools": "output"
+              }
+            },
+            "routing": {"algorithm": "folded_clos_adaptive"}
+          },
+          "workload": {
+            "applications": [{
+              "type": "blast",
+              "injection_rate": 0.0,
+              "message_size": 1,
+              "warmup_duration": 3000,
+              "sample_duration": 5000,
+              "traffic": {"type": "uniform_random"}
+            }]
+          }
+        })"));
+    };
+
+    std::printf("# Figure 9: latent congestion detection on a 3-level "
+                "folded Clos (OQ, adaptive uprouting, %u terminals)\n",
+                half_radix * half_radix * half_radix);
+    std::vector<double> loads{0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9};
+    std::vector<unsigned> delays{1, 2, 4, 8, 16, 32};
+
+    struct Summary {
+        unsigned queue;
+        unsigned delay;
+        double saturation;
+        double latency_at_half;
+    };
+    std::vector<Summary> summaries;
+
+    for (unsigned queue : {0u, 64u}) {
+        for (unsigned delay : delays) {
+            json::Value config = make_config(delay, queue);
+            auto points = bench::loadSweep(config, loads);
+            std::string label = strf(
+                queue == 0 ? "fig9a_inf" : "fig9b_64", "_delay", delay);
+            bench::printLoadPoints("experiment", label, points);
+            double at_half = 0.0;
+            for (const auto& p : points) {
+                if (p.offered == 0.5 && !p.saturated) {
+                    at_half = p.meanLatency;
+                }
+            }
+            summaries.push_back(Summary{
+                queue, delay, bench::saturationThroughput(points),
+                at_half});
+        }
+    }
+
+    std::printf("\n# summary: saturation throughput vs sensing delay\n");
+    std::printf("queues,delay_ns,saturation_throughput,"
+                "mean_latency_at_50pct\n");
+    for (const auto& s : summaries) {
+        std::printf("%s,%u,%.4f,%.1f\n",
+                    s.queue == 0 ? "infinite" : "64flit", s.delay,
+                    s.saturation, s.latency_at_half);
+    }
+    return 0;
+}

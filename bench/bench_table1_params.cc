@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Table I — parameters for the three simulation case studies.
+ *
+ * Builds each case study's configuration (scaled instance by default,
+ * paper-sized shape with --full), prints the parameter table, and runs a
+ * short validation simulation of each to prove the configurations are
+ * live. The three configurations here are exactly the ones the fig9/
+ * fig10/fig11 benches sweep.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "json/settings.h"
+
+namespace ss::bench {
+
+/** Case study 1: latent congestion detection (folded Clos, OQ). */
+json::Value
+latentCongestionConfig(bool full)
+{
+    // Paper: radix-32 3-level folded Clos, 4096 terminals. Scaled:
+    // radix-8 (half_radix 4) -> 64 terminals; --full: radix-16 -> 512
+    // (the paper's own small-system variant, §VI-A).
+    unsigned half_radix = full ? 8 : 4;
+    return json::parse(strf(R"({
+      "simulator": {"seed": 1, "time_limit": 400000},
+      "network": {
+        "topology": "folded_clos",
+        "half_radix": )", half_radix, R"(, "levels": 3,
+        "num_vcs": 1,
+        "clock_period": 1,
+        "channel_latency": 50,
+        "terminal_latency": 1,
+        "router": {
+          "architecture": "output_queued",
+          "input_buffer_size": 150,
+          "output_buffer_size": 0,
+          "core_latency": 50,
+          "congestion_sensor": {"type": "credit", "latency": 1,
+                                 "granularity": "vc",
+                                 "pools": "output"}
+        },
+        "routing": {"algorithm": "folded_clos_adaptive"}
+      },
+      "workload": {
+        "applications": [{
+          "type": "blast",
+          "injection_rate": 0.3,
+          "message_size": 1,
+          "warmup_duration": 5000,
+          "sample_duration": 8000,
+          "traffic": {"type": "uniform_random"}
+        }]
+      }
+    })"));
+}
+
+/** Case study 2: congestion credit accounting (1-D flattened butterfly,
+ *  IOQ, UGAL). */
+json::Value
+creditAccountingConfig(bool full)
+{
+    // Paper: 32 routers x 32 terminals = 1024 nodes, radix 63. Scaled:
+    // 8 routers x 8 terminals = 64 nodes; --full: 16 x 16 = 256 (both
+    // keep terminals ~= inter-router links per router, as the paper).
+    unsigned routers = full ? 16 : 8;
+    unsigned concentration = full ? 16 : 8;
+    return json::parse(strf(R"({
+      "simulator": {"seed": 1, "time_limit": 500000},
+      "network": {
+        "topology": "hyperx",
+        "widths": [)", routers, R"(],
+        "concentration": )", concentration, R"(,
+        "num_vcs": 2,
+        "clock_period": 2,
+        "channel_latency": 50,
+        "terminal_latency": 2,
+        "router": {
+          "architecture": "input_output_queued",
+          "input_buffer_size": 128,
+          "output_buffer_size": 256,
+          "crossbar_latency": 50,
+          "speedup": 2,
+          "congestion_sensor": {"type": "credit", "latency": 1,
+                                 "granularity": "port",
+                                 "pools": "both"}
+        },
+        "routing": {"algorithm": "hyperx_ugal", "ugal_threshold": 0.0}
+      },
+      "workload": {
+        "applications": [{
+          "type": "blast",
+          "injection_rate": 0.2,
+          "message_size": 1,
+          "warmup_duration": 8000,
+          "sample_duration": 10000,
+          "traffic": {"type": "uniform_random"}
+        }]
+      }
+    })"));
+}
+
+/** Case study 3: flow control techniques (4-D torus, IQ, DOR). */
+json::Value
+flowControlConfig(bool full)
+{
+    // Paper: 8x8x8x8 = 4096 terminals. Scaled: 3x3x3x3 = 81;
+    // --full: 4x4x4x4 = 256.
+    unsigned k = full ? 4 : 3;
+    return json::parse(strf(R"({
+      "simulator": {"seed": 1, "time_limit": 400000},
+      "network": {
+        "topology": "torus",
+        "widths": [)", k, ",", k, ",", k, ",", k, R"(],
+        "concentration": 1,
+        "num_vcs": 2,
+        "clock_period": 1,
+        "channel_latency": 5,
+        "terminal_latency": 1,
+        "router": {
+          "architecture": "input_queued",
+          "input_buffer_size": 128,
+          "crossbar_latency": 25,
+          "crossbar_scheduler": {"flow_control": "flit_buffer"}
+        },
+        "routing": {"algorithm": "torus_dimension_order"}
+      },
+      "workload": {
+        "applications": [{
+          "type": "blast",
+          "injection_rate": 0.2,
+          "message_size": 4,
+          "max_packet_size": 32,
+          "warmup_duration": 3000,
+          "sample_duration": 8000,
+          "traffic": {"type": "uniform_random"}
+        }]
+      }
+    })"));
+}
+
+}  // namespace ss::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace ss;
+    using namespace ss::bench;
+    bool full = fullMode(argc, argv);
+
+    std::printf("# Table I: parameters for the three case studies "
+                "(%s instances)\n",
+                full ? "full-scale" : "scaled");
+    std::printf(
+        "parameter,latent_congestion,credit_accounting,flow_control\n");
+    if (full) {
+        std::printf("topology,3-level folded-Clos 512T,"
+                    "1D flattened butterfly 16R/256T,4D torus 4^4\n");
+    } else {
+        std::printf("topology,3-level folded-Clos 64T,"
+                    "1D flattened butterfly 8R/64T,4D torus 3^4\n");
+    }
+    std::printf("channel latency (ns),50,50,5\n");
+    std::printf("routing,adaptive uprouting,UGAL,dimension order\n");
+    std::printf("architecture,OQ,IOQ,IQ\n");
+    std::printf("frequency speedup,1x,2x,1x\n");
+    std::printf("num VCs,1,2,\"2,4,8\"\n");
+    std::printf("input buffer (flits),150,128,128\n");
+    std::printf("output buffer (flits),\"inf,64\",256,n/a\n");
+    std::printf("router core latency (ns),50 q2q,50 xbar,25 xbar\n");
+    std::printf("message size (flits),1,1,\"1,2,4,8,16,32\"\n");
+    std::printf("traffic,UR,\"UR,BC\",UR\n\n");
+
+    // Validation: each configuration constructs and simulates.
+    struct Case {
+        const char* name;
+        json::Value config;
+    } cases[] = {
+        {"latent_congestion", latentCongestionConfig(full)},
+        {"credit_accounting", creditAccountingConfig(full)},
+        {"flow_control", flowControlConfig(full)},
+    };
+    std::printf("case,terminals,sampled,mean_latency,throughput,"
+                "saturated\n");
+    for (auto& c : cases) {
+        RunResult result = runSimulation(c.config);
+        double mean =
+            result.sampler.count() > 0
+                ? result.sampler.totalLatencyDistribution().mean()
+                : 0.0;
+        std::printf("%s,%u,%zu,%.1f,%.4f,%d\n", c.name,
+                    result.numTerminals, result.sampler.count(), mean,
+                    result.throughput(), result.saturated ? 1 : 0);
+    }
+    return 0;
+}

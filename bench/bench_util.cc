@@ -1,0 +1,97 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss::bench {
+
+LoadPoint
+runLoadPoint(const json::Value& config, double offered)
+{
+    RunResult result = runSimulation(config);
+    LoadPoint point;
+    point.offered = offered;
+    point.saturated = result.saturated;
+    point.accepted = result.throughput();
+    if (result.sampler.count() > 0) {
+        Distribution d = result.sampler.totalLatencyDistribution();
+        point.meanLatency = d.mean();
+        point.p50 = d.percentile(50);
+        point.p90 = d.percentile(90);
+        point.p99 = d.percentile(99);
+        point.p999 = d.percentile(99.9);
+        point.nonminimal = result.sampler.nonminimalFraction();
+    }
+    return point;
+}
+
+std::vector<LoadPoint>
+loadSweep(const json::Value& base_config,
+          const std::vector<double>& loads, bool stop_at_saturation)
+{
+    std::vector<LoadPoint> points;
+    for (double load : loads) {
+        json::Value config = base_config;
+        json::applyOverride(
+            &config, strf("workload.applications.0.injection_rate=float=",
+                          load));
+        points.push_back(runLoadPoint(config, load));
+        // The line stops at saturation (paper Figure 8): either the run
+        // hit its time cap, or accepted throughput fell clearly below
+        // offered — continuing just burns time past the knee.
+        bool past_knee =
+            points.back().accepted < 0.92 * points.back().offered;
+        if (stop_at_saturation && (points.back().saturated || past_knee)) {
+            break;
+        }
+    }
+    return points;
+}
+
+void
+printLoadPoints(const std::string& label_header, const std::string& label,
+                const std::vector<LoadPoint>& points)
+{
+    static thread_local bool header_printed = false;
+    if (!header_printed) {
+        std::printf("%s,offered,saturated,accepted,mean,p50,p90,p99,"
+                    "p999,nonminimal\n",
+                    label_header.c_str());
+        header_printed = true;
+    }
+    for (const auto& p : points) {
+        std::printf("%s,%.3f,%d,%.4f,%.1f,%.1f,%.1f,%.1f,%.1f,%.4f\n",
+                    label.c_str(), p.offered, p.saturated ? 1 : 0,
+                    p.accepted, p.meanLatency, p.p50, p.p90, p.p99,
+                    p.p999, p.nonminimal);
+    }
+    std::fflush(stdout);
+}
+
+double
+saturationThroughput(const std::vector<LoadPoint>& points)
+{
+    double best = 0.0;
+    for (const auto& p : points) {
+        if (p.accepted > best) {
+            best = p.accepted;
+        }
+    }
+    return best;
+}
+
+bool
+fullMode(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace ss::bench

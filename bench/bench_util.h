@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared harness helpers for the per-figure benchmark binaries.
+ *
+ * Every bench regenerates one table or figure of the paper's evaluation
+ * (§VI) on scaled-down instances of the same topologies (see DESIGN.md:
+ * substitutions). Each binary prints the figure's series as CSV rows so
+ * the paper-vs-measured comparison in EXPERIMENTS.md is mechanical.
+ */
+#ifndef SS_BENCH_BENCH_UTIL_H_
+#define SS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "sim/builder.h"
+
+namespace ss::bench {
+
+/** One load point of a load-latency / load-throughput sweep. */
+struct LoadPoint {
+    double offered = 0.0;    ///< injected flits/terminal/cycle
+    bool saturated = false;  ///< run hit its time cap
+    double accepted = 0.0;   ///< delivered flits/terminal/cycle
+    double meanLatency = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double nonminimal = 0.0;  ///< fraction of non-minimal messages
+};
+
+/** Runs one simulation and condenses it into a LoadPoint. */
+LoadPoint runLoadPoint(const json::Value& config, double offered);
+
+/**
+ * Sweeps offered load over @p loads, applying
+ * "workload.applications.0.injection_rate" per point. Stops early once a
+ * point saturates (the line stops, as in the paper's plots).
+ */
+std::vector<LoadPoint> loadSweep(const json::Value& base_config,
+                                 const std::vector<double>& loads,
+                                 bool stop_at_saturation = true);
+
+/** Prints the sweep as CSV prefixed by fixed label columns. */
+void printLoadPoints(const std::string& label_header,
+                     const std::string& label,
+                     const std::vector<LoadPoint>& points);
+
+/**
+ * Saturation throughput estimate: the highest accepted throughput seen
+ * across the sweep (accepted rate plateaus at saturation).
+ */
+double saturationThroughput(const std::vector<LoadPoint>& points);
+
+/** Parses --quick / --full flags: benches default to quick (small
+ *  instances, CI-friendly); --full enlarges toward the paper's sizes. */
+bool fullMode(int argc, char** argv);
+
+}  // namespace ss::bench
+
+#endif  // SS_BENCH_BENCH_UTIL_H_

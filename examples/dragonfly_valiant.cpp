@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Example: minimal versus Valiant routing on a Dragonfly under an
+ * adversarial group-to-group pattern, plus the per-channel utilization
+ * view that shows *why* — the single minimal global channel saturates
+ * while Valiant spreads load across intermediate groups.
+ *
+ *   $ ./dragonfly_valiant
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+
+namespace {
+
+ss::json::Value
+makeConfig(const std::string& algorithm)
+{
+    return ss::json::parse(ss::strf(R"({
+      "simulator": {"seed": 31, "time_limit": 200000},
+      "network": {
+        "topology": "dragonfly",
+        "group_size": 4,
+        "global_channels": 2,
+        "concentration": 2,
+        "num_vcs": 4,
+        "clock_period": 1,
+        "channel_latency": 5,
+        "global_latency": 20,
+        "router": {
+          "architecture": "input_queued",
+          "input_buffer_size": 64,
+          "crossbar_latency": 2
+        },
+        "routing": {"algorithm": ")", algorithm, R"("}
+      },
+      "workload": {
+        "applications": [{
+          "type": "blast",
+          "injection_rate": 0.5,
+          "message_size": 1,
+          "warmup_duration": 3000,
+          "sample_duration": 8000,
+          "traffic": {"type": "neighbor", "offset": 8}
+        }]
+      }
+    })"));
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("dragonfly (9 groups x 4 routers x 2 terminals), every "
+                "group floods the next group\n\n");
+    for (const char* algorithm :
+         {"dragonfly_minimal", "dragonfly_valiant"}) {
+        ss::Simulation simulation(makeConfig(algorithm));
+        ss::RunResult result = simulation.run();
+
+        auto utilizations = simulation.network()->channelUtilizations();
+        std::sort(utilizations.begin(), utilizations.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                  });
+        std::printf("%s:\n", algorithm);
+        std::printf("  accepted throughput %.3f flits/terminal/cycle%s\n",
+                    result.throughput(),
+                    result.saturated ? " (saturated)" : "");
+        std::printf("  busiest channels:\n");
+        for (std::size_t i = 0; i < 3 && i < utilizations.size(); ++i) {
+            std::printf("    %-28s %.2f\n",
+                        utilizations[i].first.c_str(),
+                        utilizations[i].second);
+        }
+        std::printf("\n");
+    }
+    std::printf("minimal routing pins the group pair's one global "
+                "channel at full utilization; Valiant spreads the load "
+                "and roughly doubles accepted throughput (Kim et al. "
+                "ISCA'08).\n");
+    return 0;
+}

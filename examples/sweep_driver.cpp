@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Example: the SSSweep workflow in C++ (paper §V, Listing 2).
+ *
+ * Declares two sweep variables — channel latency and message size —
+ * exactly as the paper's Listing 2 does in Python, generates the cross
+ * product, runs every simulation through the dependency-ordered task
+ * executor, and prints the collected results table.
+ *
+ *   $ ./sweep_driver
+ */
+#include <cstdio>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+#include "tools/sweeper.h"
+
+int
+main()
+{
+    ss::json::Value base = ss::json::parse(R"({
+      "simulator": {"seed": 9, "time_limit": 2000000},
+      "network": {
+        "topology": "hyperx",
+        "widths": [4],
+        "concentration": 2,
+        "num_vcs": 2,
+        "clock_period": 1,
+        "channel_latency": 1,
+        "router": {"architecture": "input_queued",
+                    "input_buffer_size": 64,
+                    "crossbar_latency": 1},
+        "routing": {"algorithm": "hyperx_dimension_order"}
+      },
+      "workload": {
+        "applications": [{
+          "type": "blast",
+          "injection_rate": 0.35,
+          "message_size": 1,
+          "num_samples": 150,
+          "warmup_duration": 2000,
+          "traffic": {"type": "uniform_random"}
+        }]
+      }
+    })");
+
+    // The paper's Listing 2, transliterated:
+    //   latencies = [1, 2, 4, 8, 16, 32, 64]
+    //   def set_latency(latency, config):
+    //       return "network.channel.latency=uint=" + str(latency)
+    //   sweeper.add_variable("ChannelLatency", "CL", latencies,
+    //                        set_latency)
+    ss::Sweeper sweeper;
+    sweeper.addVariable(
+        "ChannelLatency", "CL", {"1", "2", "4", "8", "16", "32", "64"},
+        [](const std::string& latency) {
+            return std::vector<std::string>{
+                "network.channel_latency=uint=" + latency};
+        });
+    sweeper.addVariable(
+        "MessageSize", "MS", {"1", "4"},
+        [](const std::string& size) {
+            return std::vector<std::string>{
+                "workload.applications.0.message_size=uint=" + size};
+        });
+
+    auto rows = sweeper.runAll(
+        base,
+        [](const ss::json::Value& config, const ss::SweepPoint& point) {
+            std::fprintf(stderr, "running %s...\n", point.id.c_str());
+            ss::RunResult result = ss::runSimulation(config);
+            std::map<std::string, double> metrics;
+            ss::Distribution latency =
+                result.sampler.totalLatencyDistribution();
+            metrics["mean_latency"] = latency.mean();
+            metrics["p99_latency"] = latency.percentile(99);
+            metrics["throughput"] = result.throughput();
+            return metrics;
+        },
+        /*num_threads=*/2);
+
+    std::printf("%zu simulations swept; results:\n\n",
+                rows.size());
+    std::printf("%s", ss::Sweeper::toCsv(rows).c_str());
+    std::printf("\nmean latency scales with channel latency; the sweep "
+                "machinery (cross product -> overrides -> dependency-"
+                "ordered execution -> results table) is the paper's "
+                "SSSweep flow.\n");
+    return 0;
+}

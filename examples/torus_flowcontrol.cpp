@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Example: comparing flow control techniques on a 4-D torus — a
+ * miniature of the paper's §VI-C case study.
+ *
+ * Runs the same 16-flit-message workload under flit-buffer,
+ * packet-buffer, and winner-take-all crossbar scheduling and prints the
+ * resulting latency distributions side by side.
+ *
+ *   $ ./torus_flowcontrol
+ */
+#include <cstdio>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+
+namespace {
+
+ss::json::Value
+makeConfig(const std::string& flow_control)
+{
+    return ss::json::parse(ss::strf(R"({
+      "simulator": {"seed": 21, "time_limit": 400000},
+      "network": {
+        "topology": "torus",
+        "widths": [3, 3, 3, 3],
+        "concentration": 1,
+        "num_vcs": 8,
+        "clock_period": 1,
+        "channel_latency": 5,
+        "router": {
+          "architecture": "input_queued",
+          "input_buffer_size": 128,
+          "crossbar_latency": 25,
+          "crossbar_scheduler": {"flow_control": ")", flow_control,
+                                    R"("}
+        },
+        "routing": {"algorithm": "torus_dimension_order"}
+      },
+      "workload": {
+        "applications": [{
+          "type": "blast",
+          "injection_rate": 0.3,
+          "message_size": 16,
+          "max_packet_size": 32,
+          "warmup_duration": 8000,
+          "sample_duration": 15000,
+          "traffic": {"type": "uniform_random"}
+        }]
+      }
+    })"));
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("flow control on a 3^4 torus, 16-flit messages, 8 VCs, "
+                "30%% uniform random load\n\n");
+    std::printf("%-16s %10s %8s %8s %8s %12s\n", "technique", "mean",
+                "p50", "p99", "p99.9", "throughput");
+    for (const char* fc :
+         {"flit_buffer", "packet_buffer", "winner_take_all"}) {
+        ss::RunResult result = ss::runSimulation(makeConfig(fc));
+        if (result.saturated) {
+            std::printf("%-16s %10s\n", fc, "SATURATED");
+            continue;
+        }
+        ss::Distribution latency =
+            result.sampler.totalLatencyDistribution();
+        std::printf("%-16s %10.1f %8.0f %8.0f %8.0f %12.3f\n", fc,
+                    latency.mean(), latency.percentile(50),
+                    latency.percentile(99), latency.percentile(99.9),
+                    result.throughput());
+    }
+    std::printf("\nwith small packets at large scale the technique "
+                "matters little; with long messages flit-level "
+                "scheduling routes around blocked packets "
+                "(paper §VI-C).\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Example: multi-application transient analysis with the Workload
+ * handshake (paper §IV-A, Figure 5).
+ *
+ * A Blast application supplies steady uniform-random background traffic
+ * and Completes immediately; a Pulse application defines the sampling
+ * window with a burst. The example prints the Blast latency time series
+ * and demonstrates SSParse-style filtering by application.
+ *
+ *   $ ./transient_pulse
+ */
+#include <cstdio>
+#include <map>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+#include "tools/log_parser.h"
+
+int
+main()
+{
+    std::string log_path = "/tmp/supersim_transient.csv";
+    ss::json::Value config = ss::json::parse(ss::strf(R"({
+      "simulator": {"seed": 3, "time_limit": 4000000},
+      "network": {
+        "topology": "torus",
+        "widths": [4, 4],
+        "concentration": 1,
+        "num_vcs": 2,
+        "clock_period": 1,
+        "channel_latency": 10,
+        "router": {"architecture": "input_queued",
+                    "input_buffer_size": 32,
+                    "crossbar_latency": 2},
+        "routing": {"algorithm": "torus_dimension_order"}
+      },
+      "workload": {
+        "message_log": ")", log_path, R"(",
+        "applications": [
+          {"type": "blast", "injection_rate": 0.25, "message_size": 1,
+           "warmup_duration": 4000,
+           "traffic": {"type": "uniform_random"}},
+          {"type": "pulse", "injection_rate": 0.6, "num_messages": 250,
+           "message_size": 1, "delay": 5000,
+           "traffic": {"type": "uniform_random"}}
+        ]
+      }
+    })"));
+
+    ss::RunResult result = ss::runSimulation(config);
+    std::printf("transient run complete: %zu sampled messages, log at "
+                "%s\n\n",
+                result.sampler.count(), log_path.c_str());
+
+    // SSParse-style filtering: look at Blast (app 0) only.
+    auto samples = ss::LogParser::parseFile(log_path);
+    auto blast = ss::LogParser::apply(
+        samples, std::vector<std::string>{"+app=0"});
+    std::printf("filter +app=0 keeps %zu of %zu messages\n\n",
+                blast.size(), samples.size());
+
+    // Time-binned mean latency: the pulse disturbance and recovery.
+    std::map<std::uint64_t, std::pair<double, std::uint64_t>> bins;
+    for (const auto& s : blast) {
+        auto& [sum, n] = bins[s.deliverTick / 2000];
+        sum += static_cast<double>(s.totalLatency());
+        ++n;
+    }
+    std::printf("%-12s %-14s %s\n", "time (ns)", "mean latency", "");
+    for (const auto& [b, agg] : bins) {
+        double mean = agg.first / static_cast<double>(agg.second);
+        int bars = static_cast<int>(mean / 4.0);
+        std::printf("%-12lu %-14.1f ", (unsigned long)(b * 2000), mean);
+        for (int i = 0; i < bars && i < 60; ++i) {
+            std::putchar('#');
+        }
+        std::putchar('\n');
+    }
+    std::printf("\nthe spike is the Pulse burst; the decay back to "
+                "baseline is the network draining (paper Figure 5).\n");
+    return 0;
+}

@@ -1,0 +1,17 @@
+#include "allocator/allocator.h"
+
+namespace ss {
+
+Allocator::Allocator(Simulator* simulator, const std::string& name,
+                     const Component* parent, std::uint32_t num_clients,
+                     std::uint32_t num_resources)
+    : Component(simulator, name, parent),
+      numClients_(num_clients),
+      numResources_(num_resources)
+{
+    checkUser(num_clients > 0, "allocator needs clients");
+    checkUser(num_resources > 0, "allocator needs resources");
+    grants_.resize(num_clients, kNone);
+}
+
+}  // namespace ss

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Allocators: match N clients to M resources, at most one resource per
+ * client and one client per resource per allocation round (paper §IV-C).
+ *
+ * Used for virtual-channel allocation (clients = input VCs, resources =
+ * output VCs) and switch allocation (clients = input VCs, resources =
+ * output ports) inside router models.
+ */
+#ifndef SS_ALLOCATOR_ALLOCATOR_H_
+#define SS_ALLOCATOR_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/component.h"
+#include "factory/factory.h"
+#include "json/json.h"
+
+namespace ss {
+
+/** Abstract base class for allocator implementations. */
+class Allocator : public Component {
+  public:
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+    /** @param num_clients   request-side size
+     *  @param num_resources grant-side size */
+    Allocator(Simulator* simulator, const std::string& name,
+              const Component* parent, std::uint32_t num_clients,
+              std::uint32_t num_resources);
+    ~Allocator() override = default;
+
+    std::uint32_t numClients() const { return numClients_; }
+    std::uint32_t numResources() const { return numResources_; }
+
+    /** Posts a request from @p client for @p resource. @p metadata is
+     *  forwarded to the underlying arbiters (e.g. packet age). */
+    virtual void request(std::uint32_t client, std::uint32_t resource,
+                         std::uint64_t metadata = 0) = 0;
+
+    /** Runs one allocation round over posted requests, then clears them.
+     *  Returns grants[client] = resource or kNone. */
+    virtual const std::vector<std::uint32_t>& allocate() = 0;
+
+  protected:
+    std::uint32_t numClients_;
+    std::uint32_t numResources_;
+    std::vector<std::uint32_t> grants_;
+};
+
+/** Factory; settings select the internal arbiter policy etc. */
+using AllocatorFactory =
+    Factory<Allocator, Simulator*, const std::string&, const Component*,
+            std::uint32_t, std::uint32_t, const json::Value&>;
+
+}  // namespace ss
+
+#endif  // SS_ALLOCATOR_ALLOCATOR_H_

@@ -1,0 +1,120 @@
+#include "allocator/separable_allocator.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+SeparableAllocator::SeparableAllocator(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    std::uint32_t num_clients, std::uint32_t num_resources,
+    const json::Value& settings, bool input_first)
+    : Allocator(simulator, name, parent, num_clients, num_resources),
+      inputFirst_(input_first)
+{
+    std::string arbiter_type = "round_robin";
+    json::Value arbiter_settings = json::Value::object();
+    if (settings.isObject() && settings.has("arbiter")) {
+        arbiter_settings = settings.at("arbiter");
+        arbiter_type =
+            json::getString(arbiter_settings, "type", "round_robin");
+    }
+
+    requests_.assign(num_clients,
+                     std::vector<bool>(num_resources, false));
+    metadata_.assign(num_clients,
+                     std::vector<std::uint64_t>(num_resources, 0));
+    for (std::uint32_t c = 0; c < num_clients; ++c) {
+        clientArbiters_.push_back(
+            ArbiterFactory::instance().createUnique(
+                arbiter_type, simulator, strf("client_arb_", c), this,
+                num_resources, arbiter_settings));
+    }
+    for (std::uint32_t r = 0; r < num_resources; ++r) {
+        resourceArbiters_.push_back(
+            ArbiterFactory::instance().createUnique(
+                arbiter_type, simulator, strf("resource_arb_", r), this,
+                num_clients, arbiter_settings));
+    }
+}
+
+void
+SeparableAllocator::request(std::uint32_t client, std::uint32_t resource,
+                            std::uint64_t metadata)
+{
+    checkSim(client < numClients_ && resource < numResources_,
+             "allocator request out of range");
+    requests_[client][resource] = true;
+    metadata_[client][resource] = metadata;
+}
+
+const std::vector<std::uint32_t>&
+SeparableAllocator::allocate()
+{
+    std::fill(grants_.begin(), grants_.end(), kNone);
+
+    if (inputFirst_) {
+        // Stage 1: each client narrows to one resource.
+        std::vector<std::uint32_t> chosen(numClients_, kNone);
+        for (std::uint32_t c = 0; c < numClients_; ++c) {
+            for (std::uint32_t r = 0; r < numResources_; ++r) {
+                if (requests_[c][r]) {
+                    clientArbiters_[c]->request(r, metadata_[c][r]);
+                }
+            }
+            chosen[c] = clientArbiters_[c]->arbitrate();
+        }
+        // Stage 2: each resource picks among clients that chose it.
+        for (std::uint32_t c = 0; c < numClients_; ++c) {
+            if (chosen[c] != kNone) {
+                resourceArbiters_[chosen[c]]->request(
+                    c, metadata_[c][chosen[c]]);
+            }
+        }
+        for (std::uint32_t r = 0; r < numResources_; ++r) {
+            std::uint32_t winner = resourceArbiters_[r]->arbitrate();
+            if (winner != kNone) {
+                grants_[winner] = r;
+                resourceArbiters_[r]->grant(winner);
+                clientArbiters_[winner]->grant(r);
+            }
+        }
+    } else {
+        // Stage 1: each resource narrows to one client.
+        std::vector<std::uint32_t> chosen(numResources_, kNone);
+        for (std::uint32_t r = 0; r < numResources_; ++r) {
+            for (std::uint32_t c = 0; c < numClients_; ++c) {
+                if (requests_[c][r]) {
+                    resourceArbiters_[r]->request(c, metadata_[c][r]);
+                }
+            }
+            chosen[r] = resourceArbiters_[r]->arbitrate();
+        }
+        // Stage 2: each client picks among resources that chose it.
+        for (std::uint32_t r = 0; r < numResources_; ++r) {
+            if (chosen[r] != kNone) {
+                clientArbiters_[chosen[r]]->request(
+                    r, metadata_[chosen[r]][r]);
+            }
+        }
+        for (std::uint32_t c = 0; c < numClients_; ++c) {
+            std::uint32_t winner = clientArbiters_[c]->arbitrate();
+            if (winner != kNone) {
+                grants_[c] = winner;
+                clientArbiters_[c]->grant(winner);
+                resourceArbiters_[winner]->grant(c);
+            }
+        }
+    }
+
+    for (auto& row : requests_) {
+        std::fill(row.begin(), row.end(), false);
+    }
+    return grants_;
+}
+
+SS_REGISTER(AllocatorFactory, "separable_input_first",
+            SeparableInputFirstAllocator);
+SS_REGISTER(AllocatorFactory, "separable_output_first",
+            SeparableOutputFirstAllocator);
+
+}  // namespace ss

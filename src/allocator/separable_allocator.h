@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Separable allocator built from two ranks of arbiters.
+ *
+ * Input-first ("separable_input_first"): each client's arbiter first picks
+ * one of its requested resources, then each resource's arbiter picks among
+ * the clients that selected it.
+ *
+ * Output-first ("separable_output_first"): each resource's arbiter first
+ * picks one requesting client, then each client's arbiter picks among the
+ * resources that selected it.
+ */
+#ifndef SS_ALLOCATOR_SEPARABLE_ALLOCATOR_H_
+#define SS_ALLOCATOR_SEPARABLE_ALLOCATOR_H_
+
+#include <memory>
+
+#include "allocator/allocator.h"
+#include "arbiter/arbiter.h"
+
+namespace ss {
+
+/** Two-stage separable allocation with pluggable arbiter policy. */
+class SeparableAllocator : public Allocator {
+  public:
+    /** @param input_first stage order (see file comment) */
+    SeparableAllocator(Simulator* simulator, const std::string& name,
+                       const Component* parent, std::uint32_t num_clients,
+                       std::uint32_t num_resources,
+                       const json::Value& settings, bool input_first);
+
+    void request(std::uint32_t client, std::uint32_t resource,
+                 std::uint64_t metadata = 0) override;
+    const std::vector<std::uint32_t>& allocate() override;
+
+  private:
+    bool inputFirst_;
+    // requests_[client][resource] = posted; metadata parallel.
+    std::vector<std::vector<bool>> requests_;
+    std::vector<std::vector<std::uint64_t>> metadata_;
+    std::vector<std::unique_ptr<Arbiter>> clientArbiters_;
+    std::vector<std::unique_ptr<Arbiter>> resourceArbiters_;
+};
+
+/** Convenience subclasses for factory registration. */
+class SeparableInputFirstAllocator : public SeparableAllocator {
+  public:
+    SeparableInputFirstAllocator(Simulator* simulator,
+                                 const std::string& name,
+                                 const Component* parent,
+                                 std::uint32_t num_clients,
+                                 std::uint32_t num_resources,
+                                 const json::Value& settings)
+        : SeparableAllocator(simulator, name, parent, num_clients,
+                             num_resources, settings, true) {}
+};
+
+class SeparableOutputFirstAllocator : public SeparableAllocator {
+  public:
+    SeparableOutputFirstAllocator(Simulator* simulator,
+                                  const std::string& name,
+                                  const Component* parent,
+                                  std::uint32_t num_clients,
+                                  std::uint32_t num_resources,
+                                  const json::Value& settings)
+        : SeparableAllocator(simulator, name, parent, num_clients,
+                             num_resources, settings, false) {}
+};
+
+}  // namespace ss
+
+#endif  // SS_ALLOCATOR_SEPARABLE_ALLOCATOR_H_

@@ -1,0 +1,37 @@
+#include "arbiter/age_arbiter.h"
+
+namespace ss {
+
+AgeArbiter::AgeArbiter(Simulator* simulator, const std::string& name,
+                       const Component* parent, std::uint32_t size,
+                       const json::Value& settings)
+    : Arbiter(simulator, name, parent, size)
+{
+    (void)settings;
+}
+
+std::uint32_t
+AgeArbiter::select()
+{
+    std::uint32_t winner = kNone;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::uint32_t i = 0; i < size_; ++i) {
+        std::uint32_t client = (next_ + i) % size_;
+        if (requests_[client] && (winner == kNone ||
+                                  metadata_[client] < best)) {
+            winner = client;
+            best = metadata_[client];
+        }
+    }
+    return winner;
+}
+
+void
+AgeArbiter::grant(std::uint32_t winner)
+{
+    next_ = (winner + 1) % size_;
+}
+
+SS_REGISTER(ArbiterFactory, "age", AgeArbiter);
+
+}  // namespace ss

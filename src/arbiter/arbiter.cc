@@ -1,0 +1,61 @@
+#include "arbiter/arbiter.h"
+
+namespace ss {
+
+Arbiter::Arbiter(Simulator* simulator, const std::string& name,
+                 const Component* parent, std::uint32_t size)
+    : Component(simulator, name, parent), size_(size)
+{
+    checkUser(size > 0, "arbiter size must be > 0");
+    requests_.resize(size, false);
+    metadata_.resize(size, 0);
+}
+
+void
+Arbiter::request(std::uint32_t client, std::uint64_t metadata)
+{
+    checkSim(client < size_, "arbiter request out of range");
+    if (!requests_[client]) {
+        requests_[client] = true;
+        ++numRequests_;
+    }
+    metadata_[client] = metadata;
+}
+
+void
+Arbiter::cancel(std::uint32_t client)
+{
+    checkSim(client < size_, "arbiter cancel out of range");
+    if (requests_[client]) {
+        requests_[client] = false;
+        --numRequests_;
+    }
+}
+
+bool
+Arbiter::requesting(std::uint32_t client) const
+{
+    checkSim(client < size_, "arbiter query out of range");
+    return requests_[client];
+}
+
+std::uint32_t
+Arbiter::arbitrate()
+{
+    std::uint32_t winner = numRequests_ == 0 ? kNone : select();
+    if (winner != kNone) {
+        checkSim(winner < size_ && requests_[winner],
+                 "arbiter selected a non-requesting client");
+    }
+    std::fill(requests_.begin(), requests_.end(), false);
+    numRequests_ = 0;
+    return winner;
+}
+
+void
+Arbiter::grant(std::uint32_t winner)
+{
+    (void)winner;  // stateless policies ignore grants
+}
+
+}  // namespace ss

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fixed-priority arbiter: lowest client index always wins. Cheap but
+ * starvation-prone — useful as a baseline and for deliberately unfair
+ * microarchitecture experiments.
+ */
+#ifndef SS_ARBITER_FIXED_PRIORITY_ARBITER_H_
+#define SS_ARBITER_FIXED_PRIORITY_ARBITER_H_
+
+#include "arbiter/arbiter.h"
+
+namespace ss {
+
+/** Static priority by client index. */
+class FixedPriorityArbiter : public Arbiter {
+  public:
+    FixedPriorityArbiter(Simulator* simulator, const std::string& name,
+                         const Component* parent, std::uint32_t size,
+                         const json::Value& settings);
+
+  protected:
+    std::uint32_t select() override;
+};
+
+}  // namespace ss
+
+#endif  // SS_ARBITER_FIXED_PRIORITY_ARBITER_H_

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Least-recently-used arbiter: the requester that was granted longest ago
+ * wins.
+ */
+#ifndef SS_ARBITER_LRU_ARBITER_H_
+#define SS_ARBITER_LRU_ARBITER_H_
+
+#include <list>
+
+#include "arbiter/arbiter.h"
+
+namespace ss {
+
+/** LRU arbitration: grants rotate to the least recently served. */
+class LruArbiter : public Arbiter {
+  public:
+    LruArbiter(Simulator* simulator, const std::string& name,
+               const Component* parent, std::uint32_t size,
+               const json::Value& settings);
+
+    void grant(std::uint32_t winner) override;
+
+  protected:
+    std::uint32_t select() override;
+
+  private:
+    std::list<std::uint32_t> order_;  // front = least recently granted
+};
+
+}  // namespace ss
+
+#endif  // SS_ARBITER_LRU_ARBITER_H_

@@ -1,0 +1,30 @@
+#include "arbiter/random_arbiter.h"
+
+namespace ss {
+
+RandomArbiter::RandomArbiter(Simulator* simulator, const std::string& name,
+                             const Component* parent, std::uint32_t size,
+                             const json::Value& settings)
+    : Arbiter(simulator, name, parent, size)
+{
+    (void)settings;
+}
+
+std::uint32_t
+RandomArbiter::select()
+{
+    std::uint64_t pick = random().nextU64(numRequests_);
+    for (std::uint32_t i = 0; i < size_; ++i) {
+        if (requests_[i]) {
+            if (pick == 0) {
+                return i;
+            }
+            --pick;
+        }
+    }
+    return kNone;
+}
+
+SS_REGISTER(ArbiterFactory, "random", RandomArbiter);
+
+}  // namespace ss

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Random arbiter: picks uniformly among requesting clients.
+ */
+#ifndef SS_ARBITER_RANDOM_ARBITER_H_
+#define SS_ARBITER_RANDOM_ARBITER_H_
+
+#include "arbiter/arbiter.h"
+
+namespace ss {
+
+/** Uniform random arbitration (statistically fair, stateless). */
+class RandomArbiter : public Arbiter {
+  public:
+    RandomArbiter(Simulator* simulator, const std::string& name,
+                  const Component* parent, std::uint32_t size,
+                  const json::Value& settings);
+
+  protected:
+    std::uint32_t select() override;
+};
+
+}  // namespace ss
+
+#endif  // SS_ARBITER_RANDOM_ARBITER_H_

@@ -1,0 +1,35 @@
+#include "arbiter/round_robin_arbiter.h"
+
+namespace ss {
+
+RoundRobinArbiter::RoundRobinArbiter(Simulator* simulator,
+                                     const std::string& name,
+                                     const Component* parent,
+                                     std::uint32_t size,
+                                     const json::Value& settings)
+    : Arbiter(simulator, name, parent, size)
+{
+    (void)settings;
+}
+
+std::uint32_t
+RoundRobinArbiter::select()
+{
+    for (std::uint32_t i = 0; i < size_; ++i) {
+        std::uint32_t client = (next_ + i) % size_;
+        if (requests_[client]) {
+            return client;
+        }
+    }
+    return kNone;
+}
+
+void
+RoundRobinArbiter::grant(std::uint32_t winner)
+{
+    next_ = (winner + 1) % size_;
+}
+
+SS_REGISTER(ArbiterFactory, "round_robin", RoundRobinArbiter);
+
+}  // namespace ss

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Round-robin arbiter: rotating priority starting after the last client
+ * whose grant was committed.
+ */
+#ifndef SS_ARBITER_ROUND_ROBIN_ARBITER_H_
+#define SS_ARBITER_ROUND_ROBIN_ARBITER_H_
+
+#include "arbiter/arbiter.h"
+
+namespace ss {
+
+/** The classic rotating-priority arbiter. */
+class RoundRobinArbiter : public Arbiter {
+  public:
+    RoundRobinArbiter(Simulator* simulator, const std::string& name,
+                      const Component* parent, std::uint32_t size,
+                      const json::Value& settings);
+
+    void grant(std::uint32_t winner) override;
+
+  protected:
+    std::uint32_t select() override;
+
+  private:
+    std::uint32_t next_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_ARBITER_ROUND_ROBIN_ARBITER_H_

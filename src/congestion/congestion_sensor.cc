@@ -1,0 +1,18 @@
+#include "congestion/congestion_sensor.h"
+
+namespace ss {
+
+CongestionSensor::CongestionSensor(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent,
+                                   std::uint32_t num_ports,
+                                   std::uint32_t num_vcs)
+    : Component(simulator, name, parent),
+      numPorts_(num_ports),
+      numVcs_(num_vcs)
+{
+    checkUser(num_ports > 0 && num_vcs > 0,
+              "congestion sensor needs ports and VCs");
+}
+
+}  // namespace ss

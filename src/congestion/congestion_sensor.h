@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Congestion sensors (paper §IV-C, §VI-A, §VI-B).
+ *
+ * A congestion sensor is attached to a router. The router reports credit
+ * events — occupancy changes of output queues and of its view of
+ * downstream buffers — and routing algorithms read back a congestion value
+ * per (output port, VC) when making adaptive decisions.
+ *
+ * Two realism knobs drive the paper's case studies:
+ *  - propagation latency: the value visible to routing lags reality by a
+ *    configurable delay (latent congestion detection, §VI-A);
+ *  - accounting style: which credit pools are counted (output queues,
+ *    downstream buffers, or both) and at which granularity (per VC or
+ *    aggregated per port) (§VI-B).
+ */
+#ifndef SS_CONGESTION_CONGESTION_SENSOR_H_
+#define SS_CONGESTION_CONGESTION_SENSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/component.h"
+#include "factory/factory.h"
+#include "json/json.h"
+
+namespace ss {
+
+/** Which buffer pool a credit event refers to. */
+enum class CreditPool : std::uint8_t {
+    kOutputQueue = 0,  ///< this router's own output queues
+    kDownstream = 1,   ///< the next hop's input buffers
+};
+
+/** Abstract congestion estimator for one router. */
+class CongestionSensor : public Component {
+  public:
+    /** @param num_ports router output ports
+     *  @param num_vcs   VCs per port */
+    CongestionSensor(Simulator* simulator, const std::string& name,
+                     const Component* parent, std::uint32_t num_ports,
+                     std::uint32_t num_vcs);
+    ~CongestionSensor() override = default;
+
+    std::uint32_t numPorts() const { return numPorts_; }
+    std::uint32_t numVcs() const { return numVcs_; }
+
+    /** Declares the capacity of a (port, vc, pool) buffer. Infinite
+     *  buffers pass 0. Called during router construction. */
+    virtual void initCapacity(std::uint32_t port, std::uint32_t vc,
+                              CreditPool pool, std::uint32_t capacity) = 0;
+
+    /** Reports an occupancy change: +delta flits now occupy the buffer
+     *  (negative when space frees up). */
+    virtual void creditEvent(std::uint32_t port, std::uint32_t vc,
+                             CreditPool pool, std::int32_t delta) = 0;
+
+    /** Returns the congestion estimate for routing decisions: the number
+     *  of occupied flit slots currently *visible* (possibly stale). The
+     *  accounting style decides what is counted. Higher = worse. */
+    virtual double status(std::uint32_t port, std::uint32_t vc) const = 0;
+
+  protected:
+    std::uint32_t numPorts_;
+    std::uint32_t numVcs_;
+};
+
+/** Factory; settings select latency and accounting style. */
+using CongestionSensorFactory =
+    Factory<CongestionSensor, Simulator*, const std::string&,
+            const Component*, std::uint32_t, std::uint32_t,
+            const json::Value&>;
+
+}  // namespace ss
+
+#endif  // SS_CONGESTION_CONGESTION_SENSOR_H_

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The standard credit-counting congestion sensor.
+ *
+ * Settings (JSON):
+ *   "latency":      uint ticks — how long a credit event takes to become
+ *                   visible to routing (paper §VI-A; default 0)
+ *   "granularity":  "vc" | "port" — per-VC status or the sum across the
+ *                   port's VCs (paper §VI-B; default "vc")
+ *   "pools":        "output" | "downstream" | "both" — which credit pools
+ *                   are counted (paper §VI-B; default "downstream")
+ *   "mode":         "absolute" | "normalized" — raw occupied-slot count or
+ *                   occupancy fraction of capacity (default "absolute";
+ *                   normalized requires finite capacities)
+ */
+#ifndef SS_CONGESTION_CREDIT_SENSOR_H_
+#define SS_CONGESTION_CREDIT_SENSOR_H_
+
+#include <map>
+#include <vector>
+
+#include "congestion/congestion_sensor.h"
+
+namespace ss {
+
+/** Credit-based sensor with delayed visibility and accounting styles. */
+class CreditSensor : public CongestionSensor {
+  public:
+    CreditSensor(Simulator* simulator, const std::string& name,
+                 const Component* parent, std::uint32_t num_ports,
+                 std::uint32_t num_vcs, const json::Value& settings);
+
+    void initCapacity(std::uint32_t port, std::uint32_t vc,
+                      CreditPool pool, std::uint32_t capacity) override;
+    void creditEvent(std::uint32_t port, std::uint32_t vc, CreditPool pool,
+                     std::int32_t delta) override;
+    double status(std::uint32_t port, std::uint32_t vc) const override;
+
+    /** The true (undelayed) occupancy — exposed for tests/instrumentation,
+     *  never used by routing. */
+    double actualStatus(std::uint32_t port, std::uint32_t vc) const;
+
+    Tick latency() const { return latency_; }
+
+  private:
+    std::size_t
+    index(std::uint32_t port, std::uint32_t vc) const
+    {
+        return static_cast<std::size_t>(port) * numVcs_ + vc;
+    }
+
+    double poolStatus(const std::vector<std::int64_t>& occupied0,
+                      const std::vector<std::int64_t>& occupied1,
+                      std::uint32_t port, std::uint32_t vc) const;
+
+    /** One not-yet-visible occupancy change. */
+    struct PendingUpdate {
+        std::uint32_t pool;
+        std::uint32_t index;
+        std::int32_t delta;
+    };
+
+    void applyPending();
+
+    Tick latency_;
+    bool perPort_;        // granularity == "port"
+    bool countOutput_;    // pools includes output queues
+    bool countDownstream_;
+    bool normalized_;
+
+    // [pool][port*numVcs+vc]
+    std::vector<std::int64_t> actual_[2];
+    std::vector<std::int64_t> visible_[2];
+    std::vector<std::int64_t> capacity_[2];
+
+    // Delayed-visibility machinery: updates are batched per apply tick
+    // so the event count stays one per tick, not one per credit event.
+    std::map<Tick, std::vector<PendingUpdate>> pending_;
+};
+
+}  // namespace ss
+
+#endif  // SS_CONGESTION_CREDIT_SENSOR_H_

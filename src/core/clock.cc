@@ -1,0 +1,46 @@
+#include "core/clock.h"
+
+#include "core/logging.h"
+
+namespace ss {
+
+Clock::Clock(Tick period, Tick phase) : period_(period), phase_(phase)
+{
+    checkUser(period > 0, "clock period must be > 0");
+    checkUser(phase < period, "clock phase (", phase,
+              ") must be < period (", period, ")");
+}
+
+std::uint64_t
+Clock::cycle(Tick t) const
+{
+    if (t <= phase_) {
+        return 0;
+    }
+    return (t - phase_) / period_;
+}
+
+bool
+Clock::onEdge(Tick t) const
+{
+    return t >= phase_ && (t - phase_) % period_ == 0;
+}
+
+Tick
+Clock::nextEdge(Tick t) const
+{
+    if (t <= phase_) {
+        return phase_;
+    }
+    Tick since = t - phase_;
+    Tick rem = since % period_;
+    return rem == 0 ? t : t + (period_ - rem);
+}
+
+Tick
+Clock::futureEdge(Tick t, std::uint64_t cycles) const
+{
+    return nextEdge(t) + cycles * period_;
+}
+
+}  // namespace ss

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Clock domains (paper §III-B, Figure 2b).
+ *
+ * A clock is specified by its cycle time in ticks (and an optional phase
+ * offset). Multiple clocks with different periods model multi-frequency
+ * designs, e.g. switch-core frequency speedup relative to the links.
+ */
+#ifndef SS_CORE_CLOCK_H_
+#define SS_CORE_CLOCK_H_
+
+#include <cstdint>
+
+#include "core/time.h"
+
+namespace ss {
+
+/** A periodic clock in the tick domain. */
+class Clock {
+  public:
+    /** @param period cycle time in ticks (must be > 0)
+     *  @param phase  tick offset of the first edge (must be < period) */
+    explicit Clock(Tick period, Tick phase = 0);
+
+    Tick period() const { return period_; }
+    Tick phase() const { return phase_; }
+
+    /** Returns the cycle number containing tick @p t (edges are cycle
+     *  starts). Ticks before the first edge are cycle 0. */
+    std::uint64_t cycle(Tick t) const;
+
+    /** Returns true if @p t lies exactly on a clock edge. */
+    bool onEdge(Tick t) const;
+
+    /** Returns the earliest edge at or after tick @p t. */
+    Tick nextEdge(Tick t) const;
+
+    /** Returns the edge @p cycles cycles after the earliest edge at or
+     *  after @p t. futureEdge(t, 0) == nextEdge(t). */
+    Tick futureEdge(Tick t, std::uint64_t cycles) const;
+
+  private:
+    Tick period_;
+    Tick phase_;
+};
+
+}  // namespace ss
+
+#endif  // SS_CORE_CLOCK_H_

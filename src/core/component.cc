@@ -1,0 +1,21 @@
+#include "core/component.h"
+
+namespace ss {
+
+Component::Component(Simulator* simulator, const std::string& name,
+                     const Component* parent)
+    : simulator_(simulator),
+      name_(name),
+      fullName_(parent ? parent->fullName() + "." + name : name),
+      random_(simulator->componentSeed(fullName_))
+{
+    checkUser(!name.empty(), "component name must not be empty");
+    simulator_->registerComponent(this);
+}
+
+Component::~Component()
+{
+    simulator_->unregisterComponent(this);
+}
+
+}  // namespace ss

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Base class for everything that lives in a simulation (paper §III-A).
+ *
+ * A component has a hierarchical name ("network.router_3.input_0"), links
+ * to the global simulator object, and helpers for scheduling events and
+ * deterministic per-component randomness.
+ */
+#ifndef SS_CORE_COMPONENT_H_
+#define SS_CORE_COMPONENT_H_
+
+#include <functional>
+#include <string>
+
+#include "core/event.h"
+#include "core/logging.h"
+#include "core/simulator.h"
+#include "core/time.h"
+#include "rng/random.h"
+
+namespace ss {
+
+/** A named simulation object connected to the DES engine. */
+class Component {
+  public:
+    /** @param simulator the owning simulation engine
+     *  @param name      this component's local name
+     *  @param parent    enclosing component, or nullptr for a root */
+    Component(Simulator* simulator, const std::string& name,
+              const Component* parent);
+    virtual ~Component();
+
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    /** Local (leaf) name. */
+    const std::string& name() const { return name_; }
+
+    /** Fully qualified dotted name. */
+    const std::string& fullName() const { return fullName_; }
+
+    Simulator* simulator() const { return simulator_; }
+
+    /** Current simulation time. */
+    Time now() const { return simulator_->now(); }
+
+    /** Deterministic per-component random stream. */
+    Random& random() { return random_; }
+
+    /** Schedules a caller-owned event. */
+    void
+    schedule(Event* event, Time time)
+    {
+        simulator_->schedule(event, time);
+    }
+
+    /** Schedules a one-shot callable. */
+    void
+    schedule(Time time, std::function<void()> fn)
+    {
+        simulator_->schedule(time, std::move(fn));
+    }
+
+    /** Per-component debug switch; dbg() prints when enabled. */
+    void setDebug(bool on) { debug_ = on; }
+    bool debugEnabled() const { return debug_ || simulator_->debug(); }
+
+    template <typename... Args>
+    void
+    dbg(Args&&... args) const
+    {
+        if (debugEnabled()) {
+            informStr(strf("[", now().toString(), "] ", fullName_, ": ",
+                           strf(std::forward<Args>(args)...)));
+        }
+    }
+
+  private:
+    Simulator* simulator_;
+    std::string name_;
+    std::string fullName_;
+    Random random_;
+    bool debug_ = false;
+};
+
+}  // namespace ss
+
+#endif  // SS_CORE_COMPONENT_H_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Events for the discrete event simulation core (paper §III-A, Figure 1).
+ *
+ * An event is a simple object with a time value indicating when it is to be
+ * executed and a link to the code that performs the execution. Components
+ * create events and push them into the simulator's priority queue.
+ */
+#ifndef SS_CORE_EVENT_H_
+#define SS_CORE_EVENT_H_
+
+#include <functional>
+#include <utility>
+
+#include "core/time.h"
+
+namespace ss {
+
+class Simulator;
+
+/** Abstract base for all events. */
+class Event {
+  public:
+    Event() = default;
+    virtual ~Event() = default;
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    /** Executes the event. Called exactly once per scheduling by the
+     *  simulator's executer. */
+    virtual void process() = 0;
+
+    /** The time this event is scheduled for; invalid() when not pending. */
+    Time time() const { return time_; }
+
+    /** True while the event sits in the event queue. */
+    bool pending() const { return time_.valid(); }
+
+  private:
+    friend class Simulator;
+    Time time_ = Time::invalid();
+};
+
+/** An event that invokes a bound callable. Used by Simulator::schedule()
+ *  for one-shot lambdas; owned and deleted by the simulator. */
+class CallbackEvent : public Event {
+  public:
+    explicit CallbackEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/** An event that invokes a member function on a component. Intended to be
+ *  embedded in the owning object and rescheduled repeatedly, avoiding a
+ *  heap allocation per occurrence. */
+template <typename T>
+class MemberEvent : public Event {
+  public:
+    using Handler = void (T::*)();
+
+    MemberEvent(T* object, Handler handler)
+        : object_(object), handler_(handler) {}
+
+    void process() override { (object_->*handler_)(); }
+
+  private:
+    T* object_;
+    Handler handler_;
+};
+
+/** Like MemberEvent but passes a fixed index (e.g. a port number) to the
+ *  handler — one embedded instance per port replaces a heap-allocated
+ *  closure per occurrence in the hot pipeline paths. */
+template <typename T>
+class IndexedMemberEvent : public Event {
+  public:
+    using Handler = void (T::*)(std::uint32_t);
+
+    IndexedMemberEvent() = default;
+
+    void
+    bind(T* object, Handler handler, std::uint32_t index)
+    {
+        object_ = object;
+        handler_ = handler;
+        index_ = index;
+    }
+
+    void process() override { (object_->*handler_)(index_); }
+
+  private:
+    T* object_ = nullptr;
+    Handler handler_ = nullptr;
+    std::uint32_t index_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_CORE_EVENT_H_

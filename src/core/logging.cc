@@ -1,0 +1,48 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ss {
+
+namespace {
+std::atomic<bool> informEnabled{true};
+}  // namespace
+
+void
+fatalStr(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+panicStr(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+warnStr(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informStr(const std::string& msg)
+{
+    if (informEnabled.load(std::memory_order_relaxed)) {
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace ss

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Error reporting and status messages for the simulation framework.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - fatal():  the *user* made an error (bad configuration, invalid
+ *              arguments). Throws ss::FatalError so embedding code and
+ *              tests can catch it.
+ *  - panic():  the *simulator* is broken (violated invariant). Prints and
+ *              aborts.
+ *  - warn()/inform(): non-fatal status messages on stderr.
+ */
+#ifndef SS_CORE_LOGGING_H_
+#define SS_CORE_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ss {
+
+/** Exception thrown by fatal() — a user-caused, recoverable-by-embedder
+ *  configuration or usage error. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Concatenates all arguments into a string via operator<<. */
+template <typename... Args>
+std::string
+strf(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Reports a user error and throws FatalError. */
+[[noreturn]] void fatalStr(const std::string& msg);
+
+/** Reports a simulator bug and aborts. */
+[[noreturn]] void panicStr(const std::string& msg);
+
+/** Prints a warning to stderr. */
+void warnStr(const std::string& msg);
+
+/** Prints an informational message to stderr. */
+void informStr(const std::string& msg);
+
+/** Enables/disables inform() output (quiet mode for sweeps). */
+void setInformEnabled(bool enabled);
+
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    fatalStr(strf(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    panicStr(strf(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    warnStr(strf(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    informStr(strf(std::forward<Args>(args)...));
+}
+
+/** Checks a user-facing condition; fatal() on failure. */
+template <typename... Args>
+void
+checkUser(bool condition, Args&&... args)
+{
+    if (!condition) {
+        fatalStr(strf(std::forward<Args>(args)...));
+    }
+}
+
+/** Checks a simulator invariant; panic() on failure. Always on — the error
+ *  detection described in the paper (§IV-D) relies on these firing in
+ *  release builds too. */
+template <typename... Args>
+void
+checkSim(bool condition, Args&&... args)
+{
+    if (!condition) {
+        panicStr(strf(std::forward<Args>(args)...));
+    }
+}
+
+}  // namespace ss
+
+#endif  // SS_CORE_LOGGING_H_

@@ -1,0 +1,119 @@
+#include "core/simulator.h"
+
+#include "core/component.h"
+#include "core/logging.h"
+
+namespace ss {
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed), now_(0, 0) {}
+
+Simulator::~Simulator()
+{
+    // Drain unexecuted events, deleting any the simulator owns. Events
+    // owned by components must not be touched here: components are
+    // destroyed before the simulator when a run stops at its time limit
+    // with work still queued, so those pointers may already be dead.
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.top();
+        queue_.pop();
+        if (entry.owned) {
+            delete entry.event;
+        }
+    }
+}
+
+void
+Simulator::schedule(Event* event, Time time)
+{
+    // Hot path: keep the failure messages out of the fast path (string
+    // construction per call would dominate the simulation).
+    if (event == nullptr || event->pending() || time < now_)
+        [[unlikely]] {
+        checkSim(event != nullptr, "scheduling null event");
+        checkSim(!event->pending(), "event is already pending at ",
+                 event->time().toString());
+        panic("scheduling event in the past: ", time.toString(), " < ",
+              now_.toString());
+    }
+    event->time_ = time;
+    queue_.push(QueueEntry{time, sequence_++, event, false});
+}
+
+void
+Simulator::schedule(Time time, std::function<void()> fn)
+{
+    if (time < now_) [[unlikely]] {
+        panic("scheduling event in the past: ", time.toString(), " < ",
+              now_.toString());
+    }
+    auto* event = new CallbackEvent(std::move(fn));
+    event->time_ = time;
+    queue_.push(QueueEntry{time, sequence_++, event, true});
+}
+
+std::uint64_t
+Simulator::run()
+{
+    checkSim(!running_, "Simulator::run() is not reentrant");
+    running_ = true;
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+        QueueEntry entry = queue_.top();
+        if (timeLimit_ > 0 && entry.time.tick > timeLimit_) {
+            timeLimitHit_ = true;
+            break;
+        }
+        queue_.pop();
+        now_ = entry.time;
+        entry.event->time_ = Time::invalid();
+        entry.event->process();
+        if (entry.owned) {
+            delete entry.event;
+        }
+        ++executed;
+    }
+    eventsExecuted_ += executed;
+    running_ = false;
+    return executed;
+}
+
+std::uint64_t
+Simulator::componentSeed(const std::string& full_name) const
+{
+    // splitmix64 over (root seed ^ FNV-1a of name) gives well-separated,
+    // deterministic per-component streams.
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (char c : full_name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    std::uint64_t z = seed_ ^ hash;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+Simulator::registerComponent(Component* component)
+{
+    auto [it, inserted] =
+        components_.emplace(component->fullName(), component);
+    (void)it;
+    checkUser(inserted, "duplicate component name: ", component->fullName());
+}
+
+void
+Simulator::unregisterComponent(Component* component)
+{
+    components_.erase(component->fullName());
+}
+
+Component*
+Simulator::findComponent(const std::string& full_name) const
+{
+    auto it = components_.find(full_name);
+    return it == components_.end() ? nullptr : it->second;
+}
+
+}  // namespace ss

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The discrete event simulation engine (paper §III-A, Figure 1).
+ *
+ * The simulator owns the global event priority queue and the executer loop.
+ * Events are sorted by (tick, epsilon, insertion order); the insertion-order
+ * tiebreak makes execution fully deterministic. The simulation ends when
+ * the event queue runs empty (or an optional time limit is hit).
+ *
+ * There are no global singletons: a Simulator instance owns an entire
+ * simulation, so many simulations can run concurrently in one process.
+ */
+#ifndef SS_CORE_SIMULATOR_H_
+#define SS_CORE_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/time.h"
+#include "rng/random.h"
+
+namespace ss {
+
+class Component;
+
+/** The DES engine: event queue + executer. */
+class Simulator {
+  public:
+    /** @param seed root seed from which all component streams derive. */
+    explicit Simulator(std::uint64_t seed = 12345);
+    ~Simulator();
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulation time. */
+    Time now() const { return now_; }
+
+    /** Schedules @p event at @p time. The event must not already be
+     *  pending and @p time must not be in the past. The caller retains
+     *  ownership; the event may be rescheduled after it fires. */
+    void schedule(Event* event, Time time);
+
+    /** Schedules a one-shot callable at @p time. The simulator owns the
+     *  wrapper event. */
+    void schedule(Time time, std::function<void()> fn);
+
+    /** Runs the executer until the event queue is empty or the time limit
+     *  is exceeded. Returns the number of events executed by this call. */
+    std::uint64_t run();
+
+    /** Sets a tick limit: run() stops before executing any event with
+     *  tick > limit. 0 disables (default). Remaining events stay queued;
+     *  timeLimitHit() reports whether the limit triggered. */
+    void setTimeLimit(Tick limit) { timeLimit_ = limit; }
+    bool timeLimitHit() const { return timeLimitHit_; }
+
+    /** Total events executed over the simulator's lifetime. */
+    std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+
+    /** Number of events currently queued. */
+    std::size_t eventsPending() const { return queue_.size(); }
+
+    /** Root seed for this simulation. */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Returns a deterministic seed for a named component, derived from
+     *  the root seed and the component's full name. */
+    std::uint64_t componentSeed(const std::string& full_name) const;
+
+    /** Component registry — names must be unique within a simulation. */
+    void registerComponent(Component* component);
+    void unregisterComponent(Component* component);
+    Component* findComponent(const std::string& full_name) const;
+    std::size_t numComponents() const { return components_.size(); }
+
+    /** Global debug printing switch (per-component switches also exist). */
+    void setDebug(bool on) { debug_ = on; }
+    bool debug() const { return debug_; }
+
+  private:
+    struct QueueEntry {
+        Time time;
+        std::uint64_t sequence;
+        Event* event;
+        bool owned;
+
+        bool
+        operator>(const QueueEntry& other) const
+        {
+            if (time != other.time) {
+                return time > other.time;
+            }
+            return sequence > other.sequence;
+        }
+    };
+
+    std::uint64_t seed_;
+    Time now_;
+    std::uint64_t sequence_ = 0;
+    std::uint64_t eventsExecuted_ = 0;
+    Tick timeLimit_ = 0;
+    bool timeLimitHit_ = false;
+    bool running_ = false;
+    bool debug_ = false;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>> queue_;
+    std::unordered_map<std::string, Component*> components_;
+};
+
+}  // namespace ss
+
+#endif  // SS_CORE_SIMULATOR_H_

@@ -1,0 +1,16 @@
+#include "core/time.h"
+
+#include "core/logging.h"
+
+namespace ss {
+
+std::string
+Time::toString() const
+{
+    if (!valid()) {
+        return "<invalid>";
+    }
+    return strf(tick, ":", static_cast<unsigned>(epsilon));
+}
+
+}  // namespace ss

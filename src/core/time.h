@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hierarchical simulation time: ticks plus epsilons (paper §III-B).
+ *
+ * Ticks represent real time; the user decides what one tick means (e.g.,
+ * 1 ns, 457 ps, one clock period). Epsilons order operations *within* one
+ * tick and never represent real time. Comparison is lexicographic: a lower
+ * tick always wins regardless of epsilon.
+ */
+#ifndef SS_CORE_TIME_H_
+#define SS_CORE_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ss {
+
+using Tick = std::uint64_t;
+using Epsilon = std::uint8_t;
+
+/** A point in simulated time. */
+struct Time {
+    Tick tick = 0;
+    Epsilon epsilon = 0;
+
+    constexpr Time() = default;
+    constexpr Time(Tick t, Epsilon e = 0) : tick(t), epsilon(e) {}
+
+    /** Sentinel representing "no time"/infinity. */
+    static constexpr Time
+    invalid()
+    {
+        return Time(std::numeric_limits<Tick>::max(),
+                    std::numeric_limits<Epsilon>::max());
+    }
+
+    constexpr bool valid() const { return *this != invalid(); }
+
+    /** Returns this time advanced by @p t ticks, epsilon reset to zero. */
+    constexpr Time
+    plusTicks(Tick t) const
+    {
+        return Time(tick + t, 0);
+    }
+
+    /** Returns this time with epsilon advanced by @p e. */
+    constexpr Time
+    plusEps(Epsilon e = 1) const
+    {
+        return Time(tick, static_cast<Epsilon>(epsilon + e));
+    }
+
+    /** Returns this time with epsilon replaced. */
+    constexpr Time
+    withEps(Epsilon e) const
+    {
+        return Time(tick, e);
+    }
+
+    constexpr auto operator<=>(const Time&) const = default;
+
+    std::string toString() const;
+};
+
+/** Canonical intra-tick ordering used across the framework. Lower runs
+ *  first. Keeping these centralized makes cross-component ordering within
+ *  a tick explicit and auditable. */
+namespace eps {
+/** Flit and credit deliveries out of channels. */
+inline constexpr Epsilon kDelivery = 0;
+/** Congestion-sensor visible-state updates. */
+inline constexpr Epsilon kSensor = 1;
+/** Router pipeline evaluation (RC/VA/SA/ST) and interface injection. */
+inline constexpr Epsilon kPipeline = 2;
+/** Workload/application control signals. */
+inline constexpr Epsilon kControl = 3;
+/** Statistics snapshots. */
+inline constexpr Epsilon kStats = 4;
+}  // namespace eps
+
+}  // namespace ss
+
+#endif  // SS_CORE_TIME_H_

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Smart object factories (paper §III-D).
+ *
+ * Each abstract component type declares a factory with a fixed constructor
+ * signature. Implementations register themselves from their own source
+ * file with a single macro call — no edits to existing code are required
+ * to add a new model:
+ *
+ *   // in my_arch_router.cc
+ *   SS_REGISTER(RouterFactory, "my_arch", MyArchRouter);
+ *
+ * The simulator then constructs components by the name given in the JSON
+ * settings. All of this works in standard C++ without code generation.
+ */
+#ifndef SS_FACTORY_FACTORY_H_
+#define SS_FACTORY_FACTORY_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace ss {
+
+/**
+ * A registry of named constructors for one abstract base type.
+ *
+ * @tparam Base the abstract component type
+ * @tparam Args the constructor argument types shared by all models
+ *
+ * Registration happens during static initialization (single threaded);
+ * lookups afterwards are read-only, so concurrent simulations may share
+ * the registry safely.
+ */
+template <typename Base, typename... Args>
+class Factory {
+  public:
+    using Constructor = std::function<Base*(Args...)>;
+
+    /** The process-wide registry for this base type. */
+    static Factory&
+    instance()
+    {
+        static Factory factory;
+        return factory;
+    }
+
+    /** Registers a constructor under @p name; fatal() on duplicates. */
+    bool
+    add(const std::string& name, Constructor constructor)
+    {
+        auto [it, inserted] =
+            constructors_.emplace(name, std::move(constructor));
+        (void)it;
+        checkUser(inserted, "duplicate factory registration: ", name);
+        return true;
+    }
+
+    /** True if a model named @p name is registered. */
+    bool
+    contains(const std::string& name) const
+    {
+        return constructors_.count(name) > 0;
+    }
+
+    /** Constructs the model registered under @p name; fatal() listing the
+     *  registered names when @p name is unknown. */
+    Base*
+    create(const std::string& name, Args... args) const
+    {
+        auto it = constructors_.find(name);
+        if (it == constructors_.end()) {
+            std::string known;
+            for (const auto& [key, ctor] : constructors_) {
+                (void)ctor;
+                known += known.empty() ? key : (", " + key);
+            }
+            fatal("no model named '", name, "' is registered (have: ",
+                  known, ")");
+        }
+        return it->second(std::forward<Args>(args)...);
+    }
+
+    /** Like create() but returns a unique_ptr. */
+    std::unique_ptr<Base>
+    createUnique(const std::string& name, Args... args) const
+    {
+        return std::unique_ptr<Base>(
+            create(name, std::forward<Args>(args)...));
+    }
+
+    /** Registered model names, sorted. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(constructors_.size());
+        for (const auto& [key, ctor] : constructors_) {
+            (void)ctor;
+            out.push_back(key);
+        }
+        return out;
+    }
+
+  private:
+    Factory() = default;
+    std::map<std::string, Constructor> constructors_;
+};
+
+}  // namespace ss
+
+#define SS_FACTORY_CONCAT_IMPL(a, b) a##b
+#define SS_FACTORY_CONCAT(a, b) SS_FACTORY_CONCAT_IMPL(a, b)
+
+/**
+ * Registers @p Impl with @p FactoryType under the string @p name.
+ * Place at namespace scope in the implementation's source file.
+ */
+#define SS_REGISTER(FactoryType, name, Impl)                               \
+    namespace {                                                            \
+    const bool SS_FACTORY_CONCAT(ss_factory_reg_, __COUNTER__) =           \
+        FactoryType::instance().add(name, [](auto&&... args) {             \
+            return new Impl(std::forward<decltype(args)>(args)...);        \
+        });                                                                \
+    }
+
+#endif  // SS_FACTORY_FACTORY_H_

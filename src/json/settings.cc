@@ -1,0 +1,330 @@
+#include "json/settings.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "core/logging.h"
+
+namespace ss::json {
+
+namespace {
+
+std::vector<std::string>
+splitPath(const std::string& path)
+{
+    std::vector<std::string> segments;
+    std::string current;
+    for (char c : path) {
+        if (c == '.') {
+            checkUser(!current.empty(), "empty segment in path '", path,
+                      "'");
+            segments.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    checkUser(!current.empty(), "empty segment in path '", path, "'");
+    segments.push_back(current);
+    return segments;
+}
+
+bool
+isAllDigits(const std::string& s)
+{
+    if (s.empty()) {
+        return false;
+    }
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Value
+parseTypedValue(const std::string& type, const std::string& text)
+{
+    if (type == "string") {
+        return Value(text);
+    }
+    if (type == "int") {
+        char* end = nullptr;
+        long long v = std::strtoll(text.c_str(), &end, 10);
+        checkUser(end == text.c_str() + text.size() && !text.empty(),
+                  "invalid int value '", text, "'");
+        return Value(static_cast<std::int64_t>(v));
+    }
+    if (type == "uint") {
+        char* end = nullptr;
+        checkUser(!text.empty() && text[0] != '-', "invalid uint value '",
+                  text, "'");
+        unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+        checkUser(end == text.c_str() + text.size(),
+                  "invalid uint value '", text, "'");
+        return Value(static_cast<std::uint64_t>(v));
+    }
+    if (type == "float") {
+        char* end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        checkUser(end == text.c_str() + text.size() && !text.empty(),
+                  "invalid float value '", text, "'");
+        return Value(v);
+    }
+    if (type == "bool") {
+        if (text == "true" || text == "1") {
+            return Value(true);
+        }
+        if (text == "false" || text == "0") {
+            return Value(false);
+        }
+        fatal("invalid bool value '", text, "'");
+    }
+    if (type == "json") {
+        return parse(text);
+    }
+    fatal("unknown override type '", type,
+          "' (want string|int|uint|float|bool|json)");
+}
+
+std::string
+dirName(const std::string& path)
+{
+    auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Depth-first include resolution. An object {"$include": "f.json", ...}
+ *  loads f.json (which must be an object) and merges its members beneath
+ *  the enclosing object; explicit members win over included ones. */
+void
+resolveIncludes(Value* node, const std::string& base_dir, int depth)
+{
+    checkUser(depth < 32, "JSON $include nesting too deep (cycle?)");
+    if (node->isArray()) {
+        for (std::size_t i = 0; i < node->size(); ++i) {
+            resolveIncludes(&node->at(i), base_dir, depth + 1);
+        }
+        return;
+    }
+    if (!node->isObject()) {
+        return;
+    }
+    if (node->has("$include")) {
+        std::string file = node->at("$include").asString();
+        node->erase("$include");
+        std::string full =
+            file.front() == '/' ? file : base_dir + "/" + file;
+        Value included = parseFile(full);
+        checkUser(included.isObject(), "$include file ", full,
+                  " must contain a JSON object");
+        resolveIncludes(&included, dirName(full), depth + 1);
+        // Merge: keep explicit members, adopt included ones otherwise.
+        for (const auto& key : included.keys()) {
+            if (!node->has(key)) {
+                (*node)[key] = included.at(key);
+            }
+        }
+    }
+    for (const auto& key : node->keys()) {
+        resolveIncludes(&node->at(key), base_dir, depth + 1);
+    }
+}
+
+/** Replaces {"$ref": "a.b.c"} nodes by a copy of the referenced node. */
+void
+resolveRefs(Value* node, const Value& root, int depth)
+{
+    checkUser(depth < 32, "JSON $ref nesting too deep (cycle?)");
+    if (node->isArray()) {
+        for (std::size_t i = 0; i < node->size(); ++i) {
+            resolveRefs(&node->at(i), root, depth + 1);
+        }
+        return;
+    }
+    if (!node->isObject()) {
+        return;
+    }
+    if (node->has("$ref") && node->size() == 1) {
+        std::string path = node->at("$ref").asString();
+        const Value* target = find(root, path);
+        checkUser(target != nullptr, "$ref path not found: ", path);
+        Value copy = *target;
+        resolveRefs(&copy, root, depth + 1);
+        *node = std::move(copy);
+        return;
+    }
+    for (const auto& key : node->keys()) {
+        resolveRefs(&node->at(key), root, depth + 1);
+    }
+}
+
+}  // namespace
+
+void
+applyOverride(Value* root, const std::string& spec)
+{
+    auto eq1 = spec.find('=');
+    checkUser(eq1 != std::string::npos,
+              "malformed override '", spec, "' (want path=type=value)");
+    auto eq2 = spec.find('=', eq1 + 1);
+    checkUser(eq2 != std::string::npos,
+              "malformed override '", spec, "' (want path=type=value)");
+    std::string path = spec.substr(0, eq1);
+    std::string type = spec.substr(eq1 + 1, eq2 - eq1 - 1);
+    std::string text = spec.substr(eq2 + 1);
+
+    Value replacement = parseTypedValue(type, text);
+
+    Value* node = root;
+    auto segments = splitPath(path);
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const std::string& seg = segments[i];
+        bool last = (i + 1 == segments.size());
+        if (node->isArray() && isAllDigits(seg)) {
+            std::size_t index = std::strtoull(seg.c_str(), nullptr, 10);
+            checkUser(index < node->size(), "override '", spec,
+                      "': array index ", index, " out of range");
+            node = &node->at(index);
+        } else {
+            checkUser(node->isObject() || node->isNull(), "override '",
+                      spec, "': segment '", seg,
+                      "' traverses a non-container");
+            node = &(*node)[seg];
+        }
+        if (last) {
+            *node = std::move(replacement);
+        }
+    }
+}
+
+void
+applyOverrides(Value* root, const std::vector<std::string>& specs)
+{
+    for (const auto& spec : specs) {
+        applyOverride(root, spec);
+    }
+}
+
+Value
+loadSettings(const std::string& path)
+{
+    Value root = parseFile(path);
+    resolveIncludes(&root, dirName(path), 0);
+    Value snapshot = root;
+    resolveRefs(&root, snapshot, 0);
+    return root;
+}
+
+Value
+loadSettingsText(const std::string& text, const std::string& base_dir)
+{
+    Value root = parse(text);
+    resolveIncludes(&root, base_dir, 0);
+    Value snapshot = root;
+    resolveRefs(&root, snapshot, 0);
+    return root;
+}
+
+const Value*
+find(const Value& root, const std::string& dotted_path)
+{
+    const Value* node = &root;
+    for (const auto& seg : splitPath(dotted_path)) {
+        if (node->isArray() && isAllDigits(seg)) {
+            std::size_t index = std::strtoull(seg.c_str(), nullptr, 10);
+            if (index >= node->size()) {
+                return nullptr;
+            }
+            node = &node->at(index);
+        } else if (node->isObject() && node->has(seg)) {
+            node = &node->at(seg);
+        } else {
+            return nullptr;
+        }
+    }
+    return node;
+}
+
+std::uint64_t
+getUint(const Value& obj, const std::string& key)
+{
+    checkUser(obj.has(key), "missing required setting '", key, "'");
+    return obj.at(key).asUint();
+}
+
+std::int64_t
+getInt(const Value& obj, const std::string& key)
+{
+    checkUser(obj.has(key), "missing required setting '", key, "'");
+    return obj.at(key).asInt();
+}
+
+double
+getFloat(const Value& obj, const std::string& key)
+{
+    checkUser(obj.has(key), "missing required setting '", key, "'");
+    return obj.at(key).asFloat();
+}
+
+bool
+getBool(const Value& obj, const std::string& key)
+{
+    checkUser(obj.has(key), "missing required setting '", key, "'");
+    return obj.at(key).asBool();
+}
+
+std::string
+getString(const Value& obj, const std::string& key)
+{
+    checkUser(obj.has(key), "missing required setting '", key, "'");
+    return obj.at(key).asString();
+}
+
+std::uint64_t
+getUint(const Value& obj, const std::string& key, std::uint64_t def)
+{
+    return obj.has(key) ? obj.at(key).asUint() : def;
+}
+
+std::int64_t
+getInt(const Value& obj, const std::string& key, std::int64_t def)
+{
+    return obj.has(key) ? obj.at(key).asInt() : def;
+}
+
+double
+getFloat(const Value& obj, const std::string& key, double def)
+{
+    return obj.has(key) ? obj.at(key).asFloat() : def;
+}
+
+bool
+getBool(const Value& obj, const std::string& key, bool def)
+{
+    return obj.has(key) ? obj.at(key).asBool() : def;
+}
+
+std::string
+getString(const Value& obj, const std::string& key, const std::string& def)
+{
+    return obj.has(key) ? obj.at(key).asString() : def;
+}
+
+std::vector<std::uint64_t>
+getUintVector(const Value& obj, const std::string& key)
+{
+    checkUser(obj.has(key), "missing required setting '", key, "'");
+    const Value& arr = obj.at(key);
+    checkUser(arr.isArray(), "setting '", key, "' must be an array");
+    std::vector<std::uint64_t> out;
+    out.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        out.push_back(arr.at(i).asUint());
+    }
+    return out;
+}
+
+}  // namespace ss::json

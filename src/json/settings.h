@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Settings layer on top of raw JSON (paper §III-C, Listing 1).
+ *
+ * Adds the three facilities the paper's configuration API provides beyond
+ * plain JSON:
+ *   - command line overrides:  network.concentration=uint=16
+ *   - file inclusion:          {"$include": "other.json"} merges the other
+ *                              file's object into the enclosing object
+ *   - object referencing:     {"$ref": "network.router"} copies the node
+ *                              at that dotted path from the document root
+ * plus typed getters with defaults used by component constructors.
+ */
+#ifndef SS_JSON_SETTINGS_H_
+#define SS_JSON_SETTINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace ss::json {
+
+/**
+ * Applies a command line override of the form path=type=value, where path
+ * is dotted (array elements addressed by numeric segments), type is one of
+ * string|int|uint|float|bool|json, and value is parsed per the type.
+ * Intermediate objects are created as needed. fatal() on malformed specs.
+ */
+void applyOverride(Value* root, const std::string& spec);
+
+/** Applies a list of overrides in order. */
+void applyOverrides(Value* root, const std::vector<std::string>& specs);
+
+/**
+ * Loads a settings file: parses JSON, resolves $include directives
+ * (relative to the including file's directory, recursively), then resolves
+ * $ref directives against the document root.
+ */
+Value loadSettings(const std::string& path);
+
+/** Same from in-memory text; includes resolve relative to @p base_dir. */
+Value loadSettingsText(const std::string& text,
+                       const std::string& base_dir = ".");
+
+/** Finds a node by dotted path; nullptr if any segment is missing. */
+const Value* find(const Value& root, const std::string& dotted_path);
+
+// ----- typed getters (fatal() if missing, for required settings) -----
+std::uint64_t getUint(const Value& obj, const std::string& key);
+std::int64_t getInt(const Value& obj, const std::string& key);
+double getFloat(const Value& obj, const std::string& key);
+bool getBool(const Value& obj, const std::string& key);
+std::string getString(const Value& obj, const std::string& key);
+
+// ----- typed getters with defaults (for optional settings) -----
+std::uint64_t getUint(const Value& obj, const std::string& key,
+                      std::uint64_t def);
+std::int64_t getInt(const Value& obj, const std::string& key,
+                    std::int64_t def);
+double getFloat(const Value& obj, const std::string& key, double def);
+bool getBool(const Value& obj, const std::string& key, bool def);
+std::string getString(const Value& obj, const std::string& key,
+                      const std::string& def);
+
+/** Returns obj[key] as a vector of uints; fatal() if missing/mistyped. */
+std::vector<std::uint64_t> getUintVector(const Value& obj,
+                                         const std::string& key);
+
+}  // namespace ss::json
+
+#endif  // SS_JSON_SETTINGS_H_

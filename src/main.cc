@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The supersim command line (paper §III-C, Listing 1):
+ *
+ *   supersim myconfig.json \
+ *       network.router.architecture=string=my_arch \
+ *       network.concentration=uint=16
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "json/settings.h"
+#include "sim/builder.h"
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <config.json> [path=type=value ...]\n",
+                     argv[0]);
+        return 1;
+    }
+    try {
+        ss::json::Value config = ss::json::loadSettings(argv[1]);
+        std::vector<std::string> overrides;
+        for (int i = 2; i < argc; ++i) {
+            overrides.emplace_back(argv[i]);
+        }
+        ss::json::applyOverrides(&config, overrides);
+
+        ss::RunResult result = ss::runSimulation(config);
+        std::printf("%s", result.summary().c_str());
+        return 0;
+    } catch (const ss::FatalError&) {
+        return 1;
+    }
+}

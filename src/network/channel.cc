@@ -1,0 +1,48 @@
+#include "network/channel.h"
+
+namespace ss {
+
+Channel::Channel(Simulator* simulator, const std::string& name,
+                 const Component* parent, Tick latency, Tick period)
+    : Component(simulator, name, parent),
+      latency_(latency),
+      period_(period)
+{
+    checkUser(latency >= 1, "channel latency must be >= 1 tick");
+    checkUser(period >= 1, "channel period must be >= 1 tick");
+}
+
+void
+Channel::setSink(FlitReceiver* sink, std::uint32_t sink_port)
+{
+    checkSim(sink_ == nullptr, "channel sink already set");
+    sink_ = sink;
+    sinkPort_ = sink_port;
+}
+
+void
+Channel::inject(Flit* flit, Tick depart_tick)
+{
+    checkSim(sink_ != nullptr, "channel has no sink");
+    checkSim(depart_tick >= now().tick, "channel departure in the past");
+    checkSim(available(depart_tick),
+             "channel oversubscribed: depart ", depart_tick,
+             " < next free ", nextFree_);
+    nextFree_ = depart_tick + period_;
+    ++flitCount_;
+    schedule(Time(depart_tick + latency_, eps::kDelivery),
+             [this, flit]() { sink_->receiveFlit(sinkPort_, flit); });
+}
+
+double
+Channel::utilization() const
+{
+    Tick elapsed = now().tick;
+    if (elapsed == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(flitCount_ * period_) /
+           static_cast<double>(elapsed);
+}
+
+}  // namespace ss

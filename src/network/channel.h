@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Channels: the wires of the network (paper §IV-B).
+ *
+ * A channel carries one flit per channel cycle and delivers it after its
+ * configured latency. High channel latencies (tens of nanoseconds for
+ * long cables) are a first-class concern for large-scale networks, so
+ * latency and cycle time are explicit per channel.
+ */
+#ifndef SS_NETWORK_CHANNEL_H_
+#define SS_NETWORK_CHANNEL_H_
+
+#include <cstdint>
+
+#include "core/component.h"
+#include "types/flit.h"
+
+namespace ss {
+
+/** Anything that can accept flits on numbered ports. */
+class FlitReceiver {
+  public:
+    virtual ~FlitReceiver() = default;
+    /** Delivers @p flit to input port @p port. */
+    virtual void receiveFlit(std::uint32_t port, Flit* flit) = 0;
+};
+
+/** A unidirectional flit channel with latency and cycle time. */
+class Channel : public Component {
+  public:
+    /** @param latency delivery delay in ticks (>= 1)
+     *  @param period  minimum spacing between flits in ticks (>= 1) */
+    Channel(Simulator* simulator, const std::string& name,
+            const Component* parent, Tick latency, Tick period);
+
+    /** Connects the receiving end. */
+    void setSink(FlitReceiver* sink, std::uint32_t sink_port);
+
+    Tick latency() const { return latency_; }
+    Tick period() const { return period_; }
+
+    /** The earliest tick a new flit may depart. */
+    Tick nextFreeTick() const { return nextFree_; }
+
+    /** True if a flit may depart at @p tick. */
+    bool available(Tick tick) const { return tick >= nextFree_; }
+
+    /** Sends @p flit with departure time @p depart_tick (must be
+     *  available). Delivery happens at depart + latency. */
+    void inject(Flit* flit, Tick depart_tick);
+
+    /** The receiving component (wiring introspection for tests). */
+    FlitReceiver* sink() const { return sink_; }
+    std::uint32_t sinkPort() const { return sinkPort_; }
+
+    /** Total flits ever injected (for utilization monitoring). */
+    std::uint64_t flitCount() const { return flitCount_; }
+
+    /** Utilization over [0, now]: busy cycles / elapsed cycles. */
+    double utilization() const;
+
+  private:
+    Tick latency_;
+    Tick period_;
+    Tick nextFree_ = 0;
+    std::uint64_t flitCount_ = 0;
+    FlitReceiver* sink_ = nullptr;
+    std::uint32_t sinkPort_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_NETWORK_CHANNEL_H_

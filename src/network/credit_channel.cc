@@ -1,0 +1,31 @@
+#include "network/credit_channel.h"
+
+namespace ss {
+
+CreditChannel::CreditChannel(Simulator* simulator, const std::string& name,
+                             const Component* parent, Tick latency)
+    : Component(simulator, name, parent), latency_(latency)
+{
+    checkUser(latency >= 1, "credit channel latency must be >= 1 tick");
+}
+
+void
+CreditChannel::setSink(CreditReceiver* sink, std::uint32_t sink_port)
+{
+    checkSim(sink_ == nullptr, "credit channel sink already set");
+    sink_ = sink;
+    sinkPort_ = sink_port;
+}
+
+void
+CreditChannel::inject(Credit credit, Tick depart_tick)
+{
+    checkSim(sink_ != nullptr, "credit channel has no sink");
+    checkSim(depart_tick >= now().tick,
+             "credit channel departure in the past");
+    ++creditCount_;
+    schedule(Time(depart_tick + latency_, eps::kDelivery),
+             [this, credit]() { sink_->receiveCredit(sinkPort_, credit); });
+}
+
+}  // namespace ss

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Credit channels: the reverse-flow wires that return buffer credits
+ * upstream. Credits experience the same propagation latency as the data
+ * channel they pair with — the round-trip time is exactly what makes
+ * realistic credit accounting matter (paper §VI-A, §VI-B). Credits are
+ * assumed to travel on sideband/piggyback capacity, so the credit channel
+ * imposes latency but no bandwidth limit.
+ */
+#ifndef SS_NETWORK_CREDIT_CHANNEL_H_
+#define SS_NETWORK_CREDIT_CHANNEL_H_
+
+#include <cstdint>
+
+#include "core/component.h"
+#include "types/credit.h"
+
+namespace ss {
+
+/** Anything that can accept credits on numbered ports. */
+class CreditReceiver {
+  public:
+    virtual ~CreditReceiver() = default;
+    /** Delivers @p credit for output port @p port. */
+    virtual void receiveCredit(std::uint32_t port, Credit credit) = 0;
+};
+
+/** A unidirectional credit return path. */
+class CreditChannel : public Component {
+  public:
+    /** @param latency delivery delay in ticks (>= 1) */
+    CreditChannel(Simulator* simulator, const std::string& name,
+                  const Component* parent, Tick latency);
+
+    void setSink(CreditReceiver* sink, std::uint32_t sink_port);
+
+    Tick latency() const { return latency_; }
+
+    /** Sends @p credit; it arrives latency ticks after @p depart_tick. */
+    void inject(Credit credit, Tick depart_tick);
+
+    std::uint64_t creditCount() const { return creditCount_; }
+
+  private:
+    Tick latency_;
+    std::uint64_t creditCount_ = 0;
+    CreditReceiver* sink_ = nullptr;
+    std::uint32_t sinkPort_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_NETWORK_CREDIT_CHANNEL_H_

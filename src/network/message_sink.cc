@@ -1,0 +1,4 @@
+#include "network/message_sink.h"
+
+// MessageSink is a pure interface; this translation unit anchors its
+// vtable-related diagnostics and keeps the build layout uniform.

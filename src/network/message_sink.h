@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The delivery-side boundary between network and workload (paper §IV,
+ * Figure 3): the network delivers completed messages to a MessageSink and
+ * knows nothing else about the workload.
+ */
+#ifndef SS_NETWORK_MESSAGE_SINK_H_
+#define SS_NETWORK_MESSAGE_SINK_H_
+
+#include "types/message.h"
+
+namespace ss {
+
+/** Receives fully reassembled messages at a destination endpoint. */
+class MessageSink {
+  public:
+    virtual ~MessageSink() = default;
+
+    /** Called when every flit of every packet of @p message has arrived.
+     *  The message is destroyed after this call returns. */
+    virtual void messageDelivered(Message* message) = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_NETWORK_MESSAGE_SINK_H_

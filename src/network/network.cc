@@ -1,0 +1,216 @@
+#include "network/network.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+Network::Network(Simulator* simulator, const std::string& name,
+                 const Component* parent, const json::Value& settings)
+    : Component(simulator, name, parent),
+      settings_(settings),
+      numVcs_(static_cast<std::uint32_t>(
+          json::getUint(settings, "num_vcs", 1))),
+      channelPeriod_(json::getUint(settings, "clock_period", 1)),
+      channelLatency_(json::getUint(settings, "channel_latency", 1)),
+      terminalLatency_(json::getUint(settings, "terminal_latency", 1)),
+      routerSettings_(settings.has("router") ? settings.at("router")
+                                             : json::Value::object()),
+      interfaceSettings_(settings.has("interface")
+                             ? settings.at("interface")
+                             : json::Value::object()),
+      routingSettings_(settings.has("routing") ? settings.at("routing")
+                                               : json::Value::object())
+{
+    checkUser(numVcs_ > 0, "network needs at least 1 VC");
+    checkUser(channelPeriod_ > 0, "clock_period must be > 0");
+    checkUser(channelLatency_ > 0, "channel_latency must be > 0");
+    checkUser(terminalLatency_ > 0, "terminal_latency must be > 0");
+}
+
+Network::~Network() = default;
+
+std::uint32_t
+Network::numInterfaces() const
+{
+    return static_cast<std::uint32_t>(interfaces_.size());
+}
+
+std::uint32_t
+Network::numRouters() const
+{
+    return static_cast<std::uint32_t>(routers_.size());
+}
+
+Interface*
+Network::interface(std::uint32_t id) const
+{
+    checkSim(id < interfaces_.size(), "interface id out of range");
+    return interfaces_[id].get();
+}
+
+Router*
+Network::router(std::uint32_t id) const
+{
+    checkSim(id < routers_.size(), "router id out of range");
+    return routers_[id].get();
+}
+
+void
+Network::registerMessage(std::unique_ptr<Message> message)
+{
+    std::uint64_t id = message->id();
+    auto [it, inserted] = inFlight_.emplace(id, std::move(message));
+    (void)it;
+    checkSim(inserted, "duplicate in-flight message id ", id);
+}
+
+void
+Network::releaseMessage(std::uint64_t id)
+{
+    std::size_t erased = inFlight_.erase(id);
+    checkSim(erased == 1, "releasing unknown message id ", id);
+}
+
+void
+Network::setEjectMonitor(std::function<void(const Message*)> monitor)
+{
+    ejectMonitor_ = std::move(monitor);
+}
+
+void
+Network::countEjectedFlit(const Message* message)
+{
+    if (ejectMonitor_) {
+        ejectMonitor_(message);
+    }
+}
+
+std::vector<std::pair<std::string, double>>
+Network::channelUtilizations() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(channels_.size());
+    for (const auto& channel : channels_) {
+        out.emplace_back(channel->name(), channel->utilization());
+    }
+    return out;
+}
+
+Router*
+Network::makeRouter(const std::string& name, std::uint32_t id,
+                    std::uint32_t num_ports,
+                    RoutingAlgorithmFactoryFn routing_factory)
+{
+    std::string architecture =
+        json::getString(routerSettings_, "architecture", "input_queued");
+    Router* router = RouterFactory::instance().create(
+        architecture, simulator(), name, this, this, id, num_ports,
+        numVcs_, routerSettings_, std::move(routing_factory),
+        channelPeriod_);
+    routers_.emplace_back(router);
+    checkSim(router->id() == routers_.size() - 1,
+             "router ids must be assigned in construction order");
+    return router;
+}
+
+Interface*
+Network::makeInterface(std::uint32_t id)
+{
+    auto* iface =
+        new Interface(simulator(), strf("interface_", id), this, this, id,
+                      numVcs_, interfaceSettings_, channelPeriod_);
+    interfaces_.emplace_back(iface);
+    checkSim(iface->id() == interfaces_.size() - 1,
+             "interface ids must be assigned in construction order");
+    return iface;
+}
+
+void
+Network::linkRouters(Router* a, std::uint32_t port_a, Router* b,
+                     std::uint32_t port_b, Tick latency)
+{
+    auto* flit_ch = new Channel(
+        simulator(),
+        strf("ch_r", a->id(), "p", port_a, "_r", b->id(), "p", port_b),
+        this, latency, channelPeriod_);
+    channels_.emplace_back(flit_ch);
+    a->setOutputChannel(port_a, flit_ch);
+    b->setInputChannel(port_b, flit_ch);
+
+    auto* credit_ch = new CreditChannel(
+        simulator(),
+        strf("cr_r", b->id(), "p", port_b, "_r", a->id(), "p", port_a),
+        this, latency);
+    creditChannels_.emplace_back(credit_ch);
+    b->setCreditReturnChannel(port_b, credit_ch);
+    a->setCreditInputChannel(port_a, credit_ch);
+
+    a->setDownstreamCredits(port_a, b->inputBufferSize());
+}
+
+void
+Network::linkInterface(Interface* iface, Router* router,
+                       std::uint32_t router_port, Tick latency)
+{
+    // Interface -> router (injection direction).
+    auto* inj_ch = new Channel(
+        simulator(), strf("ch_i", iface->id(), "_r", router->id(), "p",
+                          router_port),
+        this, latency, channelPeriod_);
+    channels_.emplace_back(inj_ch);
+    iface->setOutputChannel(inj_ch);
+    router->setInputChannel(router_port, inj_ch);
+
+    auto* inj_credit = new CreditChannel(
+        simulator(), strf("cr_r", router->id(), "p", router_port, "_i",
+                          iface->id()),
+        this, latency);
+    creditChannels_.emplace_back(inj_credit);
+    router->setCreditReturnChannel(router_port, inj_credit);
+    iface->setCreditInputChannel(inj_credit);
+    iface->setInjectionCredits(router->inputBufferSize());
+
+    // Router -> interface (ejection direction).
+    auto* ej_ch = new Channel(
+        simulator(), strf("ch_r", router->id(), "p", router_port, "_i",
+                          iface->id()),
+        this, latency, channelPeriod_);
+    channels_.emplace_back(ej_ch);
+    router->setOutputChannel(router_port, ej_ch);
+    iface->setInputChannel(ej_ch);
+
+    auto* ej_credit = new CreditChannel(
+        simulator(), strf("cr_i", iface->id(), "_r", router->id(), "p",
+                          router_port),
+        this, latency);
+    creditChannels_.emplace_back(ej_credit);
+    iface->setCreditReturnChannel(ej_credit);
+    router->setCreditInputChannel(router_port, ej_credit);
+    router->setDownstreamCredits(router_port,
+                                 iface->ejectionBufferSize());
+}
+
+void
+Network::finalizeRouters()
+{
+    for (auto& router : routers_) {
+        router->finalize();
+    }
+}
+
+RoutingAlgorithmFactoryFn
+Network::standardRoutingFactory() const
+{
+    std::string algorithm =
+        json::getString(routingSettings_, "algorithm");
+    json::Value routing_settings = routingSettings_;
+    return [algorithm, routing_settings](Router* router,
+                                         std::uint32_t input_port) {
+        return RoutingAlgorithmFactory::instance().create(
+            algorithm, router->simulator(),
+            strf("routing_", input_port), router, router, input_port,
+            routing_settings);
+    };
+}
+
+}  // namespace ss

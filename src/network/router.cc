@@ -1,0 +1,208 @@
+#include "network/router.h"
+
+#include "json/settings.h"
+#include "network/network.h"
+
+namespace ss {
+
+Router::Router(Simulator* simulator, const std::string& name,
+               const Component* parent, Network* network, std::uint32_t id,
+               std::uint32_t num_ports, std::uint32_t num_vcs,
+               const json::Value& settings,
+               RoutingAlgorithmFactoryFn routing_factory,
+               Tick channel_period)
+    : Component(simulator, name, parent),
+      network_(network),
+      id_(id),
+      numPorts_(num_ports),
+      numVcs_(num_vcs),
+      inputBufferSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "input_buffer_size", 16))),
+      channelClock_(channel_period),
+      coreClock_([&]() {
+          std::uint64_t speedup = json::getUint(settings, "speedup", 1);
+          checkUser(speedup >= 1, "router speedup must be >= 1");
+          checkUser(channel_period % speedup == 0,
+                    "channel period (", channel_period,
+                    ") must be divisible by speedup (", speedup, ")");
+          return Clock(channel_period / speedup);
+      }())
+{
+    checkUser(num_ports > 0, "router needs ports");
+    checkUser(num_vcs > 0, "router needs VCs");
+    checkUser(inputBufferSize_ > 0, "input buffer size must be > 0");
+
+    inputChannels_.resize(numPorts_, nullptr);
+    outputChannels_.resize(numPorts_, nullptr);
+    creditReturnChannels_.resize(numPorts_, nullptr);
+    creditInputChannels_.resize(numPorts_, nullptr);
+    downstreamCredits_.resize(
+        static_cast<std::size_t>(numPorts_) * numVcs_, 0);
+    downstreamCapacity_.resize(
+        static_cast<std::size_t>(numPorts_) * numVcs_, 0);
+
+    json::Value sensor_settings = json::Value::object();
+    std::string sensor_type = "credit";
+    if (settings.isObject() && settings.has("congestion_sensor")) {
+        sensor_settings = settings.at("congestion_sensor");
+        sensor_type = json::getString(sensor_settings, "type", "credit");
+    }
+    sensor_.reset(CongestionSensorFactory::instance().create(
+        sensor_type, simulator, "sensor", this, numPorts_, numVcs_,
+        sensor_settings));
+
+    routingEngines_.resize(numPorts_);
+    for (std::uint32_t port = 0; port < numPorts_; ++port) {
+        routingEngines_[port].reset(routing_factory(this, port));
+        checkUser(routingEngines_[port] != nullptr,
+                  "routing factory returned null");
+    }
+}
+
+Router::~Router() = default;
+
+void
+Router::setInputChannel(std::uint32_t port, Channel* channel)
+{
+    checkSim(port < numPorts_, "input channel port out of range");
+    checkSim(inputChannels_[port] == nullptr,
+             "input channel already wired");
+    inputChannels_[port] = channel;
+    channel->setSink(this, port);
+}
+
+void
+Router::setOutputChannel(std::uint32_t port, Channel* channel)
+{
+    checkSim(port < numPorts_, "output channel port out of range");
+    checkSim(outputChannels_[port] == nullptr,
+             "output channel already wired");
+    outputChannels_[port] = channel;
+}
+
+void
+Router::setCreditReturnChannel(std::uint32_t port, CreditChannel* channel)
+{
+    checkSim(port < numPorts_, "credit return port out of range");
+    checkSim(creditReturnChannels_[port] == nullptr,
+             "credit return channel already wired");
+    creditReturnChannels_[port] = channel;
+}
+
+void
+Router::setCreditInputChannel(std::uint32_t port, CreditChannel* channel)
+{
+    checkSim(port < numPorts_, "credit input port out of range");
+    checkSim(creditInputChannels_[port] == nullptr,
+             "credit input channel already wired");
+    creditInputChannels_[port] = channel;
+    channel->setSink(this, port);
+}
+
+void
+Router::setDownstreamCredits(std::uint32_t port, std::uint32_t credits)
+{
+    checkSim(port < numPorts_, "downstream credit port out of range");
+    for (std::uint32_t vc = 0; vc < numVcs_; ++vc) {
+        downstreamCredits_[pv(port, vc)] = credits;
+        downstreamCapacity_[pv(port, vc)] = credits;
+        sensor_->initCapacity(port, vc, CreditPool::kDownstream, credits);
+    }
+}
+
+void
+Router::finalize()
+{
+}
+
+void
+Router::receiveCredit(std::uint32_t port, Credit credit)
+{
+    checkSim(port < numPorts_, "credit port out of range");
+    checkSim(credit.vc < numVcs_, "credit vc out of range");
+    std::size_t i = pv(port, credit.vc);
+    downstreamCredits_[i] += credit.count;
+    // Credits never exceed the declared buffer depth (§IV-D).
+    checkSim(downstreamCredits_[i] <= downstreamCapacity_[i],
+             "credit overflow on port ", port, " vc ", credit.vc, ": ",
+             downstreamCredits_[i], " > ", downstreamCapacity_[i]);
+    sensor_->creditEvent(port, credit.vc, CreditPool::kDownstream,
+                         -static_cast<std::int32_t>(credit.count));
+    activate();
+}
+
+std::uint32_t
+Router::credits(std::uint32_t port, std::uint32_t vc) const
+{
+    checkSim(port < numPorts_ && vc < numVcs_,
+             "credit query out of range");
+    return downstreamCredits_[pv(port, vc)];
+}
+
+RoutingAlgorithm*
+Router::routingEngine(std::uint32_t port) const
+{
+    checkSim(port < numPorts_, "routing engine port out of range");
+    return routingEngines_[port].get();
+}
+
+bool
+Router::outputWired(std::uint32_t port) const
+{
+    checkSim(port < numPorts_, "outputWired port out of range");
+    return outputChannels_[port] != nullptr;
+}
+
+Channel*
+Router::outputChannel(std::uint32_t port) const
+{
+    checkSim(port < numPorts_, "outputChannel port out of range");
+    return outputChannels_[port];
+}
+
+void
+Router::routeCheck(std::uint32_t input_port, std::uint32_t input_vc,
+                   Packet* packet,
+                   std::vector<RoutingAlgorithm::Option>* options)
+{
+    (void)input_vc;
+    options->clear();
+    RoutingAlgorithm* engine = routingEngines_[input_port].get();
+    engine->route(packet, input_vc, options);
+    // Error detection (§IV-D): the routing response must be non-empty,
+    // must target wired output ports, and must only use registered VCs.
+    checkSim(!options->empty(), fullName(),
+             ": routing produced no options for packet of message ",
+             packet->message()->id());
+    for (const auto& option : *options) {
+        checkSim(option.port < numPorts_, fullName(),
+                 ": routing targeted invalid port ", option.port);
+        checkSim(outputChannels_[option.port] != nullptr, fullName(),
+                 ": routing targeted unused output port ", option.port);
+        checkSim(option.vc < numVcs_, fullName(),
+                 ": routing targeted invalid VC ", option.vc);
+        checkSim(engine->vcAllowed(option.vc), fullName(),
+                 ": routing used unregistered VC ", option.vc);
+    }
+}
+
+void
+Router::takeCredit(std::uint32_t port, std::uint32_t vc)
+{
+    std::size_t i = pv(port, vc);
+    // Credits never go negative (§IV-D).
+    checkSim(downstreamCredits_[i] > 0,
+             "credit underflow on port ", port, " vc ", vc);
+    --downstreamCredits_[i];
+    sensor_->creditEvent(port, vc, CreditPool::kDownstream, +1);
+}
+
+void
+Router::returnCredit(std::uint32_t port, std::uint32_t vc)
+{
+    checkSim(creditReturnChannels_[port] != nullptr,
+             "no credit return channel on port ", port);
+    creditReturnChannels_[port]->inject(Credit{vc, 1}, now().tick);
+}
+
+}  // namespace ss

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Abstract router base (paper §IV-B, §IV-C).
+ *
+ * A router is not made for a specific topology or routing algorithm: the
+ * Network wires its ports to channels and hands it a factory for routing
+ * engines. Concrete microarchitectures (OQ, IQ, IOQ) subclass this.
+ *
+ * The base class owns the structures every microarchitecture shares:
+ * port/channel wiring, downstream credit accounting, the congestion
+ * sensor, and per-input-port routing engines.
+ */
+#ifndef SS_NETWORK_ROUTER_H_
+#define SS_NETWORK_ROUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "congestion/congestion_sensor.h"
+#include "core/clock.h"
+#include "core/component.h"
+#include "factory/factory.h"
+#include "json/json.h"
+#include "network/channel.h"
+#include "network/credit_channel.h"
+#include "network/routing_algorithm.h"
+#include "types/flit.h"
+
+namespace ss {
+
+class Network;
+
+/** Abstract base class of all router microarchitectures. */
+class Router : public Component,
+               public FlitReceiver,
+               public CreditReceiver {
+  public:
+    /**
+     * @param network    owning network
+     * @param id         router id within the network
+     * @param num_ports  radix
+     * @param num_vcs    virtual channels per port
+     * @param settings   the JSON "router" block
+     * @param routing_factory builds the routing engine per input port
+     * @param channel_period  tick period of attached channels
+     */
+    Router(Simulator* simulator, const std::string& name,
+           const Component* parent, Network* network, std::uint32_t id,
+           std::uint32_t num_ports, std::uint32_t num_vcs,
+           const json::Value& settings,
+           RoutingAlgorithmFactoryFn routing_factory, Tick channel_period);
+    ~Router() override;
+
+    Network* network() const { return network_; }
+    std::uint32_t id() const { return id_; }
+    std::uint32_t numPorts() const { return numPorts_; }
+    std::uint32_t numVcs() const { return numVcs_; }
+    std::uint32_t inputBufferSize() const { return inputBufferSize_; }
+
+    /** The router core clock (channel clock divided by "speedup"). */
+    const Clock& coreClock() const { return coreClock_; }
+    /** The clock of the attached channels. */
+    const Clock& channelClock() const { return channelClock_; }
+
+    /** Congestion estimator consulted by adaptive routing. */
+    CongestionSensor* sensor() const { return sensor_.get(); }
+
+    // ----- wiring (called by the Network during construction) -----
+    /** Incoming flit channel arriving at @p port (sink set here). */
+    void setInputChannel(std::uint32_t port, Channel* channel);
+    /** Outgoing flit channel departing from @p port. */
+    void setOutputChannel(std::uint32_t port, Channel* channel);
+    /** Credit channel this router uses to return input-buffer credits
+     *  upstream for @p port. */
+    void setCreditReturnChannel(std::uint32_t port, CreditChannel* channel);
+    /** Credit channel delivering downstream credits for output @p port
+     *  (sink set here). */
+    void setCreditInputChannel(std::uint32_t port, CreditChannel* channel);
+    /** Declares the downstream buffer depth per VC behind output
+     *  @p port, initializing the credit count. */
+    void setDownstreamCredits(std::uint32_t port, std::uint32_t credits);
+
+    /** Hook called after all wiring is done. */
+    virtual void finalize();
+
+    // ----- CreditReceiver -----
+    void receiveCredit(std::uint32_t port, Credit credit) override;
+
+    /** Current downstream credit count for (port, vc). */
+    std::uint32_t credits(std::uint32_t port, std::uint32_t vc) const;
+
+    /** The routing engine serving input @p port (tests and topology
+     *  validation walk routes through this). */
+    RoutingAlgorithm* routingEngine(std::uint32_t port) const;
+
+    /** True if output @p port is wired to a channel. */
+    bool outputWired(std::uint32_t port) const;
+
+    /** The channel wired to output @p port (nullptr if unwired). */
+    Channel* outputChannel(std::uint32_t port) const;
+
+  protected:
+    /** Microarchitecture hook: new work arrived; schedule the pipeline. */
+    virtual void activate() = 0;
+
+    /** Runs the routing engine for a head flit and validates the response
+     *  (§IV-D checks: options non-empty, ports/VCs in range and
+     *  registered). */
+    void routeCheck(std::uint32_t input_port, std::uint32_t input_vc,
+                    Packet* packet,
+                    std::vector<RoutingAlgorithm::Option>* options);
+
+    /** Consumes one downstream credit for (port, vc) and informs the
+     *  sensor that one more downstream slot is occupied. */
+    void takeCredit(std::uint32_t port, std::uint32_t vc);
+
+    /** Returns one credit upstream for input @p port / @p vc. */
+    void returnCredit(std::uint32_t port, std::uint32_t vc);
+
+    Network* network_;
+    std::uint32_t id_;
+    std::uint32_t numPorts_;
+    std::uint32_t numVcs_;
+    std::uint32_t inputBufferSize_;
+    Clock channelClock_;
+    Clock coreClock_;
+
+    std::vector<Channel*> inputChannels_;
+    std::vector<Channel*> outputChannels_;
+    std::vector<CreditChannel*> creditReturnChannels_;
+    std::vector<CreditChannel*> creditInputChannels_;
+    std::vector<std::uint32_t> downstreamCredits_;   // [port*numVcs+vc]
+    std::vector<std::uint32_t> downstreamCapacity_;  // [port*numVcs+vc]
+    std::unique_ptr<CongestionSensor> sensor_;
+    std::vector<std::unique_ptr<RoutingAlgorithm>> routingEngines_;
+
+    std::size_t
+    pv(std::uint32_t port, std::uint32_t vc) const
+    {
+        return static_cast<std::size_t>(port) * numVcs_ + vc;
+    }
+};
+
+/** Factory for router microarchitectures; keyed by the JSON setting
+ *  "architecture". */
+using RouterFactory =
+    Factory<Router, Simulator*, const std::string&, const Component*,
+            Network*, std::uint32_t, std::uint32_t, std::uint32_t,
+            const json::Value&, RoutingAlgorithmFactoryFn, Tick>;
+
+}  // namespace ss
+
+#endif  // SS_NETWORK_ROUTER_H_

@@ -1,0 +1,32 @@
+#include "network/routing_algorithm.h"
+
+#include "network/router.h"
+
+namespace ss {
+
+RoutingAlgorithm::RoutingAlgorithm(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent, Router* router,
+                                   std::uint32_t input_port)
+    : Component(simulator, name, parent),
+      router_(router),
+      inputPort_(input_port)
+{
+    allowedVcs_.resize(router->numVcs(), false);
+}
+
+bool
+RoutingAlgorithm::vcAllowed(std::uint32_t vc) const
+{
+    return vc < allowedVcs_.size() && allowedVcs_[vc];
+}
+
+void
+RoutingAlgorithm::registerVc(std::uint32_t vc)
+{
+    checkUser(vc < allowedVcs_.size(), "registerVc(", vc,
+              ") out of range for ", allowedVcs_.size(), " VCs");
+    allowedVcs_[vc] = true;
+}
+
+}  // namespace ss

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Routing algorithms (paper §IV-B).
+ *
+ * One RoutingAlgorithm instance exists per router input port, created
+ * through a factory function the Network hands to each Router it builds —
+ * this is how the topology (which owns the routing scheme) and the router
+ * microarchitecture (which owns the pipeline) stay independent.
+ *
+ * An algorithm registers the VCs it is allowed to emit; the router checks
+ * every response against that registration (error detection, §IV-D).
+ */
+#ifndef SS_NETWORK_ROUTING_ALGORITHM_H_
+#define SS_NETWORK_ROUTING_ALGORITHM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/component.h"
+#include "factory/factory.h"
+#include "json/json.h"
+#include "types/packet.h"
+
+namespace ss {
+
+class Router;
+
+/** Abstract per-input-port routing engine. */
+class RoutingAlgorithm : public Component {
+  public:
+    /** One admissible (output port, output VC) pair. */
+    struct Option {
+        std::uint32_t port;
+        std::uint32_t vc;
+    };
+
+    /** @param router     the router this engine lives in
+     *  @param input_port the input port it serves */
+    RoutingAlgorithm(Simulator* simulator, const std::string& name,
+                     const Component* parent, Router* router,
+                     std::uint32_t input_port);
+    ~RoutingAlgorithm() override = default;
+
+    Router* router() const { return router_; }
+    std::uint32_t inputPort() const { return inputPort_; }
+
+    /**
+     * Computes the admissible next hops for @p packet arriving on
+     * @p input_vc. Called once per packet per router, for the head flit.
+     * May consult the router's congestion sensor and may update the
+     * packet's routing state (phase, intermediate, VC class).
+     *
+     * @param options output; at least one option must be produced.
+     */
+    virtual void route(Packet* packet, std::uint32_t input_vc,
+                       std::vector<Option>* options) = 0;
+
+    /** True if this engine declared it may emit @p vc. */
+    bool vcAllowed(std::uint32_t vc) const;
+
+  protected:
+    /** Declares that route() may emit VC @p vc. */
+    void registerVc(std::uint32_t vc);
+
+    Router* router_;
+    std::uint32_t inputPort_;
+
+  private:
+    std::vector<bool> allowedVcs_;
+};
+
+/** Factory function handed from Network to Router: builds the routing
+ *  engine for one input port. */
+using RoutingAlgorithmFactoryFn =
+    std::function<RoutingAlgorithm*(Router* router,
+                                    std::uint32_t input_port)>;
+
+/** Global registry of routing algorithm models, keyed by name (e.g.
+ *  "torus_dimension_order"). Topologies look their configured algorithm
+ *  up here; users drop in new algorithms with SS_REGISTER. */
+using RoutingAlgorithmFactory =
+    Factory<RoutingAlgorithm, Simulator*, const std::string&,
+            const Component*, Router*, std::uint32_t, const json::Value&>;
+
+}  // namespace ss
+
+#endif  // SS_NETWORK_ROUTING_ALGORITHM_H_

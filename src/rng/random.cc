@@ -1,0 +1,98 @@
+#include "rng/random.h"
+
+#include <cmath>
+
+namespace ss {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t
+splitmix64(std::uint64_t* state)
+{
+    std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(std::uint64_t s)
+{
+    seed(s);
+}
+
+void
+Random::seed(std::uint64_t s)
+{
+    for (auto& word : state_) {
+        word = splitmix64(&s);
+    }
+}
+
+std::uint64_t
+Random::nextU64()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Random::nextU64(std::uint64_t bound)
+{
+    // Lemire-style rejection sampling.
+    if (bound == 0) {
+        return 0;
+    }
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint64_t r = nextU64();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+std::int64_t
+Random::nextI64(std::int64_t lo, std::int64_t hi)
+{
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextU64(span));
+}
+
+double
+Random::nextF64()
+{
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::nextBool(double p)
+{
+    return nextF64() < p;
+}
+
+double
+Random::nextExponential(double mean)
+{
+    double u;
+    do {
+        u = nextF64();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+}  // namespace ss

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * xoshiro256** seeded via splitmix64. Every stochastic component owns its
+ * own Random instance seeded from (root seed, component name), so results
+ * are reproducible and independent of event-queue tie-breaking or the
+ * number of components in unrelated parts of the system.
+ */
+#ifndef SS_RNG_RANDOM_H_
+#define SS_RNG_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ss {
+
+/** A small, fast, deterministic PRNG (xoshiro256**). */
+class Random {
+  public:
+    explicit Random(std::uint64_t seed = 0);
+
+    /** Reseeds the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Returns a uniformly distributed 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Returns a uniform integer in [0, bound). @p bound must be > 0.
+     *  Uses rejection sampling — no modulo bias. */
+    std::uint64_t nextU64(std::uint64_t bound);
+
+    /** Returns a uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextI64(std::int64_t lo, std::int64_t hi);
+
+    /** Returns a uniform double in [0, 1). */
+    double nextF64();
+
+    /** Returns true with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+    /** Returns an exponentially distributed double with mean @p mean. */
+    double nextExponential(double mean);
+
+    /** Fisher-Yates shuffles @p values in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>* values)
+    {
+        if (values->empty()) {
+            return;
+        }
+        for (std::size_t i = values->size() - 1; i > 0; --i) {
+            std::size_t j = nextU64(i + 1);
+            std::swap((*values)[i], (*values)[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace ss
+
+#endif  // SS_RNG_RANDOM_H_

@@ -1,0 +1,362 @@
+#include "router/input_queued_router.h"
+
+#include "json/settings.h"
+#include "network/network.h"
+#include "types/message.h"
+
+namespace ss {
+
+FlowControl
+flowControlFromString(const std::string& name)
+{
+    if (name == "flit_buffer") {
+        return FlowControl::kFlitBuffer;
+    }
+    if (name == "packet_buffer") {
+        return FlowControl::kPacketBuffer;
+    }
+    if (name == "winner_take_all") {
+        return FlowControl::kWinnerTakeAll;
+    }
+    fatal("unknown flow control '", name,
+          "' (want flit_buffer|packet_buffer|winner_take_all)");
+}
+
+const char*
+flowControlName(FlowControl fc)
+{
+    switch (fc) {
+      case FlowControl::kFlitBuffer: return "flit_buffer";
+      case FlowControl::kPacketBuffer: return "packet_buffer";
+      case FlowControl::kWinnerTakeAll: return "winner_take_all";
+    }
+    return "?";
+}
+
+InputQueuedRouter::InputQueuedRouter(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    Network* network, std::uint32_t id, std::uint32_t num_ports,
+    std::uint32_t num_vcs, const json::Value& settings,
+    RoutingAlgorithmFactoryFn routing_factory, Tick channel_period)
+    : Router(simulator, name, parent, network, id, num_ports, num_vcs,
+             settings, std::move(routing_factory), channel_period),
+      pipelineEvent_(this, &InputQueuedRouter::processPipeline)
+{
+    json::Value scheduler = settings.isObject() &&
+                                    settings.has("crossbar_scheduler")
+                                ? settings.at("crossbar_scheduler")
+                                : json::Value::object();
+    flowControl_ = flowControlFromString(
+        json::getString(scheduler, "flow_control", "flit_buffer"));
+    crossbarLatency_ = json::getUint(settings, "crossbar_latency", 1);
+    checkUser(crossbarLatency_ >= 1, "crossbar_latency must be >= 1 tick");
+
+    std::string sa_arbiter =
+        scheduler.isObject() && scheduler.has("arbiter")
+            ? json::getString(scheduler.at("arbiter"), "type",
+                              "round_robin")
+            : "round_robin";
+    json::Value arbiter_settings =
+        scheduler.isObject() && scheduler.has("arbiter")
+            ? scheduler.at("arbiter")
+            : json::Value::object();
+
+    // The VC allocator's arbiter policy is configurable too (age-based
+    // allocation is part of what fixes parking-lot unfairness).
+    json::Value vca = settings.isObject() && settings.has("vc_allocator")
+                          ? settings.at("vc_allocator")
+                          : json::Value::object();
+    std::string vca_arbiter =
+        vca.isObject() && vca.has("arbiter")
+            ? json::getString(vca.at("arbiter"), "type", "round_robin")
+            : "round_robin";
+    json::Value vca_arbiter_settings =
+        vca.isObject() && vca.has("arbiter") ? vca.at("arbiter")
+                                             : json::Value::object();
+
+    std::size_t slots = static_cast<std::size_t>(numPorts_) * numVcs_;
+    inputs_.resize(slots);
+    outputVcAllocated_.resize(slots, false);
+    outputState_.resize(numPorts_);
+    std::uint32_t clients = numPorts_ * numVcs_;
+    for (std::uint32_t o = 0; o < numPorts_; ++o) {
+        saArbiters_.push_back(ArbiterFactory::instance().createUnique(
+            sa_arbiter, simulator, strf("sa_arb_", o), this, clients,
+            arbiter_settings));
+        for (std::uint32_t v = 0; v < numVcs_; ++v) {
+            vcaArbiters_.push_back(
+                ArbiterFactory::instance().createUnique(
+                    vca_arbiter, simulator, strf("vca_arb_", o, "_", v),
+                    this, clients, vca_arbiter_settings));
+        }
+    }
+}
+
+InputQueuedRouter::~InputQueuedRouter() = default;
+
+std::size_t
+InputQueuedRouter::inputOccupancy(std::uint32_t port,
+                                  std::uint32_t vc) const
+{
+    return inputs_[iv(port, vc)].buffer.size();
+}
+
+void
+InputQueuedRouter::receiveFlit(std::uint32_t port, Flit* flit)
+{
+    checkSim(port < numPorts_, "flit port out of range");
+    std::uint32_t vc = flit->vc();
+    checkSim(vc < numVcs_, "flit vc out of range");
+    InputVc& state = inputs_[iv(port, vc)];
+    // Buffers never silently overrun (§IV-D).
+    checkSim(state.buffer.size() < inputBufferSize_,
+             fullName(), ": input buffer overrun on port ", port, " vc ",
+             vc);
+    state.buffer.push_back(flit);
+    if (flit->isHead()) {
+        flit->packet()->incrementHopCount();
+    }
+    activate();
+}
+
+void
+InputQueuedRouter::activate()
+{
+    if (pipelineEvent_.pending()) {
+        return;
+    }
+    Time when(coreClock().nextEdge(now().tick), eps::kPipeline);
+    if (when <= now()) {
+        when = Time(coreClock().futureEdge(now().tick, 1), eps::kPipeline);
+    }
+    schedule(&pipelineEvent_, when);
+}
+
+void
+InputQueuedRouter::processPipeline()
+{
+    runVcAllocation();
+    runSwitchAllocation();
+
+    // Conservative rescheduling: any buffered flit means work may remain.
+    for (const auto& state : inputs_) {
+        if (!state.buffer.empty()) {
+            activate();
+            break;
+        }
+    }
+}
+
+void
+InputQueuedRouter::runVcAllocation()
+{
+    // Stage 1: each unallocated input VC with a routed head picks its
+    // preferred available option (most free space, random tiebreak).
+    std::vector<std::uint32_t> preferred(inputs_.size(), Arbiter::kNone);
+    bool any = false;
+    for (std::uint32_t port = 0; port < numPorts_; ++port) {
+        for (std::uint32_t vc = 0; vc < numVcs_; ++vc) {
+            InputVc& state = inputs_[iv(port, vc)];
+            if (state.allocated || state.buffer.empty()) {
+                continue;
+            }
+            Flit* front = state.buffer.front();
+            // A body flit can never surface in an unallocated input VC:
+            // its head acquired the output VC and only the tail releases
+            // it (§IV-D ordering invariant).
+            checkSim(front->isHead(),
+                     "body flit at head of unallocated input VC");
+            if (!state.routed) {
+                routeCheck(port, vc, front->packet(), &state.options);
+                state.routed = true;
+            }
+            // Pick among unallocated options.
+            std::uint32_t best = Arbiter::kNone;
+            std::uint32_t best_space = 0;
+            std::uint32_t ties = 0;
+            for (std::uint32_t i = 0; i < state.options.size(); ++i) {
+                const auto& opt = state.options[i];
+                if (outputVcAllocated_[iv(opt.port, opt.vc)]) {
+                    continue;
+                }
+                std::uint32_t space = spaceCount(opt.port, opt.vc);
+                if (best == Arbiter::kNone || space > best_space) {
+                    best = i;
+                    best_space = space;
+                    ties = 1;
+                } else if (space == best_space) {
+                    // Reservoir-sample among equals for fairness.
+                    ++ties;
+                    if (random().nextU64(ties) == 0) {
+                        best = i;
+                    }
+                }
+            }
+            if (best != Arbiter::kNone) {
+                preferred[iv(port, vc)] = best;
+                any = true;
+            }
+        }
+    }
+    if (!any) {
+        return;
+    }
+    // Stage 2: each (output port, VC) resource grants one requester;
+    // metadata is the packet's injection tick for age-based policies.
+    for (std::uint32_t idx = 0; idx < inputs_.size(); ++idx) {
+        if (preferred[idx] == Arbiter::kNone) {
+            continue;
+        }
+        const auto& opt = inputs_[idx].options[preferred[idx]];
+        vcaArbiters_[iv(opt.port, opt.vc)]->request(
+            static_cast<std::uint32_t>(idx),
+            inputs_[idx].buffer.front()->packet()->injectTime().tick);
+    }
+    for (std::uint32_t o = 0; o < numPorts_; ++o) {
+        for (std::uint32_t v = 0; v < numVcs_; ++v) {
+            Arbiter* arb = vcaArbiters_[iv(o, v)].get();
+            std::uint32_t winner = arb->arbitrate();
+            if (winner == Arbiter::kNone) {
+                continue;
+            }
+            arb->grant(winner);
+            InputVc& state = inputs_[winner];
+            state.allocated = true;
+            state.outPort = o;
+            state.outVc = v;
+            outputVcAllocated_[iv(o, v)] = true;
+        }
+    }
+}
+
+bool
+InputQueuedRouter::fcEligible(std::uint32_t input_index,
+                              const InputVc& state) const
+{
+    const OutputPortState& out = outputState_[state.outPort];
+    Flit* front = state.buffer.front();
+    switch (flowControl_) {
+      case FlowControl::kFlitBuffer:
+        return hasSpace(state.outPort, state.outVc);
+      case FlowControl::kPacketBuffer:
+        if (out.locked) {
+            // Only the holder may stream; space was reserved up front.
+            return out.holder == input_index;
+        }
+        // A new packet needs room for all of it before starting.
+        return front->isHead() &&
+               spaceCount(state.outPort, state.outVc) >=
+                   front->packet()->numFlits();
+      case FlowControl::kWinnerTakeAll:
+        if (out.locked && out.holder != input_index) {
+            return false;  // lock released before SA when holder stalls
+        }
+        return hasSpace(state.outPort, state.outVc);
+    }
+    return false;
+}
+
+void
+InputQueuedRouter::runSwitchAllocation()
+{
+    Tick tick = now().tick;
+    for (std::uint32_t o = 0; o < numPorts_; ++o) {
+        OutputPortState& out = outputState_[o];
+        if (!outputReady(o, tick)) {
+            continue;
+        }
+        // WTA: a stalled lock holder releases the output (paper §VI-C).
+        if (flowControl_ == FlowControl::kWinnerTakeAll && out.locked) {
+            const InputVc& holder = inputs_[out.holder];
+            bool holder_can_go = !holder.buffer.empty() &&
+                                 hasSpace(holder.outPort, holder.outVc);
+            if (!holder_can_go) {
+                out.locked = false;
+            }
+        }
+        // Gather eligible competitors.
+        Arbiter* arb = saArbiters_[o].get();
+        bool any = false;
+        for (std::uint32_t idx = 0; idx < inputs_.size(); ++idx) {
+            const InputVc& state = inputs_[idx];
+            if (!state.allocated || state.outPort != o ||
+                state.buffer.empty()) {
+                continue;
+            }
+            if (!fcEligible(static_cast<std::uint32_t>(idx), state)) {
+                continue;
+            }
+            // Age metadata: injection tick of the packet (older wins
+            // under the "age" arbiter policy).
+            arb->request(static_cast<std::uint32_t>(idx),
+                         state.buffer.front()->packet()
+                             ->injectTime().tick);
+            any = true;
+        }
+        if (!any) {
+            continue;
+        }
+        std::uint32_t winner = arb->arbitrate();
+        if (winner == Arbiter::kNone) {
+            continue;
+        }
+        arb->grant(winner);
+
+        InputVc& state = inputs_[winner];
+        Flit* flit = state.buffer.front();
+        state.buffer.pop_front();
+        std::uint32_t in_port = winner / numVcs_;
+        std::uint32_t in_vc = winner % numVcs_;
+
+        dispatch(flit, state.outPort, state.outVc, tick);
+        returnCredit(in_port, in_vc);
+
+        // Lock bookkeeping for PB/WTA.
+        if (flowControl_ != FlowControl::kFlitBuffer) {
+            out.locked = true;
+            out.holder = winner;
+        }
+        if (flit->isTail()) {
+            if (flowControl_ != FlowControl::kFlitBuffer) {
+                out.locked = false;
+            }
+            // Release the output VC and prepare for the next packet.
+            outputVcAllocated_[iv(state.outPort, state.outVc)] = false;
+            state.allocated = false;
+            state.routed = false;
+            state.options.clear();
+        }
+    }
+}
+
+bool
+InputQueuedRouter::hasSpace(std::uint32_t port, std::uint32_t vc) const
+{
+    return credits(port, vc) > 0;
+}
+
+std::uint32_t
+InputQueuedRouter::spaceCount(std::uint32_t port, std::uint32_t vc) const
+{
+    return credits(port, vc);
+}
+
+bool
+InputQueuedRouter::outputReady(std::uint32_t port, Tick tick) const
+{
+    return outputChannels_[port] != nullptr &&
+           outputChannels_[port]->available(tick + crossbarLatency_);
+}
+
+void
+InputQueuedRouter::dispatch(Flit* flit, std::uint32_t port,
+                            std::uint32_t vc, Tick tick)
+{
+    flit->setVc(vc);
+    takeCredit(port, vc);
+    outputChannels_[port]->inject(flit, tick + crossbarLatency_);
+}
+
+SS_REGISTER(RouterFactory, "input_queued", InputQueuedRouter);
+
+}  // namespace ss

@@ -1,0 +1,237 @@
+#include "router/output_queued_router.h"
+
+#include "json/settings.h"
+#include "network/network.h"
+#include "types/message.h"
+
+namespace ss {
+
+OutputQueuedRouter::OutputQueuedRouter(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    Network* network, std::uint32_t id, std::uint32_t num_ports,
+    std::uint32_t num_vcs, const json::Value& settings,
+    RoutingAlgorithmFactoryFn routing_factory, Tick channel_period)
+    : Router(simulator, name, parent, network, id, num_ports, num_vcs,
+             settings, std::move(routing_factory), channel_period),
+      outputBufferSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "output_buffer_size", 0))),
+      coreLatency_(json::getUint(settings, "core_latency", 1)),
+      pipelineEvent_(this, &OutputQueuedRouter::processInputs)
+{
+    checkUser(coreLatency_ >= 1, "core_latency must be >= 1 tick");
+    std::size_t slots = static_cast<std::size_t>(numPorts_) * numVcs_;
+    inputs_.resize(slots);
+    outputLocked_.resize(slots, false);
+    outputHolder_.resize(slots, 0);
+    outputQueues_.resize(slots);
+    reserved_.resize(slots, 0);
+    outputEvents_.resize(numPorts_);
+    for (std::uint32_t o = 0; o < numPorts_; ++o) {
+        outputEvents_[o].bind(this, &OutputQueuedRouter::processOutput, o);
+        drainArbiters_.push_back(ArbiterFactory::instance().createUnique(
+            "round_robin", simulator, strf("drain_arb_", o), this,
+            numVcs_, json::Value::object()));
+    }
+}
+
+OutputQueuedRouter::~OutputQueuedRouter() = default;
+
+std::size_t
+OutputQueuedRouter::inputOccupancy(std::uint32_t port,
+                                   std::uint32_t vc) const
+{
+    return inputs_[iv(port, vc)].buffer.size();
+}
+
+std::size_t
+OutputQueuedRouter::outputOccupancy(std::uint32_t port,
+                                    std::uint32_t vc) const
+{
+    return outputQueues_[iv(port, vc)].size() + reserved_[iv(port, vc)];
+}
+
+void
+OutputQueuedRouter::finalize()
+{
+    Router::finalize();
+    for (std::uint32_t o = 0; o < numPorts_; ++o) {
+        for (std::uint32_t v = 0; v < numVcs_; ++v) {
+            sensor()->initCapacity(o, v, CreditPool::kOutputQueue,
+                                   outputBufferSize_);
+        }
+    }
+}
+
+bool
+OutputQueuedRouter::outputHasSpace(std::uint32_t port,
+                                   std::uint32_t vc) const
+{
+    return outputBufferSize_ == 0 ||
+           outputOccupancy(port, vc) < outputBufferSize_;
+}
+
+void
+OutputQueuedRouter::receiveFlit(std::uint32_t port, Flit* flit)
+{
+    checkSim(port < numPorts_, "flit port out of range");
+    std::uint32_t vc = flit->vc();
+    checkSim(vc < numVcs_, "flit vc out of range");
+    InputVc& state = inputs_[iv(port, vc)];
+    checkSim(state.buffer.size() < inputBufferSize_,
+             fullName(), ": input buffer overrun on port ", port, " vc ",
+             vc);
+    state.buffer.push_back(flit);
+    if (flit->isHead()) {
+        flit->packet()->incrementHopCount();
+    }
+    activate();
+}
+
+void
+OutputQueuedRouter::activate()
+{
+    if (pipelineEvent_.pending()) {
+        return;
+    }
+    Time when(coreClock().nextEdge(now().tick), eps::kPipeline);
+    if (when <= now()) {
+        when = Time(coreClock().futureEdge(now().tick, 1), eps::kPipeline);
+    }
+    schedule(&pipelineEvent_, when);
+}
+
+void
+OutputQueuedRouter::processInputs()
+{
+    Tick tick = now().tick;
+    bool pending = false;
+    std::vector<RoutingAlgorithm::Option> options;
+
+    // All inputs transfer independently — no scheduling conflicts.
+    for (std::uint32_t port = 0; port < numPorts_; ++port) {
+        for (std::uint32_t vc = 0; vc < numVcs_; ++vc) {
+            InputVc& state = inputs_[iv(port, vc)];
+            if (state.buffer.empty()) {
+                continue;
+            }
+            Flit* flit = state.buffer.front();
+            if (!state.routed) {
+                checkSim(flit->isHead(),
+                         "body flit at head of unrouted input VC");
+                routeCheck(port, vc, flit->packet(), &options);
+                // The packet commits to the option with the most visible
+                // free space among the returned set; adaptive algorithms
+                // already collapsed the port choice using the sensor.
+                std::uint32_t best = 0;
+                double best_status = sensor()->status(options[0].port,
+                                                      options[0].vc);
+                for (std::uint32_t i = 1; i < options.size(); ++i) {
+                    double s =
+                        sensor()->status(options[i].port, options[i].vc);
+                    if (s < best_status) {
+                        best = i;
+                        best_status = s;
+                    }
+                }
+                state.outPort = options[best].port;
+                state.outVc = options[best].vc;
+                state.routed = true;
+            }
+            std::size_t oi = iv(state.outPort, state.outVc);
+            std::uint32_t self = static_cast<std::uint32_t>(
+                iv(port, vc));
+            // Wormhole contiguity: only the packet holding the output VC
+            // may feed it (locked from its head until its tail).
+            if (outputLocked_[oi] && outputHolder_[oi] != self) {
+                pending = true;
+                continue;
+            }
+            if (!outputHasSpace(state.outPort, state.outVc)) {
+                pending = true;  // stall; retry when the queue drains
+                continue;
+            }
+            if (flit->isHead() && !flit->isTail()) {
+                outputLocked_[oi] = true;
+                outputHolder_[oi] = self;
+            }
+            if (flit->isTail()) {
+                outputLocked_[oi] = false;
+            }
+            // Reserve the slot now; the sensor sees the decision
+            // immediately (its own latency delays visibility).
+            ++reserved_[oi];
+            sensor()->creditEvent(state.outPort, state.outVc,
+                                  CreditPool::kOutputQueue, +1);
+            state.buffer.pop_front();
+            returnCredit(port, vc);
+            if (flit->isTail()) {
+                state.routed = false;
+            }
+            flit->setVc(state.outVc);
+            std::uint32_t out_port = state.outPort;
+            schedule(Time(tick + coreLatency_, eps::kDelivery),
+                     [this, flit, out_port, oi]() {
+                         --reserved_[oi];
+                         outputQueues_[oi].push_back(flit);
+                         activateOutput(out_port);
+                     });
+            if (!state.buffer.empty()) {
+                pending = true;
+            }
+        }
+    }
+    if (pending) {
+        activate();
+    }
+}
+
+void
+OutputQueuedRouter::activateOutput(std::uint32_t port)
+{
+    if (outputEvents_[port].pending()) {
+        return;
+    }
+    Time when(channelClock().nextEdge(now().tick), eps::kPipeline);
+    if (when <= now()) {
+        when = Time(channelClock().futureEdge(now().tick, 1),
+                    eps::kPipeline);
+    }
+    schedule(&outputEvents_[port], when);
+}
+
+void
+OutputQueuedRouter::processOutput(std::uint32_t port)
+{
+    Tick tick = now().tick;
+    if (outputChannels_[port]->available(tick)) {
+        Arbiter* arb = drainArbiters_[port].get();
+        for (std::uint32_t v = 0; v < numVcs_; ++v) {
+            const auto& q = outputQueues_[iv(port, v)];
+            if (!q.empty() && credits(port, v) > 0) {
+                arb->request(v, q.front()->packet()->injectTime().tick);
+            }
+        }
+        std::uint32_t vc = arb->arbitrate();
+        if (vc != Arbiter::kNone) {
+            arb->grant(vc);
+            std::size_t i = iv(port, vc);
+            Flit* flit = outputQueues_[i].front();
+            outputQueues_[i].pop_front();
+            sensor()->creditEvent(port, vc, CreditPool::kOutputQueue, -1);
+            takeCredit(port, vc);
+            outputChannels_[port]->inject(flit, tick);
+            // Freed space may unblock stalled inputs.
+            activate();
+        }
+    }
+    for (std::uint32_t v = 0; v < numVcs_; ++v) {
+        if (!outputQueues_[iv(port, v)].empty()) {
+            activateOutput(port);
+            break;
+        }
+    }
+}
+
+SS_REGISTER(RouterFactory, "output_queued", OutputQueuedRouter);
+
+}  // namespace ss

@@ -1,0 +1,150 @@
+#include "routing/dragonfly_routing.h"
+
+#include "network/router.h"
+
+namespace ss {
+
+DragonflyRoutingBase::DragonflyRoutingBase(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    Router* router, std::uint32_t input_port, const json::Value& settings,
+    std::uint32_t required_vcs)
+    : RoutingAlgorithm(simulator, name, parent, router, input_port)
+{
+    (void)settings;
+    dragonfly_ = dynamic_cast<const Dragonfly*>(router->network());
+    checkUser(dragonfly_ != nullptr,
+              "dragonfly routing requires a dragonfly network");
+    checkUser(router->numVcs() >= required_vcs,
+              "this dragonfly routing needs >= ", required_vcs,
+              " VCs, got ", router->numVcs());
+    for (std::uint32_t vc = 0; vc < router->numVcs(); ++vc) {
+        registerVc(vc);
+    }
+}
+
+void
+DragonflyRoutingBase::ejectOptions(const Packet* packet,
+                                   std::vector<Option>* options) const
+{
+    std::uint32_t port =
+        packet->message()->destination() % dragonfly_->concentration();
+    for (std::uint32_t vc = 0; vc < router_->numVcs(); ++vc) {
+        options->push_back(Option{port, vc});
+    }
+}
+
+void
+DragonflyRoutingBase::minimalHopToward(Packet* packet, std::uint32_t dest,
+                                       std::vector<Option>* options) const
+{
+    std::uint32_t here = router_->id();
+    std::uint32_t g = dragonfly_->groupOf(here);
+    std::uint32_t r = dragonfly_->routerInGroup(here);
+    std::uint32_t dest_router = dragonfly_->routerOfTerminal(dest);
+    std::uint32_t gd = dragonfly_->groupOf(dest_router);
+    std::uint32_t rd = dragonfly_->routerInGroup(dest_router);
+    std::uint32_t vc = packet->routingPhase();
+
+    if (g == gd) {
+        checkSim(r != rd, "minimalHopToward at destination router");
+        options->push_back(Option{dragonfly_->localPort(r, rd), vc});
+        return;
+    }
+    std::uint32_t ra, pa;
+    dragonfly_->globalAttachment(g, gd, &ra, &pa);
+    if (r == ra) {
+        // Take the global channel; subsequent hops escalate the VC class
+        // (the classic dragonfly deadlock-avoidance discipline).
+        options->push_back(Option{pa, vc});
+        packet->setRoutingPhase(vc + 1);
+        return;
+    }
+    options->push_back(Option{dragonfly_->localPort(r, ra), vc});
+}
+
+DragonflyMinimalRouting::DragonflyMinimalRouting(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    Router* router, std::uint32_t input_port, const json::Value& settings)
+    : DragonflyRoutingBase(simulator, name, parent, router, input_port,
+                           settings, 2)
+{
+}
+
+void
+DragonflyMinimalRouting::route(Packet* packet, std::uint32_t input_vc,
+                               std::vector<Option>* options)
+{
+    (void)input_vc;
+    std::uint32_t dest = packet->message()->destination();
+    if (dragonfly_->routerOfTerminal(dest) == router_->id()) {
+        ejectOptions(packet, options);
+        return;
+    }
+    minimalHopToward(packet, dest, options);
+}
+
+DragonflyValiantRouting::DragonflyValiantRouting(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    Router* router, std::uint32_t input_port, const json::Value& settings)
+    : DragonflyRoutingBase(simulator, name, parent, router, input_port,
+                           settings, 3)
+{
+}
+
+void
+DragonflyValiantRouting::route(Packet* packet, std::uint32_t input_vc,
+                               std::vector<Option>* options)
+{
+    (void)input_vc;
+    std::uint32_t here = router_->id();
+    std::uint32_t dest = packet->message()->destination();
+    std::uint32_t g = dragonfly_->groupOf(here);
+    std::uint32_t gd =
+        dragonfly_->groupOf(dragonfly_->routerOfTerminal(dest));
+
+    if (packet->intermediate() == Packet::kNoIntermediate) {
+        // Choose the random intermediate group at the source router.
+        auto gi = static_cast<std::uint32_t>(
+            random().nextU64(dragonfly_->numGroups()));
+        if (gi == g || gi == gd) {
+            gi = gd;  // degenerate to minimal
+        } else {
+            packet->setTookNonminimal();
+        }
+        packet->setIntermediate(gi);
+    }
+
+    if (dragonfly_->routerOfTerminal(dest) == here) {
+        ejectOptions(packet, options);
+        return;
+    }
+    auto gi = static_cast<std::uint32_t>(packet->intermediate());
+    if (gi != gd && g != gi) {
+        // Phase A: head for any router of the intermediate group — the
+        // attachment router for that group serves as the concrete target.
+        std::uint32_t ra, pa;
+        std::uint32_t vc = packet->routingPhase();
+        dragonfly_->globalAttachment(g, gi, &ra, &pa);
+        std::uint32_t r = dragonfly_->routerInGroup(here);
+        if (r == ra) {
+            options->push_back(Option{pa, vc});
+            packet->setRoutingPhase(vc + 1);
+        } else {
+            options->push_back(
+                Option{dragonfly_->localPort(r, ra), vc});
+        }
+        return;
+    }
+    if (g == gi && gi != gd) {
+        // Arrived in the intermediate group; from here on it's minimal.
+        packet->setIntermediate(gd);
+    }
+    minimalHopToward(packet, dest, options);
+}
+
+SS_REGISTER(RoutingAlgorithmFactory, "dragonfly_minimal",
+            DragonflyMinimalRouting);
+SS_REGISTER(RoutingAlgorithmFactory, "dragonfly_valiant",
+            DragonflyValiantRouting);
+
+}  // namespace ss

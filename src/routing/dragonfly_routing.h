@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dragonfly routing (Kim et al., ISCA'08).
+ *
+ * "dragonfly_minimal": local -> global -> local. Deadlock freedom by VC
+ * escalation: the VC number equals the number of global hops already
+ * taken (0 before the global channel, 1 after), so channel dependencies
+ * only ever climb VC classes. Requires >= 2 VCs.
+ *
+ * "dragonfly_valiant": routes to a random intermediate group first, then
+ * minimally — the non-minimal baseline for adversarial traffic. The VC
+ * again counts global hops (0, 1, 2), so >= 3 VCs are required.
+ */
+#ifndef SS_ROUTING_DRAGONFLY_ROUTING_H_
+#define SS_ROUTING_DRAGONFLY_ROUTING_H_
+
+#include "network/routing_algorithm.h"
+#include "topology/dragonfly.h"
+
+namespace ss {
+
+/** Shared dragonfly plumbing; the VC class is the packet's routingPhase
+ *  (= global hops taken). */
+class DragonflyRoutingBase : public RoutingAlgorithm {
+  public:
+    DragonflyRoutingBase(Simulator* simulator, const std::string& name,
+                         const Component* parent, Router* router,
+                         std::uint32_t input_port,
+                         const json::Value& settings,
+                         std::uint32_t required_vcs);
+
+  protected:
+    /** Emits the minimal hop toward terminal @p dest, updating the
+     *  packet's global-hop phase when it takes a global channel. */
+    void minimalHopToward(Packet* packet, std::uint32_t dest,
+                          std::vector<Option>* options) const;
+
+    void ejectOptions(const Packet* packet,
+                      std::vector<Option>* options) const;
+
+    const Dragonfly* dragonfly_;
+};
+
+/** Minimal l-g-l routing. */
+class DragonflyMinimalRouting : public DragonflyRoutingBase {
+  public:
+    DragonflyMinimalRouting(Simulator* simulator, const std::string& name,
+                            const Component* parent, Router* router,
+                            std::uint32_t input_port,
+                            const json::Value& settings);
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+};
+
+/** Valiant routing through a random intermediate group. */
+class DragonflyValiantRouting : public DragonflyRoutingBase {
+  public:
+    DragonflyValiantRouting(Simulator* simulator, const std::string& name,
+                            const Component* parent, Router* router,
+                            std::uint32_t input_port,
+                            const json::Value& settings);
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+};
+
+}  // namespace ss
+
+#endif  // SS_ROUTING_DRAGONFLY_ROUTING_H_

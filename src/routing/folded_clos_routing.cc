@@ -1,0 +1,102 @@
+#include "routing/folded_clos_routing.h"
+
+#include "network/router.h"
+
+namespace ss {
+
+FoldedClosRoutingBase::FoldedClosRoutingBase(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    Router* router, std::uint32_t input_port, const json::Value& settings)
+    : RoutingAlgorithm(simulator, name, parent, router, input_port)
+{
+    (void)settings;
+    clos_ = dynamic_cast<const FoldedClos*>(router->network());
+    checkUser(clos_ != nullptr,
+              "folded Clos routing requires a folded_clos network");
+    level_ = clos_->levelOf(router->id());
+    position_ = clos_->positionOf(router->id());
+    isRoot_ = level_ == clos_->levels() - 1;
+    for (std::uint32_t vc = 0; vc < router->numVcs(); ++vc) {
+        registerVc(vc);
+    }
+}
+
+void
+FoldedClosRoutingBase::allVcs(std::uint32_t port,
+                              std::vector<Option>* options) const
+{
+    for (std::uint32_t vc = 0; vc < router_->numVcs(); ++vc) {
+        options->push_back(Option{port, vc});
+    }
+}
+
+void
+FoldedClosRoutingBase::route(Packet* packet, std::uint32_t input_vc,
+                             std::vector<Option>* options)
+{
+    (void)input_vc;
+    std::uint32_t dest = packet->message()->destination();
+    std::uint32_t k = clos_->halfRadix();
+
+    if (isRoot_) {
+        // Any root covers everything. Descend: down port = destination
+        // digit of the root level. Merged roots expose two logical halves
+        // that both work — emit both and let the router/VCA pick by
+        // congestion.
+        std::uint32_t d = clos_->digit(dest, level_);
+        allVcs(d, options);
+        if (clos_->mergedRoots()) {
+            allVcs(k + d, options);
+        }
+        return;
+    }
+    if (clos_->covers(level_, position_, dest)) {
+        // Down (or eject at the leaf): port = destination digit at this
+        // level.
+        allVcs(clos_->digit(dest, level_), options);
+        return;
+    }
+    allVcs(selectUpPort(packet), options);
+}
+
+std::uint32_t
+FoldedClosDeterministicRouting::selectUpPort(const Packet* packet)
+{
+    // Spread by destination digits: packets to the same destination take
+    // the same path (d-mod-k style), different destinations spread.
+    std::uint32_t dest = packet->message()->destination();
+    return clos_->halfRadix() + clos_->digit(dest, level_);
+}
+
+std::uint32_t
+FoldedClosAdaptiveRouting::selectUpPort(const Packet* packet)
+{
+    (void)packet;
+    // Least congested up port per the (possibly stale) sensor; random
+    // tiebreak so simultaneous deciders don't all pile onto port k.
+    std::uint32_t k = clos_->halfRadix();
+    std::uint32_t best = k;
+    double best_status = router_->sensor()->status(k, 0);
+    std::uint32_t ties = 1;
+    for (std::uint32_t j = 1; j < k; ++j) {
+        double s = router_->sensor()->status(k + j, 0);
+        if (s < best_status) {
+            best = k + j;
+            best_status = s;
+            ties = 1;
+        } else if (s == best_status) {
+            ++ties;
+            if (random().nextU64(ties) == 0) {
+                best = k + j;
+            }
+        }
+    }
+    return best;
+}
+
+SS_REGISTER(RoutingAlgorithmFactory, "folded_clos_deterministic",
+            FoldedClosDeterministicRouting);
+SS_REGISTER(RoutingAlgorithmFactory, "folded_clos_adaptive",
+            FoldedClosAdaptiveRouting);
+
+}  // namespace ss

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Folded-Clos routing (paper §IV-B, §VI-A).
+ *
+ * Both algorithms route up until the current router covers the
+ * destination's subtree, then take the deterministic down path (down port
+ * at level m = digit m of the destination terminal).
+ *
+ * "folded_clos_deterministic": the up port is a fixed function of the
+ * destination (destination-digit spreading), giving d-mod-k style static
+ * load balancing.
+ *
+ * "folded_clos_adaptive": adaptive uprouting — each router picks the
+ * least congested up port as sensed by its congestion sensor (Kim et
+ * al.'s adaptive routing in high-radix Clos networks). This is the
+ * algorithm of the paper's latent congestion detection case study.
+ */
+#ifndef SS_ROUTING_FOLDED_CLOS_ROUTING_H_
+#define SS_ROUTING_FOLDED_CLOS_ROUTING_H_
+
+#include "network/routing_algorithm.h"
+#include "topology/folded_clos.h"
+
+namespace ss {
+
+/** Shared up/down plumbing. */
+class FoldedClosRoutingBase : public RoutingAlgorithm {
+  public:
+    FoldedClosRoutingBase(Simulator* simulator, const std::string& name,
+                          const Component* parent, Router* router,
+                          std::uint32_t input_port,
+                          const json::Value& settings);
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+
+  protected:
+    /** Picks the up port for a packet that must keep climbing. */
+    virtual std::uint32_t selectUpPort(const Packet* packet) = 0;
+
+    /** All VC options on @p port. */
+    void allVcs(std::uint32_t port, std::vector<Option>* options) const;
+
+    const FoldedClos* clos_;
+    std::uint32_t level_;
+    std::uint32_t position_;
+    bool isRoot_;
+};
+
+/** Destination-spread deterministic uprouting. */
+class FoldedClosDeterministicRouting : public FoldedClosRoutingBase {
+  public:
+    using FoldedClosRoutingBase::FoldedClosRoutingBase;
+
+  protected:
+    std::uint32_t selectUpPort(const Packet* packet) override;
+};
+
+/** Least-congested adaptive uprouting. */
+class FoldedClosAdaptiveRouting : public FoldedClosRoutingBase {
+  public:
+    using FoldedClosRoutingBase::FoldedClosRoutingBase;
+
+  protected:
+    std::uint32_t selectUpPort(const Packet* packet) override;
+};
+
+}  // namespace ss
+
+#endif  // SS_ROUTING_FOLDED_CLOS_ROUTING_H_

@@ -1,0 +1,163 @@
+#include "routing/hyperx_routing.h"
+
+#include "json/settings.h"
+#include "network/router.h"
+
+namespace ss {
+
+HyperXRoutingBase::HyperXRoutingBase(Simulator* simulator,
+                                     const std::string& name,
+                                     const Component* parent,
+                                     Router* router,
+                                     std::uint32_t input_port,
+                                     const json::Value& settings)
+    : RoutingAlgorithm(simulator, name, parent, router, input_port)
+{
+    (void)settings;
+    hyperx_ = dynamic_cast<const HyperX*>(router->network());
+    checkUser(hyperx_ != nullptr,
+              "hyperx routing requires a hyperx network");
+    checkUser(router->numVcs() >= 2 && router->numVcs() % 2 == 0,
+              "hyperx routing needs an even number of VCs >= 2, got ",
+              router->numVcs());
+    halfVcs_ = router->numVcs() / 2;
+    for (std::uint32_t vc = 0; vc < router->numVcs(); ++vc) {
+        registerVc(vc);
+    }
+}
+
+std::uint32_t
+HyperXRoutingBase::firstDim(std::uint32_t target_router) const
+{
+    std::uint32_t here = router_->id();
+    for (std::uint32_t d = 0; d < hyperx_->numDimensions(); ++d) {
+        if (hyperx_->coordinate(here, d) !=
+            hyperx_->coordinate(target_router, d)) {
+            return d;
+        }
+    }
+    return hyperx_->numDimensions();
+}
+
+std::uint32_t
+HyperXRoutingBase::dorPort(std::uint32_t target_router) const
+{
+    std::uint32_t d = firstDim(target_router);
+    checkSim(d < hyperx_->numDimensions(), "dorPort at target router");
+    return hyperx_->portToward(router_->id(), d,
+                               hyperx_->coordinate(target_router, d));
+}
+
+void
+HyperXRoutingBase::emitDorHop(std::uint32_t target_router, bool phase1,
+                              std::vector<Option>* options) const
+{
+    std::uint32_t port = dorPort(target_router);
+    std::uint32_t base = phase1 ? halfVcs_ : 0;
+    for (std::uint32_t vc = base; vc < base + halfVcs_; ++vc) {
+        options->push_back(Option{port, vc});
+    }
+}
+
+void
+HyperXRoutingBase::ejectOptions(const Packet* packet,
+                                std::vector<Option>* options) const
+{
+    std::uint32_t port =
+        packet->message()->destination() % hyperx_->concentration();
+    for (std::uint32_t vc = 0; vc < router_->numVcs(); ++vc) {
+        options->push_back(Option{port, vc});
+    }
+}
+
+void
+HyperXDimensionOrderRouting::route(Packet* packet, std::uint32_t input_vc,
+                                   std::vector<Option>* options)
+{
+    (void)input_vc;
+    std::uint32_t dest_router = hyperx_->routerOfTerminal(
+        packet->message()->destination());
+    if (dest_router == router_->id()) {
+        ejectOptions(packet, options);
+        return;
+    }
+    emitDorHop(dest_router, /*phase1=*/true, options);
+}
+
+HyperXUgalRouting::HyperXUgalRouting(Simulator* simulator,
+                                     const std::string& name,
+                                     const Component* parent,
+                                     Router* router,
+                                     std::uint32_t input_port,
+                                     const json::Value& settings)
+    : HyperXRoutingBase(simulator, name, parent, router, input_port,
+                        settings),
+      threshold_(json::getFloat(settings, "ugal_threshold", 0.0))
+{
+}
+
+void
+HyperXUgalRouting::route(Packet* packet, std::uint32_t input_vc,
+                         std::vector<Option>* options)
+{
+    (void)input_vc;
+    std::uint32_t here = router_->id();
+    std::uint32_t dest_router = hyperx_->routerOfTerminal(
+        packet->message()->destination());
+
+    if (packet->routingPhase() == kPhaseUndecided) {
+        if (dest_router == here) {
+            ejectOptions(packet, options);
+            return;
+        }
+        // The UGAL decision, made once at the source router.
+        std::uint32_t inter = static_cast<std::uint32_t>(
+            random().nextU64(hyperx_->numRouterNodes()));
+        bool go_minimal = true;
+        if (inter != here && inter != dest_router) {
+            std::uint32_t h_min = hyperx_->routerDistance(here,
+                                                          dest_router);
+            std::uint32_t h_non =
+                hyperx_->routerDistance(here, inter) +
+                hyperx_->routerDistance(inter, dest_router);
+            // Congestion of the first hop of each candidate path, as the
+            // sensor reports it under the configured accounting style.
+            std::uint32_t min_port = dorPort(dest_router);
+            std::uint32_t non_port = dorPort(inter);
+            double q_min =
+                router_->sensor()->status(min_port, halfVcs_);
+            double q_non = router_->sensor()->status(non_port, 0);
+            go_minimal =
+                q_min * h_min <= q_non * h_non + threshold_;
+        }
+        if (go_minimal) {
+            packet->setRoutingPhase(kPhaseToDestination);
+        } else {
+            packet->setRoutingPhase(kPhaseToIntermediate);
+            packet->setIntermediate(inter);
+            packet->setTookNonminimal();
+        }
+    }
+
+    if (packet->routingPhase() == kPhaseToIntermediate) {
+        auto inter = static_cast<std::uint32_t>(packet->intermediate());
+        if (inter != here) {
+            emitDorHop(inter, /*phase1=*/false, options);
+            return;
+        }
+        packet->setRoutingPhase(kPhaseToDestination);
+    }
+
+    // Phase: to destination.
+    if (dest_router == here) {
+        ejectOptions(packet, options);
+        return;
+    }
+    emitDorHop(dest_router, /*phase1=*/true, options);
+}
+
+SS_REGISTER(RoutingAlgorithmFactory, "hyperx_dimension_order",
+            HyperXDimensionOrderRouting);
+SS_REGISTER(RoutingAlgorithmFactory, "hyperx_ugal", HyperXUgalRouting);
+
+}  // namespace ss

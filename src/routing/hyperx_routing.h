@@ -1,0 +1,93 @@
+/**
+ * @file
+ * HyperX / flattened butterfly routing.
+ *
+ * "hyperx_dimension_order": minimal routing — one direct hop per
+ * differing dimension, in fixed dimension order. Deadlock-free with one
+ * VC (intra-dimension channels are single hops; dimension order makes
+ * the channel dependency graph acyclic). Uses the upper VC half so that
+ * minimal and UGAL-phase-1 traffic share buffers.
+ *
+ * "hyperx_ugal": Universal Globally-Adaptive Load-balanced routing
+ * (Singh '05), the algorithm of the paper's §VI-B credit accounting case
+ * study. At the source router each packet compares the congestion of its
+ * minimal path against a random Valiant intermediate:
+ *     q_min * h_min <= q_nonmin * h_nonmin + threshold  -> minimal
+ * Non-minimal packets route to the intermediate in VC phase 0 (lower VC
+ * half) and on to the destination in phase 1 (upper half), which keeps
+ * the channel dependency graph acyclic. Congestion q comes from the
+ * router's congestion sensor, so the sensor's accounting style (per
+ * port / per VC x output / downstream / both) directly shapes UGAL's
+ * decisions — exactly the experiment of Figure 10.
+ *
+ * Settings: "ugal_threshold": float bias toward minimal (default 0).
+ */
+#ifndef SS_ROUTING_HYPERX_ROUTING_H_
+#define SS_ROUTING_HYPERX_ROUTING_H_
+
+#include "network/routing_algorithm.h"
+#include "topology/hyperx.h"
+
+namespace ss {
+
+/** Shared HyperX plumbing. */
+class HyperXRoutingBase : public RoutingAlgorithm {
+  public:
+    HyperXRoutingBase(Simulator* simulator, const std::string& name,
+                      const Component* parent, Router* router,
+                      std::uint32_t input_port,
+                      const json::Value& settings);
+
+  protected:
+    /** UGAL routing phases stored in Packet::routingPhase. */
+    static constexpr std::uint32_t kPhaseUndecided = 0;
+    static constexpr std::uint32_t kPhaseToIntermediate = 1;
+    static constexpr std::uint32_t kPhaseToDestination = 2;
+
+    /** First differing dimension toward @p target router, or
+     *  numDimensions() if equal. */
+    std::uint32_t firstDim(std::uint32_t target_router) const;
+
+    /** Port of the DOR hop toward @p target router in its first
+     *  differing dimension. */
+    std::uint32_t dorPort(std::uint32_t target_router) const;
+
+    /** Emits the DOR hop toward @p target on the VC half of @p phase1. */
+    void emitDorHop(std::uint32_t target_router, bool phase1,
+                    std::vector<Option>* options) const;
+
+    /** Emits ejection options. */
+    void ejectOptions(const Packet* packet,
+                      std::vector<Option>* options) const;
+
+    const HyperX* hyperx_;
+    std::uint32_t halfVcs_;
+};
+
+/** Minimal dimension-order routing. */
+class HyperXDimensionOrderRouting : public HyperXRoutingBase {
+  public:
+    using HyperXRoutingBase::HyperXRoutingBase;
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+};
+
+/** UGAL adaptive routing. */
+class HyperXUgalRouting : public HyperXRoutingBase {
+  public:
+    HyperXUgalRouting(Simulator* simulator, const std::string& name,
+                      const Component* parent, Router* router,
+                      std::uint32_t input_port,
+                      const json::Value& settings);
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+
+  private:
+    double threshold_;
+};
+
+}  // namespace ss
+
+#endif  // SS_ROUTING_HYPERX_ROUTING_H_

@@ -1,0 +1,47 @@
+#include "routing/parking_lot_routing.h"
+
+#include "network/router.h"
+
+namespace ss {
+
+ParkingLotRouting::ParkingLotRouting(Simulator* simulator,
+                                     const std::string& name,
+                                     const Component* parent,
+                                     Router* router,
+                                     std::uint32_t input_port,
+                                     const json::Value& settings)
+    : RoutingAlgorithm(simulator, name, parent, router, input_port)
+{
+    (void)settings;
+    chain_ = dynamic_cast<const ParkingLot*>(router->network());
+    checkUser(chain_ != nullptr,
+              "parking lot routing requires a parking_lot network");
+    for (std::uint32_t vc = 0; vc < router->numVcs(); ++vc) {
+        registerVc(vc);
+    }
+}
+
+void
+ParkingLotRouting::route(Packet* packet, std::uint32_t input_vc,
+                         std::vector<Option>* options)
+{
+    (void)input_vc;
+    std::uint32_t dest = packet->message()->destination();
+    std::uint32_t dest_router = chain_->routerOfTerminal(dest);
+    std::uint32_t here = router_->id();
+    std::uint32_t port;
+    if (dest_router == here) {
+        port = dest % chain_->concentration();
+    } else if (dest_router < here) {
+        port = chain_->downPort();
+    } else {
+        port = chain_->upPort();
+    }
+    for (std::uint32_t vc = 0; vc < router_->numVcs(); ++vc) {
+        options->push_back(Option{port, vc});
+    }
+}
+
+SS_REGISTER(RoutingAlgorithmFactory, "parking_lot", ParkingLotRouting);
+
+}  // namespace ss

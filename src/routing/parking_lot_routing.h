@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parking-lot chain routing: walk toward the destination router, then
+ * eject. All VCs are admissible (the chain is acyclic).
+ */
+#ifndef SS_ROUTING_PARKING_LOT_ROUTING_H_
+#define SS_ROUTING_PARKING_LOT_ROUTING_H_
+
+#include "network/routing_algorithm.h"
+#include "topology/parking_lot.h"
+
+namespace ss {
+
+/** Deterministic chain routing. */
+class ParkingLotRouting : public RoutingAlgorithm {
+  public:
+    ParkingLotRouting(Simulator* simulator, const std::string& name,
+                      const Component* parent, Router* router,
+                      std::uint32_t input_port,
+                      const json::Value& settings);
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+
+  private:
+    const ParkingLot* chain_;
+};
+
+}  // namespace ss
+
+#endif  // SS_ROUTING_PARKING_LOT_ROUTING_H_

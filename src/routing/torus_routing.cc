@@ -1,0 +1,214 @@
+#include "routing/torus_routing.h"
+
+#include "network/router.h"
+
+namespace ss {
+
+TorusRoutingBase::TorusRoutingBase(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent, Router* router,
+                                   std::uint32_t input_port,
+                                   const json::Value& settings)
+    : RoutingAlgorithm(simulator, name, parent, router, input_port)
+{
+    (void)settings;
+    torus_ = dynamic_cast<const Torus*>(router->network());
+    checkUser(torus_ != nullptr, "torus routing requires a torus network");
+    checkUser(router->numVcs() >= 2 && router->numVcs() % 2 == 0,
+              "torus routing needs an even number of VCs >= 2, got ",
+              router->numVcs());
+    halfVcs_ = router->numVcs() / 2;
+    for (std::uint32_t vc = 0; vc < router->numVcs(); ++vc) {
+        registerVc(vc);
+    }
+}
+
+void
+TorusRoutingBase::ejectOptions(const Packet* packet,
+                               std::vector<Option>* options) const
+{
+    std::uint32_t port =
+        packet->message()->destination() % torus_->concentration();
+    for (std::uint32_t vc = 0; vc < router_->numVcs(); ++vc) {
+        options->push_back(Option{port, vc});
+    }
+}
+
+std::vector<std::uint32_t>
+TorusRoutingBase::productiveDimsToward(std::uint32_t target_router) const
+{
+    std::uint32_t here = router_->id();
+    std::vector<std::uint32_t> dims;
+    for (std::uint32_t d = 0; d < torus_->numDimensions(); ++d) {
+        if (torus_->coordinate(here, d) !=
+            torus_->coordinate(target_router, d)) {
+            dims.push_back(d);
+        }
+    }
+    return dims;
+}
+
+std::vector<std::uint32_t>
+TorusRoutingBase::productiveDims(const Packet* packet) const
+{
+    return productiveDimsToward(
+        torus_->routerOfTerminal(packet->message()->destination()));
+}
+
+TorusRoutingBase::Hop
+TorusRoutingBase::computeHopToward(const Packet* packet, std::uint32_t dim,
+                                   std::uint32_t target_router) const
+{
+    std::uint32_t here = router_->id();
+    std::uint32_t a = torus_->coordinate(here, dim);
+    std::uint32_t b = torus_->coordinate(target_router, dim);
+    auto k = static_cast<std::uint32_t>(torus_->widths()[dim]);
+
+    // Minimal direction; ties go positive.
+    std::uint32_t forward = (b + k - a) % k;
+    std::uint32_t backward = (a + k - b) % k;
+    bool positive = forward <= backward;
+    std::uint32_t port =
+        positive ? torus_->portPlus(dim) : torus_->portMinus(dim);
+
+    // Dateline discipline: crossing the wrap edge of this ring moves the
+    // packet into VC class 1 for the rest of this ring. The crossed-state
+    // is a per-dimension bit in the packet's vcClass field.
+    bool wraps = positive ? (a == k - 1) : (a == 0);
+    bool class1 = wraps || ((packet->vcClass() >> dim) & 1u);
+    return Hop{port, wraps, class1};
+}
+
+TorusRoutingBase::Hop
+TorusRoutingBase::computeHop(const Packet* packet, std::uint32_t dim) const
+{
+    return computeHopToward(
+        packet, dim,
+        torus_->routerOfTerminal(packet->message()->destination()));
+}
+
+void
+TorusRoutingBase::emitHop(Packet* packet, std::uint32_t dim,
+                          const Hop& hop, std::uint32_t base_vc,
+                          std::uint32_t span,
+                          std::vector<Option>* options) const
+{
+    if (hop.wraps) {
+        packet->setVcClass(packet->vcClass() | (1u << dim));
+    }
+    std::uint32_t half = span / 2;
+    std::uint32_t base = base_vc + (hop.class1 ? half : 0);
+    for (std::uint32_t vc = base; vc < base + half; ++vc) {
+        options->push_back(Option{hop.port, vc});
+    }
+}
+
+void
+TorusDimensionOrderRouting::route(Packet* packet, std::uint32_t input_vc,
+                                  std::vector<Option>* options)
+{
+    (void)input_vc;
+    auto dims = productiveDims(packet);
+    if (dims.empty()) {
+        ejectOptions(packet, options);
+        return;
+    }
+    Hop hop = computeHop(packet, dims.front());
+    emitHop(packet, dims.front(), hop, 0, router_->numVcs(), options);
+}
+
+void
+TorusMinimalAdaptiveRouting::route(Packet* packet, std::uint32_t input_vc,
+                                   std::vector<Option>* options)
+{
+    (void)input_vc;
+    auto dims = productiveDims(packet);
+    if (dims.empty()) {
+        ejectOptions(packet, options);
+        return;
+    }
+    // Adaptively pick the least congested productive dimension. Every hop
+    // still advances minimally under the dateline discipline, and each
+    // ring's wrap is crossed at most once, so the VC-class argument for
+    // deadlock freedom continues to hold per dimension.
+    std::uint32_t best_dim = dims.front();
+    Hop best_hop = computeHop(packet, dims.front());
+    double best = router_->sensor()->status(
+        best_hop.port, best_hop.class1 ? halfVcs_ : 0);
+    for (std::size_t i = 1; i < dims.size(); ++i) {
+        Hop hop = computeHop(packet, dims[i]);
+        double s = router_->sensor()->status(
+            hop.port, hop.class1 ? halfVcs_ : 0);
+        if (s < best) {
+            best = s;
+            best_dim = dims[i];
+            best_hop = hop;
+        }
+    }
+    emitHop(packet, best_dim, best_hop, 0, router_->numVcs(), options);
+}
+
+TorusValiantRouting::TorusValiantRouting(Simulator* simulator,
+                                         const std::string& name,
+                                         const Component* parent,
+                                         Router* router,
+                                         std::uint32_t input_port,
+                                         const json::Value& settings)
+    : TorusRoutingBase(simulator, name, parent, router, input_port,
+                       settings)
+{
+    checkUser(router->numVcs() % 4 == 0,
+              "torus Valiant routing needs VCs divisible by 4 (two "
+              "phases x two dateline classes), got ", router->numVcs());
+}
+
+void
+TorusValiantRouting::route(Packet* packet, std::uint32_t input_vc,
+                           std::vector<Option>* options)
+{
+    (void)input_vc;
+    if (packet->routingPhase() == kPhaseUndecided) {
+        // Choose the random intermediate router at the source.
+        auto inter = static_cast<std::uint32_t>(
+            random().nextU64(torus_->numRouters()));
+        packet->setIntermediate(inter);
+        packet->setRoutingPhase(kPhaseToIntermediate);
+        if (inter != router_->id() &&
+            inter != torus_->routerOfTerminal(
+                         packet->message()->destination())) {
+            packet->setTookNonminimal();
+        }
+    }
+
+    std::uint32_t span = router_->numVcs() / 2;
+    if (packet->routingPhase() == kPhaseToIntermediate) {
+        auto inter = static_cast<std::uint32_t>(packet->intermediate());
+        auto dims = productiveDimsToward(inter);
+        if (!dims.empty()) {
+            Hop hop = computeHopToward(packet, dims.front(), inter);
+            emitHop(packet, dims.front(), hop, 0, span, options);
+            return;
+        }
+        // Arrived at the intermediate: fresh dateline state for the
+        // second journey.
+        packet->setRoutingPhase(kPhaseToDestination);
+        packet->setVcClass(0);
+    }
+
+    auto dims = productiveDims(packet);
+    if (dims.empty()) {
+        ejectOptions(packet, options);
+        return;
+    }
+    Hop hop = computeHop(packet, dims.front());
+    emitHop(packet, dims.front(), hop, span, span, options);
+}
+
+SS_REGISTER(RoutingAlgorithmFactory, "torus_dimension_order",
+            TorusDimensionOrderRouting);
+SS_REGISTER(RoutingAlgorithmFactory, "torus_minimal_adaptive",
+            TorusMinimalAdaptiveRouting);
+SS_REGISTER(RoutingAlgorithmFactory, "torus_valiant",
+            TorusValiantRouting);
+
+}  // namespace ss

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Torus routing algorithms.
+ *
+ * "torus_dimension_order": deterministic dimension order routing with the
+ * classic dateline virtual-channel scheme for deadlock freedom: within
+ * each ring packets start in VC class 0 and switch to class 1 on the
+ * wrap-around channel. The crossed-dateline state is kept per dimension
+ * as a bitmask in the packet (minimal paths cross each ring's wrap at
+ * most once). With V VCs, class 0 maps to VCs [0, V/2) and class 1 to
+ * [V/2, V) — V must be even and >= 2 (paper §VI-C uses 2, 4, 8).
+ *
+ * "torus_minimal_adaptive": chooses adaptively among the productive
+ * dimensions by congestion status, keeping the dateline discipline per
+ * dimension.
+ *
+ * "torus_valiant": oblivious two-phase load balancing — DOR to a random
+ * intermediate router, then DOR to the destination. Each phase has its
+ * own VC half (with the dateline split inside), so V must be divisible
+ * by 4.
+ */
+#ifndef SS_ROUTING_TORUS_ROUTING_H_
+#define SS_ROUTING_TORUS_ROUTING_H_
+
+#include "network/routing_algorithm.h"
+#include "topology/torus.h"
+
+namespace ss {
+
+/** Shared plumbing for torus algorithms. */
+class TorusRoutingBase : public RoutingAlgorithm {
+  public:
+    TorusRoutingBase(Simulator* simulator, const std::string& name,
+                     const Component* parent, Router* router,
+                     std::uint32_t input_port,
+                     const json::Value& settings);
+
+  protected:
+    /** A computed (not yet committed) hop in one dimension. */
+    struct Hop {
+        std::uint32_t port;
+        bool wraps;   ///< the hop crosses the ring's dateline
+        bool class1;  ///< VC class after accounting for the crossing
+    };
+
+    /** Emits ejection options (all VCs on the destination's terminal
+     *  port). */
+    void ejectOptions(const Packet* packet,
+                      std::vector<Option>* options) const;
+
+    /** Dimensions where this router's coordinate differs from
+     *  @p target_router's. */
+    std::vector<std::uint32_t> productiveDimsToward(
+        std::uint32_t target_router) const;
+    /** Same toward the packet's final destination. */
+    std::vector<std::uint32_t> productiveDims(const Packet* packet) const;
+
+    /** Computes the minimal-direction hop in @p dim toward
+     *  @p target_router (no state change). */
+    Hop computeHopToward(const Packet* packet, std::uint32_t dim,
+                         std::uint32_t target_router) const;
+    /** Same toward the packet's final destination. */
+    Hop computeHop(const Packet* packet, std::uint32_t dim) const;
+
+    /**
+     * Commits @p hop: updates the packet's dateline state and emits the
+     * VC options of the hop's class within [base_vc, base_vc + span).
+     * The class split divides the span in half.
+     */
+    void emitHop(Packet* packet, std::uint32_t dim, const Hop& hop,
+                 std::uint32_t base_vc, std::uint32_t span,
+                 std::vector<Option>* options) const;
+
+    const Torus* torus_;
+    std::uint32_t halfVcs_;
+};
+
+/** Deterministic dimension-order routing. */
+class TorusDimensionOrderRouting : public TorusRoutingBase {
+  public:
+    using TorusRoutingBase::TorusRoutingBase;
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+};
+
+/** Minimal adaptive routing over productive dimensions. */
+class TorusMinimalAdaptiveRouting : public TorusRoutingBase {
+  public:
+    using TorusRoutingBase::TorusRoutingBase;
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+};
+
+/** Oblivious Valiant routing via a random intermediate router. */
+class TorusValiantRouting : public TorusRoutingBase {
+  public:
+    TorusValiantRouting(Simulator* simulator, const std::string& name,
+                        const Component* parent, Router* router,
+                        std::uint32_t input_port,
+                        const json::Value& settings);
+
+    void route(Packet* packet, std::uint32_t input_vc,
+               std::vector<Option>* options) override;
+
+  private:
+    static constexpr std::uint32_t kPhaseUndecided = 0;
+    static constexpr std::uint32_t kPhaseToIntermediate = 1;
+    static constexpr std::uint32_t kPhaseToDestination = 2;
+};
+
+}  // namespace ss
+
+#endif  // SS_ROUTING_TORUS_ROUTING_H_

@@ -1,0 +1,62 @@
+#include "sim/builder.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+Simulation::Simulation(const json::Value& config) : config_(config)
+{
+    json::Value sim_settings = config.has("simulator")
+                                   ? config.at("simulator")
+                                   : json::Value::object();
+    std::uint64_t seed = json::getUint(sim_settings, "seed", 12345);
+    simulator_ = std::make_unique<Simulator>(seed);
+    simulator_->setTimeLimit(
+        json::getUint(sim_settings, "time_limit", 0));
+    simulator_->setDebug(json::getBool(sim_settings, "debug", false));
+
+    checkUser(config.has("network"), "config needs a 'network' block");
+    const json::Value& network_settings = config.at("network");
+    std::string topology =
+        json::getString(network_settings, "topology");
+    network_.reset(NetworkFactory::instance().create(
+        topology, simulator_.get(), "network", nullptr,
+        network_settings));
+
+    checkUser(config.has("workload"), "config needs a 'workload' block");
+    workload_ = std::make_unique<Workload>(
+        simulator_.get(), "workload", nullptr, network_.get(),
+        config.at("workload"));
+}
+
+Simulation::~Simulation() = default;
+
+RunResult
+Simulation::run()
+{
+    simulator_->run();
+
+    RunResult result;
+    result.saturated = simulator_->timeLimitHit();
+    result.eventsExecuted = simulator_->eventsExecuted();
+    result.endTick = simulator_->now().tick;
+    result.sampler = workload_->sampler();
+    result.rateMonitor = workload_->rateMonitor();
+    if (result.rateMonitor.running()) {
+        // Saturated run: close the measurement window at the time limit
+        // so accepted throughput is still meaningful.
+        result.rateMonitor.stop(result.endTick);
+    }
+    result.numTerminals = network_->numInterfaces();
+    result.channelPeriod = network_->channelPeriod();
+    return result;
+}
+
+RunResult
+runSimulation(const json::Value& config)
+{
+    Simulation simulation(config);
+    return simulation.run();
+}
+
+}  // namespace ss

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level simulation assembly (paper §III-C): builds a complete
+ * simulation from a JSON configuration and runs it to completion.
+ *
+ * Configuration layout:
+ *   {
+ *     "simulator": { "seed": 1, "time_limit": 0, "info": false },
+ *     "network":   { "topology": "...", ...,
+ *                    "router": {...}, "interface": {...},
+ *                    "routing": {...} },
+ *     "workload":  { "applications": [ {...} ], "message_log": "..." }
+ *   }
+ */
+#ifndef SS_SIM_BUILDER_H_
+#define SS_SIM_BUILDER_H_
+
+#include <memory>
+
+#include "core/simulator.h"
+#include "json/json.h"
+#include "network/network.h"
+#include "sim/run_result.h"
+#include "workload/workload.h"
+
+namespace ss {
+
+/** A fully constructed simulation, ready to run. */
+class Simulation {
+  public:
+    /** Builds simulator, network, and workload from @p config. */
+    explicit Simulation(const json::Value& config);
+    ~Simulation();
+
+    Simulator* simulator() { return simulator_.get(); }
+    Network* network() { return network_.get(); }
+    Workload* workload() { return workload_.get(); }
+
+    /** Runs to completion (or the configured time limit) and returns the
+     *  gathered results. */
+    RunResult run();
+
+  private:
+    json::Value config_;
+    std::unique_ptr<Simulator> simulator_;
+    std::unique_ptr<Network> network_;
+    std::unique_ptr<Workload> workload_;
+};
+
+/** Convenience one-shot: build and run. */
+RunResult runSimulation(const json::Value& config);
+
+}  // namespace ss
+
+#endif  // SS_SIM_BUILDER_H_

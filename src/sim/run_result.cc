@@ -1,0 +1,40 @@
+#include "sim/run_result.h"
+
+#include <sstream>
+
+namespace ss {
+
+double
+RunResult::throughput() const
+{
+    return rateMonitor.throughput(numTerminals, channelPeriod);
+}
+
+std::string
+RunResult::summary() const
+{
+    std::ostringstream out;
+    out << "events executed:   " << eventsExecuted << '\n';
+    out << "end tick:          " << endTick << '\n';
+    out << "saturated:         " << (saturated ? "yes" : "no") << '\n';
+    out << "sampled messages:  " << sampler.count() << '\n';
+    if (sampler.count() > 0) {
+        Distribution total = sampler.totalLatencyDistribution();
+        Distribution network = sampler.networkLatencyDistribution();
+        out << "total latency:     mean " << total.mean() << ", p50 "
+            << total.percentile(50) << ", p99 " << total.percentile(99)
+            << ", p99.9 " << total.percentile(99.9) << ", max "
+            << total.max() << '\n';
+        out << "network latency:   mean " << network.mean() << ", p99 "
+            << network.percentile(99) << '\n';
+        out << "mean hops:         " << sampler.hopDistribution().mean()
+            << '\n';
+        out << "nonminimal frac:   " << sampler.nonminimalFraction()
+            << '\n';
+    }
+    out << "throughput:        " << throughput()
+        << " flits/terminal/cycle\n";
+    return out.str();
+}
+
+}  // namespace ss

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The result bundle of one simulation run: sampled-latency statistics,
+ * accepted throughput, saturation status, and engine counters.
+ */
+#ifndef SS_SIM_RUN_RESULT_H_
+#define SS_SIM_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stats/latency_sampler.h"
+#include "stats/rate_monitor.h"
+
+namespace ss {
+
+/** Everything a caller needs from a finished simulation. */
+struct RunResult {
+    /** True if the run hit its time limit before draining — the network
+     *  could not deliver the offered load (load-latency lines stop
+     *  here, as in the paper's Figure 8). */
+    bool saturated = false;
+
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t endTick = 0;
+
+    /** Sampled messages gathered in the measurement window. */
+    LatencySampler sampler;
+    /** Network-wide accepted-throughput accounting. */
+    RateMonitor rateMonitor;
+
+    std::uint32_t numTerminals = 0;
+    std::uint64_t channelPeriod = 1;
+
+    /** Mean accepted throughput (flits/terminal/cycle). */
+    double throughput() const;
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+}  // namespace ss
+
+#endif  // SS_SIM_RUN_RESULT_H_

@@ -1,0 +1,129 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace ss {
+
+Distribution::Distribution(std::vector<double> samples)
+    : samples_(std::move(samples))
+{
+    std::sort(samples_.begin(), samples_.end());
+    double sum = 0.0;
+    for (double s : samples_) {
+        sum += s;
+    }
+    mean_ = samples_.empty() ? 0.0 : sum / samples_.size();
+    for (double s : samples_) {
+        m2_ += (s - mean_) * (s - mean_);
+    }
+}
+
+double
+Distribution::min() const
+{
+    checkUser(!samples_.empty(), "min() of empty distribution");
+    return samples_.front();
+}
+
+double
+Distribution::max() const
+{
+    checkUser(!samples_.empty(), "max() of empty distribution");
+    return samples_.back();
+}
+
+double
+Distribution::mean() const
+{
+    checkUser(!samples_.empty(), "mean() of empty distribution");
+    return mean_;
+}
+
+double
+Distribution::stddev() const
+{
+    checkUser(!samples_.empty(), "stddev() of empty distribution");
+    return std::sqrt(m2_ / samples_.size());
+}
+
+double
+Distribution::percentile(double p) const
+{
+    checkUser(!samples_.empty(), "percentile() of empty distribution");
+    checkUser(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    if (samples_.size() == 1) {
+        return samples_.front();
+    }
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>>
+Distribution::percentileSeries(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> series;
+    if (samples_.empty() || points == 0) {
+        return series;
+    }
+    series.reserve(points + 1);
+    for (std::size_t i = 0; i <= points; ++i) {
+        double p = 100.0 * static_cast<double>(i) /
+                   static_cast<double>(points);
+        series.emplace_back(p, percentile(p));
+    }
+    return series;
+}
+
+std::vector<std::pair<double, double>>
+Distribution::pdf(std::size_t bins) const
+{
+    std::vector<std::pair<double, double>> series;
+    if (samples_.empty() || bins == 0) {
+        return series;
+    }
+    double lo = samples_.front();
+    double hi = samples_.back();
+    double width = (hi - lo) / static_cast<double>(bins);
+    if (width <= 0.0) {
+        series.emplace_back(lo, 1.0);
+        return series;
+    }
+    std::vector<std::size_t> counts(bins, 0);
+    for (double s : samples_) {
+        auto b = static_cast<std::size_t>((s - lo) / width);
+        counts[std::min(b, bins - 1)]++;
+    }
+    series.reserve(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+        double center = lo + (static_cast<double>(b) + 0.5) * width;
+        series.emplace_back(center, static_cast<double>(counts[b]) /
+                                        static_cast<double>(
+                                            samples_.size()));
+    }
+    return series;
+}
+
+std::vector<std::pair<double, double>>
+Distribution::cdf(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> series;
+    if (samples_.empty() || points == 0) {
+        return series;
+    }
+    series.reserve(points + 1);
+    for (std::size_t i = 0; i <= points; ++i) {
+        double frac = static_cast<double>(i) / static_cast<double>(points);
+        auto idx = static_cast<std::size_t>(
+            frac * static_cast<double>(samples_.size() - 1));
+        series.emplace_back(samples_[idx], frac);
+    }
+    return series;
+}
+
+}  // namespace ss

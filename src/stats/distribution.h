@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Distribution statistics over a sample vector: mean, percentiles, PDF
+ * and CDF series. Latency *distributions* — not just averages — are the
+ * centerpiece of the paper's analysis tooling (§V, Figures 7 and 8).
+ */
+#ifndef SS_STATS_DISTRIBUTION_H_
+#define SS_STATS_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ss {
+
+/** Immutable view over a sorted copy of a sample set. */
+class Distribution {
+  public:
+    /** Copies and sorts @p samples. */
+    explicit Distribution(std::vector<double> samples);
+
+    bool empty() const { return samples_.empty(); }
+    std::size_t count() const { return samples_.size(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    double stddev() const;
+
+    /** Percentile in [0, 100]; linear interpolation between ranks.
+     *  percentile(50) is the median, percentile(99.9) the 1-in-1000
+     *  tail (paper Figure 7). */
+    double percentile(double p) const;
+
+    /** One (percentile, value) row per sample position — the paper's
+     *  percentile distribution plot, thinned to @p points rows. */
+    std::vector<std::pair<double, double>> percentileSeries(
+        std::size_t points = 100) const;
+
+    /** Histogram over @p bins equal-width buckets: (bucket center,
+     *  probability mass) — a PDF series. */
+    std::vector<std::pair<double, double>> pdf(std::size_t bins) const;
+
+    /** Empirical CDF thinned to @p points rows: (value, cumulative
+     *  fraction). */
+    std::vector<std::pair<double, double>> cdf(
+        std::size_t points = 100) const;
+
+  private:
+    std::vector<double> samples_;  // sorted
+    double mean_ = 0.0;
+    double m2_ = 0.0;  // sum of squared deviations
+};
+
+}  // namespace ss
+
+#endif  // SS_STATS_DISTRIBUTION_H_

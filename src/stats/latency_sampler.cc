@@ -1,0 +1,53 @@
+#include "stats/latency_sampler.h"
+
+namespace ss {
+
+Distribution
+LatencySampler::totalLatencyDistribution() const
+{
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const auto& s : samples_) {
+        v.push_back(static_cast<double>(s.totalLatency()));
+    }
+    return Distribution(std::move(v));
+}
+
+Distribution
+LatencySampler::networkLatencyDistribution() const
+{
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const auto& s : samples_) {
+        v.push_back(static_cast<double>(s.networkLatency()));
+    }
+    return Distribution(std::move(v));
+}
+
+Distribution
+LatencySampler::hopDistribution() const
+{
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const auto& s : samples_) {
+        v.push_back(static_cast<double>(s.hops));
+    }
+    return Distribution(std::move(v));
+}
+
+double
+LatencySampler::nonminimalFraction() const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+        if (s.nonminimal) {
+            ++n;
+        }
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+}  // namespace ss

@@ -1,0 +1,88 @@
+#include "stats/rate_monitor.h"
+
+#include "core/logging.h"
+
+namespace ss {
+
+RateMonitor::RateMonitor(std::uint32_t num_sources)
+    : perSource_(num_sources, 0)
+{
+}
+
+void
+RateMonitor::resize(std::uint32_t num_sources)
+{
+    perSource_.assign(num_sources, 0);
+}
+
+void
+RateMonitor::start(std::uint64_t tick)
+{
+    checkSim(!started_, "rate monitor started twice");
+    started_ = true;
+    startTick_ = tick;
+}
+
+void
+RateMonitor::stop(std::uint64_t tick)
+{
+    checkSim(started_ && !stopped_, "rate monitor stop without start");
+    stopped_ = true;
+    stopTick_ = tick;
+}
+
+void
+RateMonitor::recordFlit(std::uint32_t source)
+{
+    if (!running()) {
+        return;
+    }
+    ++total_;
+    if (source < perSource_.size()) {
+        ++perSource_[source];
+    }
+}
+
+std::uint64_t
+RateMonitor::sourceFlits(std::uint32_t source) const
+{
+    checkSim(source < perSource_.size(), "rate monitor source range");
+    return perSource_[source];
+}
+
+std::uint64_t
+RateMonitor::windowTicks() const
+{
+    if (!started_) {
+        return 0;
+    }
+    return (stopped_ ? stopTick_ : startTick_) - startTick_;
+}
+
+double
+RateMonitor::throughput(std::uint32_t num_terminals,
+                        std::uint64_t channel_period) const
+{
+    std::uint64_t window = windowTicks();
+    if (window == 0 || num_terminals == 0) {
+        return 0.0;
+    }
+    double cycles = static_cast<double>(window) /
+                    static_cast<double>(channel_period);
+    return static_cast<double>(total_) / (cycles * num_terminals);
+}
+
+double
+RateMonitor::sourceThroughput(std::uint32_t source,
+                              std::uint64_t channel_period) const
+{
+    std::uint64_t window = windowTicks();
+    if (window == 0) {
+        return 0.0;
+    }
+    double cycles = static_cast<double>(window) /
+                    static_cast<double>(channel_period);
+    return static_cast<double>(sourceFlits(source)) / cycles;
+}
+
+}  // namespace ss

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Throughput accounting over the sampling window: total and per-source
+ * ejected flit counts between start() and stop(). Per-source counts also
+ * expose fairness effects (e.g. the parking-lot problem, §IV-B).
+ */
+#ifndef SS_STATS_RATE_MONITOR_H_
+#define SS_STATS_RATE_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ss {
+
+/** Counts ejected flits inside a measurement window. */
+class RateMonitor {
+  public:
+    explicit RateMonitor(std::uint32_t num_sources = 0);
+
+    void resize(std::uint32_t num_sources);
+
+    /** Opens the window at @p tick. */
+    void start(std::uint64_t tick);
+    /** Closes the window at @p tick. */
+    void stop(std::uint64_t tick);
+
+    bool running() const { return started_ && !stopped_; }
+
+    /** Counts one ejected flit originating at @p source (no-op outside
+     *  the window). */
+    void recordFlit(std::uint32_t source);
+
+    std::uint64_t totalFlits() const { return total_; }
+    std::uint64_t sourceFlits(std::uint32_t source) const;
+    std::uint64_t windowTicks() const;
+
+    /**
+     * Mean accepted throughput in flits per terminal per channel cycle —
+     * the y-axis of the paper's throughput plots.
+     * @param num_terminals endpoints injecting
+     * @param channel_period ticks per channel cycle
+     */
+    double throughput(std::uint32_t num_terminals,
+                      std::uint64_t channel_period) const;
+
+    /** Per-source accepted throughput (flits/cycle). */
+    double sourceThroughput(std::uint32_t source,
+                            std::uint64_t channel_period) const;
+
+  private:
+    bool started_ = false;
+    bool stopped_ = false;
+    std::uint64_t startTick_ = 0;
+    std::uint64_t stopTick_ = 0;
+    std::uint64_t total_ = 0;
+    std::vector<std::uint64_t> perSource_;
+};
+
+}  // namespace ss
+
+#endif  // SS_STATS_RATE_MONITOR_H_

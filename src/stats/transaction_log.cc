@@ -1,0 +1,49 @@
+#include "stats/transaction_log.h"
+
+#include "core/logging.h"
+
+namespace ss {
+
+const char*
+TransactionLog::header()
+{
+    return "id,app,src,dst,create,inject,deliver,flits,packets,hops,"
+           "minhops,nonminimal";
+}
+
+std::string
+TransactionLog::formatRow(const MessageSample& s)
+{
+    return strf(s.id, ',', s.app, ',', s.source, ',', s.destination, ',',
+                s.createTick, ',', s.injectTick, ',', s.deliverTick, ',',
+                s.flits, ',', s.packets, ',', s.hops, ',', s.minHops, ',',
+                s.nonminimal ? 1 : 0);
+}
+
+TransactionLog::TransactionLog(const std::string& path) : file_(path)
+{
+    checkUser(file_.good(), "cannot open transaction log: ", path);
+    file_ << header() << '\n';
+}
+
+TransactionLog::~TransactionLog()
+{
+    close();
+}
+
+void
+TransactionLog::write(const MessageSample& sample)
+{
+    file_ << formatRow(sample) << '\n';
+    ++rows_;
+}
+
+void
+TransactionLog::close()
+{
+    if (file_.is_open()) {
+        file_.close();
+    }
+}
+
+}  // namespace ss

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The transaction log: the verbose per-message record SuperSim writes
+ * during the sampling window and SSParse consumes (paper §V). Plain CSV
+ * with a header line; one row per sampled message.
+ */
+#ifndef SS_STATS_TRANSACTION_LOG_H_
+#define SS_STATS_TRANSACTION_LOG_H_
+
+#include <fstream>
+#include <string>
+
+#include "stats/latency_sampler.h"
+
+namespace ss {
+
+/** Streams message samples to a CSV file. */
+class TransactionLog {
+  public:
+    /** The CSV header, shared with the parser. */
+    static const char* header();
+
+    /** Formats one sample as a CSV row (no newline). */
+    static std::string formatRow(const MessageSample& sample);
+
+    /** Opens @p path for writing and emits the header; fatal() on
+     *  failure. */
+    explicit TransactionLog(const std::string& path);
+    ~TransactionLog();
+
+    void write(const MessageSample& sample);
+
+    /** Flushes and closes. Called by the destructor too. */
+    void close();
+
+    std::uint64_t rowsWritten() const { return rows_; }
+
+  private:
+    std::ofstream file_;
+    std::uint64_t rows_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_STATS_TRANSACTION_LOG_H_

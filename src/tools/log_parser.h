@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The SSParse-equivalent (paper §V): parses transaction logs written by
+ * TransactionLog and filters them with the same "+field=value" syntax:
+ *
+ *   +app=0           only messages of application 0
+ *   +src=3           only messages from terminal 3
+ *   +dst=7           only messages to terminal 7
+ *   +send=500-1000   injected between ticks 500 and 1000 (inclusive)
+ *   +recv=0-2000     delivered in a tick range
+ *   +size=8          messages of exactly 8 flits
+ *   +nonminimal=1    only messages that took a non-minimal route
+ *
+ * Multiple filters AND together.
+ */
+#ifndef SS_TOOLS_LOG_PARSER_H_
+#define SS_TOOLS_LOG_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/latency_sampler.h"
+
+namespace ss {
+
+/** One parsed "+field=value" filter. */
+class LogFilter {
+  public:
+    /** Parses a filter spec; fatal() on malformed input. */
+    static LogFilter parse(const std::string& spec);
+
+    bool matches(const MessageSample& sample) const;
+    const std::string& field() const { return field_; }
+
+  private:
+    std::string field_;
+    std::uint64_t lo_ = 0;
+    std::uint64_t hi_ = 0;
+};
+
+/** Reads and filters transaction logs. */
+class LogParser {
+  public:
+    /** Parses a CSV transaction log file; fatal() on format errors. */
+    static std::vector<MessageSample> parseFile(const std::string& path);
+
+    /** Parses CSV text (header + rows). */
+    static std::vector<MessageSample> parseText(const std::string& text);
+
+    /** Keeps only samples matching every filter. */
+    static std::vector<MessageSample> apply(
+        const std::vector<MessageSample>& samples,
+        const std::vector<LogFilter>& filters);
+
+    /** Convenience: parse specs then apply. */
+    static std::vector<MessageSample> apply(
+        const std::vector<MessageSample>& samples,
+        const std::vector<std::string>& filter_specs);
+};
+
+}  // namespace ss
+
+#endif  // SS_TOOLS_LOG_PARSER_H_

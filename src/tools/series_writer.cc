@@ -1,0 +1,82 @@
+#include "tools/series_writer.h"
+
+namespace ss {
+
+void
+SeriesWriter::header(const std::vector<std::string>& columns)
+{
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) {
+            *out_ << ',';
+        }
+        *out_ << columns[i];
+    }
+    *out_ << '\n';
+}
+
+void
+SeriesWriter::row(const std::vector<double>& values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+            *out_ << ',';
+        }
+        *out_ << values[i];
+    }
+    *out_ << '\n';
+}
+
+void
+SeriesWriter::row(const std::string& label,
+                  const std::vector<double>& values)
+{
+    *out_ << label;
+    for (double v : values) {
+        *out_ << ',' << v;
+    }
+    *out_ << '\n';
+}
+
+void
+SeriesWriter::percentileSeries(const Distribution& dist,
+                               std::size_t points)
+{
+    header({"percentile", "value"});
+    for (const auto& [p, v] : dist.percentileSeries(points)) {
+        row({p, v});
+    }
+}
+
+void
+SeriesWriter::pdfSeries(const Distribution& dist, std::size_t bins)
+{
+    header({"value", "probability"});
+    for (const auto& [v, p] : dist.pdf(bins)) {
+        row({v, p});
+    }
+}
+
+void
+SeriesWriter::cdfSeries(const Distribution& dist, std::size_t points)
+{
+    header({"value", "fraction"});
+    for (const auto& [v, f] : dist.cdf(points)) {
+        row({v, f});
+    }
+}
+
+void
+SeriesWriter::loadLatencyHeader()
+{
+    header({"load", "mean", "p50", "p90", "p99", "p999", "p9999"});
+}
+
+void
+SeriesWriter::loadLatencyRow(double load, const Distribution& latency)
+{
+    row({load, latency.mean(), latency.percentile(50),
+         latency.percentile(90), latency.percentile(99),
+         latency.percentile(99.9), latency.percentile(99.99)});
+}
+
+}  // namespace ss

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The SSPlot-equivalent data layer (paper §V): emits the exact series the
+ * paper's plots are built from — mean-latency lines, percentile
+ * distributions, PDFs, CDFs, and load-versus-latency tables — as CSV that
+ * any plotting tool consumes. (Rendering is out of scope for a C++
+ * library; the analysis is reproduced here.)
+ */
+#ifndef SS_TOOLS_SERIES_WRITER_H_
+#define SS_TOOLS_SERIES_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace ss {
+
+/** Column-oriented CSV emitter for analysis series. */
+class SeriesWriter {
+  public:
+    explicit SeriesWriter(std::ostream* out) : out_(out) {}
+
+    /** Writes a header row. */
+    void header(const std::vector<std::string>& columns);
+
+    /** Writes a data row. */
+    void row(const std::vector<double>& values);
+
+    /** Writes a row with a leading string label. */
+    void row(const std::string& label,
+             const std::vector<double>& values);
+
+    // ----- canned series matching the paper's plot types -----
+
+    /** Percentile distribution (Figure 7): columns percentile,value. */
+    void percentileSeries(const Distribution& dist,
+                          std::size_t points = 100);
+
+    /** Probability density (SSPlot PDF): columns value,probability. */
+    void pdfSeries(const Distribution& dist, std::size_t bins = 50);
+
+    /** Cumulative distribution: columns value,fraction. */
+    void cdfSeries(const Distribution& dist, std::size_t points = 100);
+
+    /**
+     * Load-versus-latency table (Figure 8): one row per load point with
+     * mean and tail percentiles; saturated points are omitted by the
+     * caller (lines stop at saturation, as in the paper).
+     */
+    void loadLatencyHeader();
+    void loadLatencyRow(double load, const Distribution& latency);
+
+  private:
+    std::ostream* out_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TOOLS_SERIES_WRITER_H_

@@ -1,0 +1,145 @@
+#include "tools/sweeper.h"
+
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss {
+
+void
+Sweeper::addVariable(const std::string& name,
+                     const std::string& short_name,
+                     const std::vector<std::string>& values, OverrideFn fn)
+{
+    checkUser(!values.empty(), "sweep variable '", name,
+              "' needs at least one value");
+    for (const auto& v : variables_) {
+        checkUser(v.name != name, "duplicate sweep variable: ", name);
+        checkUser(v.shortName != short_name,
+                  "duplicate sweep short name: ", short_name);
+    }
+    variables_.push_back(Variable{name, short_name, values,
+                                  std::move(fn)});
+}
+
+std::vector<SweepPoint>
+Sweeper::generate() const
+{
+    checkUser(!variables_.empty(),
+              "sweep needs at least one variable");
+    std::vector<SweepPoint> points;
+    std::size_t total = 1;
+    for (const auto& v : variables_) {
+        total *= v.values.size();
+    }
+    points.reserve(total);
+    std::vector<std::size_t> index(variables_.size(), 0);
+    for (std::size_t n = 0; n < total; ++n) {
+        SweepPoint point;
+        std::string id;
+        for (std::size_t i = 0; i < variables_.size(); ++i) {
+            const Variable& var = variables_[i];
+            const std::string& value = var.values[index[i]];
+            point.values[var.name] = value;
+            auto overrides = var.fn(value);
+            point.overrides.insert(point.overrides.end(),
+                                   overrides.begin(), overrides.end());
+            if (!id.empty()) {
+                id += '_';
+            }
+            id += var.shortName + '-' + value;
+        }
+        point.id = id;
+        points.push_back(std::move(point));
+        // Odometer increment, last variable fastest.
+        for (std::size_t i = variables_.size(); i-- > 0;) {
+            if (++index[i] < variables_[i].values.size()) {
+                break;
+            }
+            index[i] = 0;
+        }
+    }
+    return points;
+}
+
+std::vector<std::pair<SweepPoint, std::map<std::string, double>>>
+Sweeper::runAll(const json::Value& base_config, RunFn run,
+                std::uint32_t num_threads) const
+{
+    auto points = generate();
+    std::vector<std::pair<SweepPoint, std::map<std::string, double>>>
+        rows(points.size());
+    std::mutex rows_mutex;
+
+    TaskGraph graph;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        rows[i].first = points[i];
+        graph.addTask(points[i].id, [&, i]() {
+            json::Value config = base_config;
+            json::applyOverrides(&config, points[i].overrides);
+            auto metrics = run(config, points[i]);
+            std::lock_guard<std::mutex> lock(rows_mutex);
+            rows[i].second = std::move(metrics);
+            return true;
+        });
+    }
+    graph.run(num_threads);
+    return rows;
+}
+
+std::string
+Sweeper::toCsv(
+    const std::vector<std::pair<SweepPoint,
+                                std::map<std::string, double>>>& rows)
+{
+    std::ostringstream out;
+    if (rows.empty()) {
+        return out.str();
+    }
+    // Header: variables (from the first point) + union of metric names.
+    std::vector<std::string> var_names;
+    for (const auto& [name, value] : rows.front().first.values) {
+        (void)value;
+        var_names.push_back(name);
+    }
+    std::set<std::string> metric_names;
+    for (const auto& [point, metrics] : rows) {
+        (void)point;
+        for (const auto& [name, value] : metrics) {
+            (void)value;
+            metric_names.insert(name);
+        }
+    }
+    bool first = true;
+    for (const auto& name : var_names) {
+        out << (first ? "" : ",") << name;
+        first = false;
+    }
+    for (const auto& name : metric_names) {
+        out << (first ? "" : ",") << name;
+        first = false;
+    }
+    out << '\n';
+    for (const auto& [point, metrics] : rows) {
+        first = true;
+        for (const auto& name : var_names) {
+            out << (first ? "" : ",") << point.values.at(name);
+            first = false;
+        }
+        for (const auto& name : metric_names) {
+            out << (first ? "" : ",");
+            auto it = metrics.find(name);
+            if (it != metrics.end()) {
+                out << it->second;
+            }
+            first = false;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace ss

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The SSSweep-equivalent (paper §V, Listing 2): declares sweep variables,
+ * generates the cross product of all permutations as command-line-style
+ * setting overrides, and executes the resulting simulations through the
+ * TaskGraph executor, collecting one metrics row per point.
+ *
+ * The paper's Listing 2 in this API:
+ *
+ *   Sweeper sweeper;
+ *   sweeper.addVariable("ChannelLatency", "CL",
+ *       {"1", "2", "4", "8", "16", "32", "64"},
+ *       [](const std::string& v) {
+ *           return std::vector<std::string>{
+ *               "network.channel_latency=uint=" + v};
+ *       });
+ */
+#ifndef SS_TOOLS_SWEEPER_H_
+#define SS_TOOLS_SWEEPER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "tools/task_runner.h"
+
+namespace ss {
+
+/** One point of the sweep cross product. */
+struct SweepPoint {
+    /** Short unique id, e.g. "CL-4_MS-16". */
+    std::string id;
+    /** Variable name -> chosen value. */
+    std::map<std::string, std::string> values;
+    /** Accumulated setting overrides for this point. */
+    std::vector<std::string> overrides;
+};
+
+/** Cross-product sweep generator and executor. */
+class Sweeper {
+  public:
+    /** Maps one variable value to its setting overrides. */
+    using OverrideFn =
+        std::function<std::vector<std::string>(const std::string& value)>;
+
+    /** Runs one simulation; returns named metrics for the results table.
+     *  Must be thread-safe across concurrent points. */
+    using RunFn = std::function<std::map<std::string, double>(
+        const json::Value& config, const SweepPoint& point)>;
+
+    /**
+     * Declares a sweep variable (paper Listing 2).
+     * @param name       long name for the results table
+     * @param short_name short tag used in point ids
+     * @param values     the values to sweep
+     * @param fn         value -> overrides
+     */
+    void addVariable(const std::string& name,
+                     const std::string& short_name,
+                     const std::vector<std::string>& values,
+                     OverrideFn fn);
+
+    /** All cross-product points in declaration order (first variable
+     *  slowest). */
+    std::vector<SweepPoint> generate() const;
+
+    /**
+     * Runs every point: applies its overrides to a copy of
+     * @p base_config, invokes @p run, and collects the metric rows.
+     * @param num_threads concurrent simulations
+     * @return rows in generate() order; a failed point yields an empty
+     *         metrics map.
+     */
+    std::vector<std::pair<SweepPoint, std::map<std::string, double>>>
+    runAll(const json::Value& base_config, RunFn run,
+           std::uint32_t num_threads = 1) const;
+
+    /** Formats results as a CSV table (variables + union of metrics). */
+    static std::string toCsv(
+        const std::vector<std::pair<SweepPoint,
+                                    std::map<std::string, double>>>& rows);
+
+  private:
+    struct Variable {
+        std::string name;
+        std::string shortName;
+        std::vector<std::string> values;
+        OverrideFn fn;
+    };
+
+    std::vector<Variable> variables_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TOOLS_SWEEPER_H_

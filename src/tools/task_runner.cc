@@ -1,0 +1,173 @@
+#include "tools/task_runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/logging.h"
+
+namespace ss {
+
+void
+TaskGraph::addTask(const std::string& name, TaskFn fn,
+                   const std::vector<std::string>& dependencies,
+                   std::uint32_t resources)
+{
+    checkUser(!name.empty(), "task name must not be empty");
+    checkUser(byName_.count(name) == 0, "duplicate task name: ", name);
+    checkUser(resources >= 1, "task resources must be >= 1");
+    std::size_t index = tasks_.size();
+    Task task;
+    task.name = name;
+    task.fn = std::move(fn);
+    task.resources = resources;
+    task.unmetDependencies = dependencies.size();
+    tasks_.push_back(std::move(task));
+    byName_[name] = index;
+    for (const auto& dep : dependencies) {
+        auto it = byName_.find(dep);
+        checkUser(it != byName_.end(), "task '", name,
+                  "' depends on unknown task '", dep,
+                  "' (add dependencies first)");
+        checkUser(it->second != index, "task depends on itself: ", name);
+        tasks_[it->second].dependents.push_back(index);
+    }
+}
+
+void
+TaskGraph::skipTransitively(std::size_t index)
+{
+    // Called with mutex_ held.
+    for (std::size_t dep : tasks_[index].dependents) {
+        Task& task = tasks_[dep];
+        if (task.state == TaskState::kPending) {
+            task.state = TaskState::kSkipped;
+            ++finished_;
+            skipTransitively(dep);
+        }
+    }
+}
+
+bool
+TaskGraph::run(std::uint32_t num_threads, std::uint32_t resource_capacity)
+{
+    checkUser(num_threads >= 1, "need at least one worker thread");
+    resourceCapacity_ =
+        resource_capacity == 0 ? num_threads : resource_capacity;
+    finished_ = 0;
+    resourcesInUse_ = 0;
+    ready_.clear();
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        tasks_[i].state = TaskState::kPending;
+        if (tasks_[i].unmetDependencies == 0) {
+            ready_.push_back(i);
+        }
+    }
+
+    auto worker = [this]() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            // Find a ready task whose resources fit.
+            auto it = std::find_if(
+                ready_.begin(), ready_.end(), [this](std::size_t i) {
+                    return resourcesInUse_ +
+                               std::min(tasks_[i].resources,
+                                        resourceCapacity_) <=
+                           resourceCapacity_;
+                });
+            if (it == ready_.end()) {
+                if (finished_ == tasks_.size()) {
+                    cv_.notify_all();
+                    return;
+                }
+                cv_.wait(lock);
+                continue;
+            }
+            std::size_t index = *it;
+            ready_.erase(it);
+            Task& task = tasks_[index];
+            std::uint32_t cost =
+                std::min(task.resources, resourceCapacity_);
+            resourcesInUse_ += cost;
+
+            lock.unlock();
+            bool ok = false;
+            try {
+                ok = task.fn();
+            } catch (const std::exception& e) {
+                warn("task '", task.name, "' threw: ", e.what());
+                ok = false;
+            }
+            lock.lock();
+
+            resourcesInUse_ -= cost;
+            task.state = ok ? TaskState::kSucceeded : TaskState::kFailed;
+            ++finished_;
+            if (ok) {
+                for (std::size_t dep : task.dependents) {
+                    if (--tasks_[dep].unmetDependencies == 0 &&
+                        tasks_[dep].state == TaskState::kPending) {
+                        ready_.push_back(dep);
+                    }
+                }
+            } else {
+                skipTransitively(index);
+            }
+            cv_.notify_all();
+            if (finished_ == tasks_.size()) {
+                cv_.notify_all();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    std::uint32_t spawn = std::min<std::uint32_t>(
+        num_threads, std::max<std::size_t>(tasks_.size(), 1));
+    threads.reserve(spawn);
+    for (std::uint32_t t = 0; t < spawn; ++t) {
+        threads.emplace_back(worker);
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+
+    // Reset dependency counters for potential re-runs.
+    for (auto& task : tasks_) {
+        task.unmetDependencies = 0;
+    }
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        for (std::size_t dep : tasks_[i].dependents) {
+            ++tasks_[dep].unmetDependencies;
+        }
+    }
+
+    bool all_ok = true;
+    for (const auto& task : tasks_) {
+        if (task.state != TaskState::kSucceeded) {
+            all_ok = false;
+        }
+    }
+    return all_ok;
+}
+
+TaskState
+TaskGraph::state(const std::string& name) const
+{
+    auto it = byName_.find(name);
+    checkUser(it != byName_.end(), "unknown task: ", name);
+    return tasks_[it->second].state;
+}
+
+std::vector<std::string>
+TaskGraph::tasksInState(TaskState state) const
+{
+    std::vector<std::string> out;
+    for (const auto& task : tasks_) {
+        if (task.state == state) {
+            out.push_back(task.name);
+        }
+    }
+    return out;
+}
+
+}  // namespace ss

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The TaskRun-equivalent (paper §V): dependency-ordered task execution
+ * with conditional execution and resource management, on a local thread
+ * pool (the original also drives cluster batch schedulers; that backend
+ * is out of scope here, the semantics are the same).
+ *
+ * Tasks are named, may depend on other tasks, consume an amount of an
+ * abstract resource (default 1 "cpu" each), and run as soon as all their
+ * dependencies succeeded and resources are available. A failing task
+ * (function returns false or throws) skips all transitive dependents —
+ * TaskRun's conditional execution.
+ */
+#ifndef SS_TOOLS_TASK_RUNNER_H_
+#define SS_TOOLS_TASK_RUNNER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/** Final state of a task after a run. */
+enum class TaskState : std::uint8_t {
+    kPending,
+    kSucceeded,
+    kFailed,
+    kSkipped,  ///< a dependency failed or was skipped
+};
+
+/** A dependency-ordered task graph with a thread-pool executor. */
+class TaskGraph {
+  public:
+    /** A task body; returns success. Must be thread-safe with respect to
+     *  other tasks that may run concurrently. */
+    using TaskFn = std::function<bool()>;
+
+    /**
+     * Adds a task. fatal() on duplicate names or unknown dependencies
+     * (dependencies must be added first, keeping the graph acyclic by
+     * construction).
+     * @param resources abstract resource units the task occupies while
+     *        running (clamped to the runner capacity).
+     */
+    void addTask(const std::string& name, TaskFn fn,
+                 const std::vector<std::string>& dependencies = {},
+                 std::uint32_t resources = 1);
+
+    std::size_t numTasks() const { return tasks_.size(); }
+
+    /**
+     * Runs the graph to completion.
+     * @param num_threads worker threads (>= 1)
+     * @param resource_capacity total resource units available at once
+     * @return true if every task succeeded
+     */
+    bool run(std::uint32_t num_threads = 1,
+             std::uint32_t resource_capacity = 0);
+
+    /** State of a task after run(). */
+    TaskState state(const std::string& name) const;
+
+    /** Names of tasks in each terminal state. */
+    std::vector<std::string> tasksInState(TaskState state) const;
+
+  private:
+    struct Task {
+        std::string name;
+        TaskFn fn;
+        std::vector<std::size_t> dependents;
+        std::size_t unmetDependencies = 0;
+        std::uint32_t resources = 1;
+        TaskState state = TaskState::kPending;
+    };
+
+    void skipTransitively(std::size_t index);
+
+    std::vector<Task> tasks_;
+    std::map<std::string, std::size_t> byName_;
+
+    // executor state (valid during run())
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::size_t> ready_;
+    std::size_t finished_ = 0;
+    std::uint32_t resourcesInUse_ = 0;
+    std::uint32_t resourceCapacity_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_TOOLS_TASK_RUNNER_H_

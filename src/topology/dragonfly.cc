@@ -1,0 +1,138 @@
+#include "topology/dragonfly.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+Dragonfly::Dragonfly(Simulator* simulator, const std::string& name,
+                     const Component* parent, const json::Value& settings)
+    : Network(simulator, name, parent, settings)
+{
+    groupSize_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "group_size"));
+    globalChannels_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "global_channels"));
+    concentration_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "concentration", 1));
+    checkUser(groupSize_ >= 1, "dragonfly group_size must be >= 1");
+    checkUser(globalChannels_ >= 1,
+              "dragonfly global_channels must be >= 1");
+    checkUser(concentration_ > 0, "dragonfly concentration must be > 0");
+    numGroups_ = groupSize_ * globalChannels_ + 1;
+
+    std::uint32_t radix =
+        concentration_ + (groupSize_ - 1) + globalChannels_;
+    std::uint32_t num_routers = numGroups_ * groupSize_;
+    for (std::uint32_t r = 0; r < num_routers; ++r) {
+        makeRouter(strf("router_g", groupOf(r), "_", routerInGroup(r)), r,
+                   radix, standardRoutingFactory());
+    }
+    std::uint32_t terminals = num_routers * concentration_;
+    for (std::uint32_t t = 0; t < terminals; ++t) {
+        Interface* iface = makeInterface(t);
+        linkInterface(iface, router(t / concentration_),
+                      t % concentration_, terminalLatency());
+    }
+
+    // Local links: full graph within each group.
+    for (std::uint32_t g = 0; g < numGroups_; ++g) {
+        for (std::uint32_t r = 0; r < groupSize_; ++r) {
+            for (std::uint32_t j = r + 1; j < groupSize_; ++j) {
+                Router* a = router(routerIdAt(g, r));
+                Router* b = router(routerIdAt(g, j));
+                linkRouters(a, localPort(r, j), b, localPort(j, r),
+                            channelLatency());
+                linkRouters(b, localPort(j, r), a, localPort(r, j),
+                            channelLatency());
+            }
+        }
+    }
+
+    // Global links: exactly one channel per group pair (absolute
+    // arrangement). Global channels use the router-router latency too;
+    // a dedicated "global_latency" overrides it.
+    Tick global_latency =
+        json::getUint(settings, "global_latency", channelLatency());
+    for (std::uint32_t g = 0; g < numGroups_; ++g) {
+        for (std::uint32_t gt = g + 1; gt < numGroups_; ++gt) {
+            std::uint32_t ra, pa, rb, pb;
+            globalAttachment(g, gt, &ra, &pa);
+            globalAttachment(gt, g, &rb, &pb);
+            Router* a = router(routerIdAt(g, ra));
+            Router* b = router(routerIdAt(gt, rb));
+            linkRouters(a, pa, b, pb, global_latency);
+            linkRouters(b, pb, a, pa, global_latency);
+        }
+    }
+    finalizeRouters();
+}
+
+std::uint32_t
+Dragonfly::groupOf(std::uint32_t router_id) const
+{
+    return router_id / groupSize_;
+}
+
+std::uint32_t
+Dragonfly::routerInGroup(std::uint32_t router_id) const
+{
+    return router_id % groupSize_;
+}
+
+std::uint32_t
+Dragonfly::routerIdAt(std::uint32_t group, std::uint32_t router) const
+{
+    return group * groupSize_ + router;
+}
+
+std::uint32_t
+Dragonfly::routerOfTerminal(std::uint32_t terminal) const
+{
+    return terminal / concentration_;
+}
+
+std::uint32_t
+Dragonfly::localPort(std::uint32_t router, std::uint32_t to) const
+{
+    checkSim(router != to, "localPort to self");
+    return concentration_ + (to < router ? to : to - 1);
+}
+
+void
+Dragonfly::globalAttachment(std::uint32_t group, std::uint32_t to_group,
+                            std::uint32_t* router,
+                            std::uint32_t* port) const
+{
+    checkSim(group != to_group, "globalAttachment to own group");
+    std::uint32_t m = to_group < group ? to_group : to_group - 1;
+    *router = m / globalChannels_;
+    *port = concentration_ + (groupSize_ - 1) + (m % globalChannels_);
+}
+
+std::uint32_t
+Dragonfly::minimalHops(std::uint32_t src, std::uint32_t dst) const
+{
+    std::uint32_t rs = routerOfTerminal(src);
+    std::uint32_t rd = routerOfTerminal(dst);
+    std::uint32_t gs = groupOf(rs);
+    std::uint32_t gd = groupOf(rd);
+    if (gs == gd) {
+        return rs == rd ? 1 : 2;
+    }
+    std::uint32_t hops = 1;  // source router
+    std::uint32_t ra, pa, rb, pb;
+    globalAttachment(gs, gd, &ra, &pa);
+    globalAttachment(gd, gs, &rb, &pb);
+    if (routerInGroup(rs) != ra) {
+        ++hops;  // local hop to the global-attached router
+    }
+    ++hops;  // the router entered in the destination group
+    if (rb != routerInGroup(rd)) {
+        ++hops;  // local hop to the destination router
+    }
+    return hops;
+}
+
+SS_REGISTER(NetworkFactory, "dragonfly", Dragonfly);
+
+}  // namespace ss

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The Dragonfly topology (paper §IV-B; Kim et al., ISCA'08).
+ *
+ * Canonical balanced configuration: groups of @c a routers (fully
+ * connected locally), each router with @c h global channels and @c p
+ * terminals; the number of groups is a*h + 1 so every pair of groups is
+ * joined by exactly one global channel (absolute arrangement).
+ *
+ * Settings:
+ *   "group_size":     uint a
+ *   "global_channels": uint h
+ *   "concentration":  uint p
+ *
+ * Port layout per router: [0, p) terminals, [p, p+a-1) locals,
+ * [p+a-1, p+a-1+h) globals.
+ */
+#ifndef SS_TOPOLOGY_DRAGONFLY_H_
+#define SS_TOPOLOGY_DRAGONFLY_H_
+
+#include "network/network.h"
+
+namespace ss {
+
+/** The dragonfly network. */
+class Dragonfly : public Network {
+  public:
+    Dragonfly(Simulator* simulator, const std::string& name,
+              const Component* parent, const json::Value& settings);
+
+    std::uint32_t groupSize() const { return groupSize_; }
+    std::uint32_t globalChannels() const { return globalChannels_; }
+    std::uint32_t concentration() const { return concentration_; }
+    std::uint32_t numGroups() const { return numGroups_; }
+
+    std::uint32_t groupOf(std::uint32_t router_id) const;
+    std::uint32_t routerInGroup(std::uint32_t router_id) const;
+    std::uint32_t routerIdAt(std::uint32_t group,
+                             std::uint32_t router) const;
+    std::uint32_t routerOfTerminal(std::uint32_t terminal) const;
+
+    /** Local port on router (g, r) toward router j of the same group. */
+    std::uint32_t localPort(std::uint32_t router, std::uint32_t to) const;
+
+    /** The (router-in-group, global-port) pair carrying the global
+     *  channel from @p group toward @p to_group. */
+    void globalAttachment(std::uint32_t group, std::uint32_t to_group,
+                          std::uint32_t* router,
+                          std::uint32_t* port) const;
+
+    std::uint32_t minimalHops(std::uint32_t src,
+                              std::uint32_t dst) const override;
+
+  private:
+    std::uint32_t groupSize_;
+    std::uint32_t globalChannels_;
+    std::uint32_t concentration_;
+    std::uint32_t numGroups_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TOPOLOGY_DRAGONFLY_H_

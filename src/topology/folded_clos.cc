@@ -1,0 +1,165 @@
+#include "topology/folded_clos.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+FoldedClos::FoldedClos(Simulator* simulator, const std::string& name,
+                       const Component* parent,
+                       const json::Value& settings)
+    : Network(simulator, name, parent, settings)
+{
+    halfRadix_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "half_radix"));
+    levels_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "levels"));
+    checkUser(halfRadix_ >= 2, "folded Clos half_radix must be >= 2");
+    checkUser(levels_ >= 2, "folded Clos levels must be >= 2");
+
+    routersPerLevel_ = 1;
+    numTerminals_ = halfRadix_;
+    for (std::uint32_t l = 1; l < levels_; ++l) {
+        routersPerLevel_ *= halfRadix_;
+        numTerminals_ *= halfRadix_;
+    }
+    bool even = routersPerLevel_ % 2 == 0;
+    mergedRoots_ = json::getBool(settings, "merged_roots", even);
+    checkUser(!mergedRoots_ || even,
+              "merged_roots requires an even router count per level");
+
+    // The level table must be complete before any router is built:
+    // routing engines query levelOf() during router construction.
+    levelFirstId_.resize(levels_);
+    for (std::uint32_t l = 0; l < levels_; ++l) {
+        levelFirstId_[l] = l * routersPerLevel_;
+    }
+
+    // Build routers level by level; roots last.
+    std::uint32_t id = 0;
+    for (std::uint32_t l = 0; l + 1 < levels_; ++l) {
+        for (std::uint32_t p = 0; p < routersPerLevel_; ++p) {
+            makeRouter(strf("router_l", l, "_", p), id++, 2 * halfRadix_,
+                       standardRoutingFactory());
+        }
+    }
+    std::uint32_t physical_roots =
+        mergedRoots_ ? routersPerLevel_ / 2 : routersPerLevel_;
+    std::uint32_t root_radix =
+        mergedRoots_ ? 2 * halfRadix_ : halfRadix_;
+    for (std::uint32_t p = 0; p < physical_roots; ++p) {
+        makeRouter(strf("router_l", levels_ - 1, "_", p), id++,
+                   root_radix, standardRoutingFactory());
+    }
+
+    // Terminals at the leaves: terminal t on leaf t/k, down port t%k.
+    for (std::uint32_t t = 0; t < numTerminals_; ++t) {
+        Interface* iface = makeInterface(t);
+        linkInterface(iface, router(routerIdAt(0, t / halfRadix_)),
+                      t % halfRadix_, terminalLatency());
+    }
+
+    // Inter-level wiring: level l router x, up port j <-> level l+1
+    // router (x with digit l := j), its down port x_l.
+    for (std::uint32_t l = 0; l + 1 < levels_; ++l) {
+        bool to_root = (l + 1 == levels_ - 1);
+        for (std::uint32_t x = 0; x < routersPerLevel_; ++x) {
+            std::uint32_t x_l = digit(x, l);
+            for (std::uint32_t j = 0; j < halfRadix_; ++j) {
+                // Logical upper router index.
+                std::uint64_t stride = 1;
+                for (std::uint32_t d = 0; d < l; ++d) {
+                    stride *= halfRadix_;
+                }
+                std::uint32_t y = static_cast<std::uint32_t>(
+                    x - x_l * stride + j * stride);
+                Router* lower = router(routerIdAt(l, x));
+                Router* upper;
+                std::uint32_t upper_port;
+                if (to_root && mergedRoots_) {
+                    upper = router(levelFirstId_[levels_ - 1] + y / 2);
+                    upper_port = (y % 2) * halfRadix_ + x_l;
+                } else {
+                    upper = router(routerIdAt(l + 1, y));
+                    upper_port = x_l;
+                }
+                linkRouters(lower, halfRadix_ + j, upper, upper_port,
+                            channelLatency());
+                linkRouters(upper, upper_port, lower, halfRadix_ + j,
+                            channelLatency());
+            }
+        }
+    }
+    finalizeRouters();
+}
+
+std::uint32_t
+FoldedClos::levelOf(std::uint32_t router_id) const
+{
+    for (std::uint32_t l = levels_; l-- > 0;) {
+        if (router_id >= levelFirstId_[l]) {
+            return l;
+        }
+    }
+    panic("bad router id ", router_id);
+}
+
+std::uint32_t
+FoldedClos::positionOf(std::uint32_t router_id) const
+{
+    return router_id - levelFirstId_[levelOf(router_id)];
+}
+
+std::uint32_t
+FoldedClos::routerIdAt(std::uint32_t level, std::uint32_t position) const
+{
+    return levelFirstId_[level] + position;
+}
+
+std::uint32_t
+FoldedClos::digit(std::uint64_t value, std::uint32_t d) const
+{
+    for (std::uint32_t i = 0; i < d; ++i) {
+        value /= halfRadix_;
+    }
+    return static_cast<std::uint32_t>(value % halfRadix_);
+}
+
+bool
+FoldedClos::covers(std::uint32_t level, std::uint32_t position,
+                   std::uint32_t terminal) const
+{
+    if (level == levels_ - 1) {
+        return true;  // any root reaches every terminal going down
+    }
+    // A level-l router covers terminal t iff its digits l..L-2 equal
+    // t's digits l+1..L-1.
+    for (std::uint32_t i = level; i + 1 < levels_; ++i) {
+        if (digit(position, i) != digit(terminal, i + 1)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+FoldedClos::minimalHops(std::uint32_t src, std::uint32_t dst) const
+{
+    std::uint32_t leaf_src = src / halfRadix_;
+    std::uint32_t leaf_dst = dst / halfRadix_;
+    if (leaf_src == leaf_dst) {
+        return 1;
+    }
+    // Highest differing leaf digit determines the turn-around level.
+    std::uint32_t highest = 0;
+    for (std::uint32_t i = 0; i + 1 < levels_; ++i) {
+        if (digit(leaf_src, i) != digit(leaf_dst, i)) {
+            highest = i;
+        }
+    }
+    std::uint32_t turn_level = highest + 1;
+    return 2 * turn_level + 1;
+}
+
+SS_REGISTER(NetworkFactory, "folded_clos", FoldedClos);
+
+}  // namespace ss

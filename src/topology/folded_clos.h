@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The folded-Clos / fat-tree topology (paper §IV-B; Clos '53).
+ *
+ * Settings:
+ *   "half_radix": uint k — down (= up) ports per non-root router
+ *   "levels":     uint L — tree levels (>= 2); terminals = k^L
+ *   "merged_roots": bool — pair logical top-level routers into physical
+ *                   radix-2k roots (default true when k^(L-1) is even),
+ *                   matching the paper's radix-32 roots for k = 16.
+ *
+ * Structure: levels 0..L-2 each have k^(L-1) routers of radix 2k
+ * (down ports [0,k), up ports [k,2k)). The logical top level has k^(L-1)
+ * radix-k routers; merged, these become k^(L-1)/2 physical radix-2k
+ * routers.
+ *
+ * Wiring (butterfly exchange on digit l between levels l and l+1):
+ * level-l router x's up port j connects to the level-(l+1) router equal
+ * to x with digit l replaced by j, arriving on its down port x_l. Going
+ * down from level m toward terminal t, the down port is digit m of t;
+ * the leaf's terminal ports are digit 0.
+ */
+#ifndef SS_TOPOLOGY_FOLDED_CLOS_H_
+#define SS_TOPOLOGY_FOLDED_CLOS_H_
+
+#include <vector>
+
+#include "network/network.h"
+
+namespace ss {
+
+/** The folded-Clos network. */
+class FoldedClos : public Network {
+  public:
+    FoldedClos(Simulator* simulator, const std::string& name,
+               const Component* parent, const json::Value& settings);
+
+    std::uint32_t halfRadix() const { return halfRadix_; }
+    std::uint32_t levels() const { return levels_; }
+    bool mergedRoots() const { return mergedRoots_; }
+    std::uint32_t routersPerLevel() const { return routersPerLevel_; }
+
+    /** Tree level of a router (0 = leaf, levels-1 = root). */
+    std::uint32_t levelOf(std::uint32_t router_id) const;
+    /** Position of a router within its level. */
+    std::uint32_t positionOf(std::uint32_t router_id) const;
+    /** Router id from (level, position). */
+    std::uint32_t routerIdAt(std::uint32_t level,
+                             std::uint32_t position) const;
+
+    /** Digit @p digit (base half-radix) of @p value. */
+    std::uint32_t digit(std::uint64_t value, std::uint32_t digit) const;
+
+    /** True if the (non-root) router at (level, position) can reach
+     *  terminal @p terminal going only down. Roots cover everything. */
+    bool covers(std::uint32_t level, std::uint32_t position,
+                std::uint32_t terminal) const;
+
+    std::uint32_t minimalHops(std::uint32_t src,
+                              std::uint32_t dst) const override;
+
+  private:
+    std::uint32_t halfRadix_;
+    std::uint32_t levels_;
+    bool mergedRoots_;
+    std::uint32_t routersPerLevel_;   // logical, levels 0..L-1
+    std::uint32_t numTerminals_;
+    std::vector<std::uint32_t> levelFirstId_;  // first router id per level
+};
+
+}  // namespace ss
+
+#endif  // SS_TOPOLOGY_FOLDED_CLOS_H_

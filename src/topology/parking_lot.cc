@@ -1,0 +1,56 @@
+#include "topology/parking_lot.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+ParkingLot::ParkingLot(Simulator* simulator, const std::string& name,
+                       const Component* parent,
+                       const json::Value& settings)
+    : Network(simulator, name, parent, settings)
+{
+    length_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "length"));
+    concentration_ = static_cast<std::uint32_t>(
+        json::getUint(settings, "concentration", 1));
+    checkUser(length_ >= 2, "parking lot length must be >= 2");
+    checkUser(concentration_ > 0,
+              "parking lot concentration must be > 0");
+
+    std::uint32_t radix = concentration_ + 2;
+    for (std::uint32_t r = 0; r < length_; ++r) {
+        makeRouter(strf("router_", r), r, radix,
+                   standardRoutingFactory());
+    }
+    std::uint32_t terminals = length_ * concentration_;
+    for (std::uint32_t t = 0; t < terminals; ++t) {
+        Interface* iface = makeInterface(t);
+        linkInterface(iface, router(t / concentration_),
+                      t % concentration_, terminalLatency());
+    }
+    for (std::uint32_t r = 0; r + 1 < length_; ++r) {
+        linkRouters(router(r), upPort(), router(r + 1), downPort(),
+                    channelLatency());
+        linkRouters(router(r + 1), downPort(), router(r), upPort(),
+                    channelLatency());
+    }
+    finalizeRouters();
+}
+
+std::uint32_t
+ParkingLot::routerOfTerminal(std::uint32_t terminal) const
+{
+    return terminal / concentration_;
+}
+
+std::uint32_t
+ParkingLot::minimalHops(std::uint32_t src, std::uint32_t dst) const
+{
+    std::uint32_t a = routerOfTerminal(src);
+    std::uint32_t b = routerOfTerminal(dst);
+    return (a > b ? a - b : b - a) + 1;
+}
+
+SS_REGISTER(NetworkFactory, "parking_lot", ParkingLot);
+
+}  // namespace ss

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The parking-lot stress topology (paper §IV-B): a linear chain of
+ * routers where all traffic converges toward router 0. With round-robin
+ * arbitration each merge point halves the bandwidth of upstream sources
+ * (the parking-lot problem); age-based arbitration restores fairness
+ * (Abts & Weisser).
+ *
+ * Settings:
+ *   "length":        uint — number of routers in the chain (>= 2)
+ *   "concentration": uint — terminals per router (default 1)
+ *
+ * Port layout: [0, c) terminals, c = toward router-1 ("down"),
+ * c+1 = toward router+1 ("up"). Router 0 has no down link and router
+ * length-1 has no up link; those ports stay unwired.
+ */
+#ifndef SS_TOPOLOGY_PARKING_LOT_H_
+#define SS_TOPOLOGY_PARKING_LOT_H_
+
+#include "network/network.h"
+
+namespace ss {
+
+/** The linear convergecast chain. */
+class ParkingLot : public Network {
+  public:
+    ParkingLot(Simulator* simulator, const std::string& name,
+               const Component* parent, const json::Value& settings);
+
+    std::uint32_t length() const { return length_; }
+    std::uint32_t concentration() const { return concentration_; }
+    std::uint32_t routerOfTerminal(std::uint32_t terminal) const;
+    std::uint32_t downPort() const { return concentration_; }
+    std::uint32_t upPort() const { return concentration_ + 1; }
+
+    std::uint32_t minimalHops(std::uint32_t src,
+                              std::uint32_t dst) const override;
+
+  private:
+    std::uint32_t length_;
+    std::uint32_t concentration_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TOPOLOGY_PARKING_LOT_H_

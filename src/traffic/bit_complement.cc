@@ -1,0 +1,22 @@
+#include "traffic/bit_complement.h"
+
+namespace ss {
+
+BitComplementTraffic::BitComplementTraffic(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    std::uint32_t num_terminals, std::uint32_t self,
+    const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    (void)settings;
+}
+
+std::uint32_t
+BitComplementTraffic::nextDestination()
+{
+    return numTerminals_ - 1 - self_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "bit_complement", BitComplementTraffic);
+
+}  // namespace ss

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Bit complement traffic: terminal i always targets (N-1) - i, the
+ * terminal whose address bits are all inverted. Requires a power-of-two
+ * terminal count for the classic bit-wise interpretation; the N-1-i form
+ * used here is equivalent when N is a power of two and well-defined
+ * otherwise. A strongly unbalanced pattern (paper §VI-B).
+ */
+#ifndef SS_TRAFFIC_BIT_COMPLEMENT_H_
+#define SS_TRAFFIC_BIT_COMPLEMENT_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** Deterministic all-bits-inverted permutation. */
+class BitComplementTraffic : public TrafficPattern {
+  public:
+    BitComplementTraffic(Simulator* simulator, const std::string& name,
+                         const Component* parent,
+                         std::uint32_t num_terminals, std::uint32_t self,
+                         const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_BIT_COMPLEMENT_H_

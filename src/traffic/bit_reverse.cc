@@ -1,0 +1,38 @@
+#include "traffic/bit_reverse.h"
+
+namespace ss {
+
+BitReverseTraffic::BitReverseTraffic(Simulator* simulator,
+                                     const std::string& name,
+                                     const Component* parent,
+                                     std::uint32_t num_terminals,
+                                     std::uint32_t self,
+                                     const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    (void)settings;
+    checkUser((num_terminals & (num_terminals - 1)) == 0,
+              "bit reverse traffic needs a power-of-two terminal count, ",
+              "got ", num_terminals);
+    std::uint32_t bits = 0;
+    while ((1u << bits) < num_terminals) {
+        ++bits;
+    }
+    std::uint32_t reversed = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+        if (self & (1u << b)) {
+            reversed |= 1u << (bits - 1 - b);
+        }
+    }
+    destination_ = reversed;
+}
+
+std::uint32_t
+BitReverseTraffic::nextDestination()
+{
+    return destination_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "bit_reverse", BitReverseTraffic);
+
+}  // namespace ss

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Bit reverse traffic: the destination address is the source address with
+ * its bits in reverse order. Requires a power-of-two terminal count.
+ */
+#ifndef SS_TRAFFIC_BIT_REVERSE_H_
+#define SS_TRAFFIC_BIT_REVERSE_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** Address-bit-reversal permutation. */
+class BitReverseTraffic : public TrafficPattern {
+  public:
+    BitReverseTraffic(Simulator* simulator, const std::string& name,
+                      const Component* parent, std::uint32_t num_terminals,
+                      std::uint32_t self, const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::uint32_t destination_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_BIT_REVERSE_H_

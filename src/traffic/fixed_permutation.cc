@@ -1,0 +1,36 @@
+#include "traffic/fixed_permutation.h"
+
+#include <numeric>
+#include <vector>
+
+#include "json/settings.h"
+#include "rng/random.h"
+
+namespace ss {
+
+FixedPermutationTraffic::FixedPermutationTraffic(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    std::uint32_t num_terminals, std::uint32_t self,
+    const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    // Derive the permutation from the dedicated seed (not the component
+    // stream) so every terminal instance computes the same mapping.
+    std::uint64_t seed = json::getUint(settings, "permutation_seed", 1);
+    Random rng(seed);
+    std::vector<std::uint32_t> perm(num_terminals);
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.shuffle(&perm);
+    destination_ = perm[self];
+}
+
+std::uint32_t
+FixedPermutationTraffic::nextDestination()
+{
+    return destination_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "fixed_permutation",
+            FixedPermutationTraffic);
+
+}  // namespace ss

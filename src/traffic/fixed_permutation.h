@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fixed random permutation traffic: one random permutation is drawn from
+ * the configured seed and every terminal sends to its image under it.
+ * All terminal instances derive the identical permutation, so the overall
+ * pattern is a consistent permutation.
+ * Settings: "permutation_seed": uint (default 1).
+ */
+#ifndef SS_TRAFFIC_FIXED_PERMUTATION_H_
+#define SS_TRAFFIC_FIXED_PERMUTATION_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** A random but fixed permutation shared by all terminals. */
+class FixedPermutationTraffic : public TrafficPattern {
+  public:
+    FixedPermutationTraffic(Simulator* simulator, const std::string& name,
+                            const Component* parent,
+                            std::uint32_t num_terminals,
+                            std::uint32_t self,
+                            const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::uint32_t destination_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_FIXED_PERMUTATION_H_

@@ -1,0 +1,40 @@
+#include "traffic/hotspot.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+HotspotTraffic::HotspotTraffic(Simulator* simulator,
+                               const std::string& name,
+                               const Component* parent,
+                               std::uint32_t num_terminals,
+                               std::uint32_t self,
+                               const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self),
+      fraction_(json::getFloat(settings, "hotspot_fraction", 0.1))
+{
+    checkUser(fraction_ >= 0.0 && fraction_ <= 1.0,
+              "hotspot_fraction must be in [0, 1]");
+    for (std::uint64_t t : json::getUintVector(settings, "hotspots")) {
+        checkUser(t < num_terminals, "hotspot terminal ", t,
+                  " out of range");
+        hotspots_.push_back(static_cast<std::uint32_t>(t));
+    }
+    checkUser(!hotspots_.empty(), "hotspot traffic needs hotspots");
+    checkUser(num_terminals > 1, "hotspot traffic needs >= 2 terminals");
+}
+
+std::uint32_t
+HotspotTraffic::nextDestination()
+{
+    if (random().nextBool(fraction_)) {
+        return hotspots_[random().nextU64(hotspots_.size())];
+    }
+    auto dest = static_cast<std::uint32_t>(
+        random().nextU64(numTerminals_ - 1));
+    return dest >= self_ ? dest + 1 : dest;
+}
+
+SS_REGISTER(TrafficPatternFactory, "hotspot", HotspotTraffic);
+
+}  // namespace ss

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hotspot traffic: with probability p a message targets one of the
+ * configured hot terminals (uniformly among them); otherwise the
+ * destination is uniform random. The classic incast-pressure pattern.
+ *
+ * Settings:
+ *   "hotspots":         [t0, t1, ...] — the hot terminals (required)
+ *   "hotspot_fraction": float p in [0, 1] (default 0.1)
+ */
+#ifndef SS_TRAFFIC_HOTSPOT_H_
+#define SS_TRAFFIC_HOTSPOT_H_
+
+#include <vector>
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** Skewed traffic concentrating on a hot set. */
+class HotspotTraffic : public TrafficPattern {
+  public:
+    HotspotTraffic(Simulator* simulator, const std::string& name,
+                   const Component* parent, std::uint32_t num_terminals,
+                   std::uint32_t self, const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::vector<std::uint32_t> hotspots_;
+    double fraction_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_HOTSPOT_H_

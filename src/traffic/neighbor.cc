@@ -1,0 +1,28 @@
+#include "traffic/neighbor.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+NeighborTraffic::NeighborTraffic(Simulator* simulator,
+                                 const std::string& name,
+                                 const Component* parent,
+                                 std::uint32_t num_terminals,
+                                 std::uint32_t self,
+                                 const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    std::uint64_t offset = json::getUint(settings, "offset", 1);
+    destination_ =
+        static_cast<std::uint32_t>((self + offset) % num_terminals);
+}
+
+std::uint32_t
+NeighborTraffic::nextDestination()
+{
+    return destination_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "neighbor", NeighborTraffic);
+
+}  // namespace ss

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Neighbor traffic: terminal i targets (i + offset) mod N. The benign
+ * extreme — minimal hop counts on most topologies.
+ * Settings: "offset": uint (default 1).
+ */
+#ifndef SS_TRAFFIC_NEIGHBOR_H_
+#define SS_TRAFFIC_NEIGHBOR_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** Fixed-stride nearest-neighbor pattern. */
+class NeighborTraffic : public TrafficPattern {
+  public:
+    NeighborTraffic(Simulator* simulator, const std::string& name,
+                    const Component* parent, std::uint32_t num_terminals,
+                    std::uint32_t self, const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::uint32_t destination_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_NEIGHBOR_H_

@@ -1,0 +1,33 @@
+#include "traffic/shuffle.h"
+
+namespace ss {
+
+ShuffleTraffic::ShuffleTraffic(Simulator* simulator,
+                               const std::string& name,
+                               const Component* parent,
+                               std::uint32_t num_terminals,
+                               std::uint32_t self,
+                               const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    (void)settings;
+    checkUser((num_terminals & (num_terminals - 1)) == 0,
+              "shuffle traffic needs a power-of-two terminal count, got ",
+              num_terminals);
+    std::uint32_t bits = 0;
+    while ((1u << bits) < num_terminals) {
+        ++bits;
+    }
+    std::uint32_t top = (self >> (bits - 1)) & 1u;
+    destination_ = ((self << 1) | top) & (num_terminals - 1);
+}
+
+std::uint32_t
+ShuffleTraffic::nextDestination()
+{
+    return destination_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "shuffle", ShuffleTraffic);
+
+}  // namespace ss

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Perfect shuffle traffic: the destination address is the source address
+ * rotated left by one bit — the communication pattern of FFT/sorting
+ * stages. Requires a power-of-two terminal count.
+ */
+#ifndef SS_TRAFFIC_SHUFFLE_H_
+#define SS_TRAFFIC_SHUFFLE_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** Rotate-left-by-one permutation. */
+class ShuffleTraffic : public TrafficPattern {
+  public:
+    ShuffleTraffic(Simulator* simulator, const std::string& name,
+                   const Component* parent, std::uint32_t num_terminals,
+                   std::uint32_t self, const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::uint32_t destination_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_SHUFFLE_H_

@@ -1,0 +1,26 @@
+#include "traffic/single_target.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+SingleTargetTraffic::SingleTargetTraffic(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    std::uint32_t num_terminals, std::uint32_t self,
+    const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self),
+      target_(static_cast<std::uint32_t>(json::getUint(settings, "target")))
+{
+    checkUser(target_ < num_terminals, "single_target target ", target_,
+              " out of range");
+}
+
+std::uint32_t
+SingleTargetTraffic::nextDestination()
+{
+    return target_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "single_target", SingleTargetTraffic);
+
+}  // namespace ss

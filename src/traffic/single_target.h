@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Single target traffic: every source sends to one fixed terminal. The
+ * pattern behind convergecast stress scenarios such as the parking-lot
+ * fairness problem (paper §IV-B).
+ * Settings: "target": uint (required).
+ */
+#ifndef SS_TRAFFIC_SINGLE_TARGET_H_
+#define SS_TRAFFIC_SINGLE_TARGET_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** All-to-one convergecast pattern. */
+class SingleTargetTraffic : public TrafficPattern {
+  public:
+    SingleTargetTraffic(Simulator* simulator, const std::string& name,
+                        const Component* parent,
+                        std::uint32_t num_terminals, std::uint32_t self,
+                        const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::uint32_t target_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_SINGLE_TARGET_H_

@@ -1,0 +1,51 @@
+#include "traffic/tornado.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+TornadoTraffic::TornadoTraffic(Simulator* simulator,
+                               const std::string& name,
+                               const Component* parent,
+                               std::uint32_t num_terminals,
+                               std::uint32_t self,
+                               const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    widths_ = json::getUintVector(settings, "widths");
+    concentration_ = json::getUint(settings, "concentration", 1);
+    std::uint64_t routers = 1;
+    for (std::uint64_t w : widths_) {
+        checkUser(w > 0, "tornado widths must be > 0");
+        routers *= w;
+    }
+    checkUser(routers * concentration_ == num_terminals,
+              "tornado shape (", routers, " routers x ", concentration_,
+              ") does not match ", num_terminals, " terminals");
+
+    // Decompose self into (router coords, concentration offset), rotate
+    // each coordinate by ceil(k/2)-1, recompose.
+    std::uint64_t offset = self % concentration_;
+    std::uint64_t router = self / concentration_;
+    std::uint64_t dest_router = 0;
+    std::uint64_t stride = 1;
+    for (std::uint64_t w : widths_) {
+        std::uint64_t coord = router % w;
+        router /= w;
+        std::uint64_t rotated = (coord + (w + 1) / 2 - 1) % w;
+        dest_router += rotated * stride;
+        stride *= w;
+    }
+    destination_ =
+        static_cast<std::uint32_t>(dest_router * concentration_ + offset);
+}
+
+std::uint32_t
+TornadoTraffic::nextDestination()
+{
+    return destination_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "tornado", TornadoTraffic);
+
+}  // namespace ss

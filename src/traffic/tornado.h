@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tornado traffic: adversarial half-way rotation for ring/torus networks.
+ * Terminal coordinates rotate by ceil(k/2)-1 in every dimension.
+ *
+ * This pattern needs the topology's shape, passed via settings exactly as
+ * the paper describes for adversarial patterns (§IV):
+ *   "widths":        [k0, k1, ...] — routers per dimension
+ *   "concentration": uint — terminals per router (default 1)
+ */
+#ifndef SS_TRAFFIC_TORNADO_H_
+#define SS_TRAFFIC_TORNADO_H_
+
+#include <vector>
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** Half-ring rotation per dimension. */
+class TornadoTraffic : public TrafficPattern {
+  public:
+    TornadoTraffic(Simulator* simulator, const std::string& name,
+                   const Component* parent, std::uint32_t num_terminals,
+                   std::uint32_t self, const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::vector<std::uint64_t> widths_;
+    std::uint64_t concentration_;
+    std::uint32_t destination_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_TORNADO_H_

@@ -1,0 +1,18 @@
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+TrafficPattern::TrafficPattern(Simulator* simulator,
+                               const std::string& name,
+                               const Component* parent,
+                               std::uint32_t num_terminals,
+                               std::uint32_t self)
+    : Component(simulator, name, parent),
+      numTerminals_(num_terminals),
+      self_(self)
+{
+    checkUser(num_terminals > 0, "traffic pattern needs terminals");
+    checkUser(self < num_terminals, "traffic pattern self out of range");
+}
+
+}  // namespace ss

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Traffic patterns: destination selection for synthetic workloads
+ * (paper §IV-A). Patterns are constructed per terminal. A pattern that is
+ * adversarial for a specific topology (e.g. tornado on a torus) receives
+ * the required topology attributes through its JSON settings block.
+ */
+#ifndef SS_TRAFFIC_TRAFFIC_PATTERN_H_
+#define SS_TRAFFIC_TRAFFIC_PATTERN_H_
+
+#include <cstdint>
+
+#include "core/component.h"
+#include "factory/factory.h"
+#include "json/json.h"
+
+namespace ss {
+
+/** Abstract destination generator for one source terminal. */
+class TrafficPattern : public Component {
+  public:
+    /** @param num_terminals total endpoints in the network
+     *  @param self          the id of the terminal this instance serves */
+    TrafficPattern(Simulator* simulator, const std::string& name,
+                   const Component* parent, std::uint32_t num_terminals,
+                   std::uint32_t self);
+    ~TrafficPattern() override = default;
+
+    std::uint32_t numTerminals() const { return numTerminals_; }
+    std::uint32_t self() const { return self_; }
+
+    /** Returns the destination terminal for the next message. */
+    virtual std::uint32_t nextDestination() = 0;
+
+  protected:
+    std::uint32_t numTerminals_;
+    std::uint32_t self_;
+};
+
+using TrafficPatternFactory =
+    Factory<TrafficPattern, Simulator*, const std::string&,
+            const Component*, std::uint32_t, std::uint32_t,
+            const json::Value&>;
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_TRAFFIC_PATTERN_H_

@@ -1,0 +1,34 @@
+#include "traffic/transpose.h"
+
+#include <cmath>
+
+namespace ss {
+
+TransposeTraffic::TransposeTraffic(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent,
+                                   std::uint32_t num_terminals,
+                                   std::uint32_t self,
+                                   const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self)
+{
+    (void)settings;
+    auto side = static_cast<std::uint32_t>(
+        std::llround(std::sqrt(static_cast<double>(num_terminals))));
+    checkUser(side * side == num_terminals,
+              "transpose traffic needs a square terminal count, got ",
+              num_terminals);
+    std::uint32_t row = self / side;
+    std::uint32_t col = self % side;
+    destination_ = col * side + row;
+}
+
+std::uint32_t
+TransposeTraffic::nextDestination()
+{
+    return destination_;
+}
+
+SS_REGISTER(TrafficPatternFactory, "transpose", TransposeTraffic);
+
+}  // namespace ss

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Matrix transpose traffic: with N = M*M terminals, terminal (r, c)
+ * targets terminal (c, r). Stresses bisection diagonals.
+ */
+#ifndef SS_TRAFFIC_TRANSPOSE_H_
+#define SS_TRAFFIC_TRANSPOSE_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** The (row, col) -> (col, row) permutation. */
+class TransposeTraffic : public TrafficPattern {
+  public:
+    TransposeTraffic(Simulator* simulator, const std::string& name,
+                     const Component* parent, std::uint32_t num_terminals,
+                     std::uint32_t self, const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    std::uint32_t destination_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_TRANSPOSE_H_

@@ -1,0 +1,32 @@
+#include "traffic/uniform_random.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+UniformRandomTraffic::UniformRandomTraffic(
+    Simulator* simulator, const std::string& name, const Component* parent,
+    std::uint32_t num_terminals, std::uint32_t self,
+    const json::Value& settings)
+    : TrafficPattern(simulator, name, parent, num_terminals, self),
+      sendToSelf_(json::getBool(settings, "send_to_self", false))
+{
+    checkUser(sendToSelf_ || num_terminals > 1,
+              "uniform random without send_to_self needs >= 2 terminals");
+}
+
+std::uint32_t
+UniformRandomTraffic::nextDestination()
+{
+    if (sendToSelf_) {
+        return static_cast<std::uint32_t>(
+            random().nextU64(numTerminals_));
+    }
+    auto dest = static_cast<std::uint32_t>(
+        random().nextU64(numTerminals_ - 1));
+    return dest >= self_ ? dest + 1 : dest;
+}
+
+SS_REGISTER(TrafficPatternFactory, "uniform_random", UniformRandomTraffic);
+
+}  // namespace ss

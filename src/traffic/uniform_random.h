@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Uniform random traffic: each message targets a uniformly drawn terminal.
+ * Settings: "send_to_self": bool (default false).
+ */
+#ifndef SS_TRAFFIC_UNIFORM_RANDOM_H_
+#define SS_TRAFFIC_UNIFORM_RANDOM_H_
+
+#include "traffic/traffic_pattern.h"
+
+namespace ss {
+
+/** The canonical load-balanced benign pattern. */
+class UniformRandomTraffic : public TrafficPattern {
+  public:
+    UniformRandomTraffic(Simulator* simulator, const std::string& name,
+                         const Component* parent,
+                         std::uint32_t num_terminals, std::uint32_t self,
+                         const json::Value& settings);
+
+    std::uint32_t nextDestination() override;
+
+  private:
+    bool sendToSelf_;
+};
+
+}  // namespace ss
+
+#endif  // SS_TRAFFIC_UNIFORM_RANDOM_H_

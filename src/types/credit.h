@@ -1,0 +1,23 @@
+/**
+ * @file
+ * A credit: the reverse-flow unit of buffer accounting. One credit frees
+ * one flit slot in the sender's downstream view of a (port, VC) buffer.
+ */
+#ifndef SS_TYPES_CREDIT_H_
+#define SS_TYPES_CREDIT_H_
+
+#include <cstdint>
+
+namespace ss {
+
+/** A buffer-space grant flowing upstream. */
+struct Credit {
+    /** VC whose buffer slot was freed. */
+    std::uint32_t vc = 0;
+    /** Number of slots freed (normally 1). */
+    std::uint32_t count = 1;
+};
+
+}  // namespace ss
+
+#endif  // SS_TYPES_CREDIT_H_

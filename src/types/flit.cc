@@ -1,0 +1,10 @@
+#include "types/flit.h"
+
+namespace ss {
+
+Flit::Flit(Packet* packet, std::uint32_t id, bool head, bool tail)
+    : packet_(packet), id_(id), head_(head), tail_(tail)
+{
+}
+
+}  // namespace ss

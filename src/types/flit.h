@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The flit — the unit of buffering, flow control, and resource scheduling.
+ */
+#ifndef SS_TYPES_FLIT_H_
+#define SS_TYPES_FLIT_H_
+
+#include <cstdint>
+
+#include "core/time.h"
+
+namespace ss {
+
+class Packet;
+
+/** One flow control digit of a packet. */
+class Flit {
+  public:
+    /** @param packet owning packet
+     *  @param id     position within the packet (0-based)
+     *  @param head   true for the packet's first flit
+     *  @param tail   true for the packet's last flit */
+    Flit(Packet* packet, std::uint32_t id, bool head, bool tail);
+
+    Flit(const Flit&) = delete;
+    Flit& operator=(const Flit&) = delete;
+
+    Packet* packet() const { return packet_; }
+    std::uint32_t id() const { return id_; }
+    bool isHead() const { return head_; }
+    bool isTail() const { return tail_; }
+
+    /** The virtual channel this flit currently occupies. Set by the
+     *  injecting interface and rewritten at each hop. */
+    std::uint32_t vc() const { return vc_; }
+    void setVc(std::uint32_t vc) { vc_ = vc; }
+
+    /** Time this flit entered the network at the source interface. */
+    Time injectTime() const { return injectTime_; }
+    void setInjectTime(Time t) { injectTime_ = t; }
+
+  private:
+    Packet* packet_;
+    std::uint32_t id_;
+    bool head_;
+    bool tail_;
+    std::uint32_t vc_ = 0;
+    Time injectTime_ = Time::invalid();
+};
+
+}  // namespace ss
+
+#endif  // SS_TYPES_FLIT_H_

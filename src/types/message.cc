@@ -1,0 +1,72 @@
+#include "types/message.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace ss {
+
+Message::Message(std::uint64_t id, std::uint32_t app_id,
+                 std::uint32_t source, std::uint32_t destination,
+                 std::uint32_t num_flits, std::uint32_t max_packet_size)
+    : id_(id),
+      appId_(app_id),
+      source_(source),
+      destination_(destination),
+      totalFlits_(num_flits)
+{
+    checkUser(num_flits >= 1, "a message needs at least one flit");
+    checkUser(max_packet_size >= 1, "max packet size must be >= 1");
+    std::uint32_t remaining = num_flits;
+    std::uint32_t pkt_id = 0;
+    while (remaining > 0) {
+        std::uint32_t size = std::min(remaining, max_packet_size);
+        packets_.push_back(std::make_unique<Packet>(this, pkt_id++, size));
+        remaining -= size;
+    }
+}
+
+std::uint32_t
+Message::numPackets() const
+{
+    return static_cast<std::uint32_t>(packets_.size());
+}
+
+Packet*
+Message::packet(std::uint32_t index) const
+{
+    checkSim(index < packets_.size(), "packet index out of range");
+    return packets_[index].get();
+}
+
+bool
+Message::receivePacket(const Packet* packet)
+{
+    checkSim(packet->message() == this, "packet received by wrong message");
+    ++receivedPackets_;
+    checkSim(receivedPackets_ <= numPackets(), "message over-received");
+    return receivedPackets_ == numPackets();
+}
+
+std::uint32_t
+Message::maxHopCount() const
+{
+    std::uint32_t hops = 0;
+    for (const auto& pkt : packets_) {
+        hops = std::max(hops, pkt->hopCount());
+    }
+    return hops;
+}
+
+bool
+Message::tookNonminimal() const
+{
+    for (const auto& pkt : packets_) {
+        if (pkt->tookNonminimal()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace ss

@@ -1,0 +1,46 @@
+#include "types/packet.h"
+
+#include "core/logging.h"
+#include "types/message.h"
+
+namespace ss {
+
+Packet::Packet(Message* message, std::uint32_t id, std::uint32_t num_flits)
+    : message_(message), id_(id)
+{
+    checkUser(num_flits >= 1, "a packet needs at least one flit");
+    flits_.reserve(num_flits);
+    for (std::uint32_t i = 0; i < num_flits; ++i) {
+        flits_.push_back(std::make_unique<Flit>(
+            this, i, i == 0, i == num_flits - 1));
+    }
+}
+
+std::uint32_t
+Packet::numFlits() const
+{
+    return static_cast<std::uint32_t>(flits_.size());
+}
+
+Flit*
+Packet::flit(std::uint32_t index) const
+{
+    checkSim(index < flits_.size(), "flit index out of range");
+    return flits_[index].get();
+}
+
+bool
+Packet::receiveFlit(const Flit* flit)
+{
+    // Error detection (paper §IV-D): flits arrive in order within the
+    // packet — flit i must be the i'th received.
+    checkSim(flit->packet() == this, "flit received by wrong packet");
+    checkSim(flit->id() == receivedFlits_,
+             "flit out of order: got id ", flit->id(), ", expected ",
+             receivedFlits_);
+    ++receivedFlits_;
+    checkSim(receivedFlits_ <= numFlits(), "packet over-received");
+    return receivedFlits_ == numFlits();
+}
+
+}  // namespace ss

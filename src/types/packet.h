@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A packet: an ordered sequence of flits routed as a unit.
+ *
+ * Packets also carry the per-packet routing state that adaptive algorithms
+ * maintain across hops (routing phase, Valiant intermediate, dateline VC
+ * class) and bookkeeping for statistics (hop counts, minimal/non-minimal).
+ */
+#ifndef SS_TYPES_PACKET_H_
+#define SS_TYPES_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/time.h"
+#include "types/flit.h"
+
+namespace ss {
+
+class Message;
+
+/** The unit of routing: a train of flits. */
+class Packet {
+  public:
+    /** Sentinel for "no intermediate chosen". */
+    static constexpr std::int64_t kNoIntermediate = -1;
+
+    /** @param message   owning message
+     *  @param id        position within the message (0-based)
+     *  @param num_flits number of flits (>= 1) */
+    Packet(Message* message, std::uint32_t id, std::uint32_t num_flits);
+
+    Packet(const Packet&) = delete;
+    Packet& operator=(const Packet&) = delete;
+
+    Message* message() const { return message_; }
+    std::uint32_t id() const { return id_; }
+
+    std::uint32_t numFlits() const;
+    Flit* flit(std::uint32_t index) const;
+    Flit* headFlit() const { return flit(0); }
+    Flit* tailFlit() const { return flit(numFlits() - 1); }
+
+    // ----- routing state (owned by routing algorithms) -----
+
+    /** Multi-phase routing progress (e.g. 0 = toward intermediate,
+     *  1 = toward destination for Valiant-style algorithms). */
+    std::uint32_t routingPhase() const { return routingPhase_; }
+    void setRoutingPhase(std::uint32_t phase) { routingPhase_ = phase; }
+
+    /** Valiant/UGAL intermediate router, or kNoIntermediate. */
+    std::int64_t intermediate() const { return intermediate_; }
+    void setIntermediate(std::int64_t node) { intermediate_ = node; }
+
+    /** Dateline VC class for torus routing. */
+    std::uint32_t vcClass() const { return vcClass_; }
+    void setVcClass(std::uint32_t c) { vcClass_ = c; }
+
+    /** True once any hop took a non-minimal route. */
+    bool tookNonminimal() const { return tookNonminimal_; }
+    void setTookNonminimal() { tookNonminimal_ = true; }
+
+    // ----- statistics -----
+
+    std::uint32_t hopCount() const { return hopCount_; }
+    void incrementHopCount() { ++hopCount_; }
+
+    /** Head-flit injection at the source interface. */
+    Time injectTime() const { return injectTime_; }
+    void setInjectTime(Time t) { injectTime_ = t; }
+
+    /** Tail-flit ejection at the destination interface. */
+    Time ejectTime() const { return ejectTime_; }
+    void setEjectTime(Time t) { ejectTime_ = t; }
+
+    /** Destination-side reassembly: counts received flits; returns true
+     *  when the packet is complete. */
+    bool receiveFlit(const Flit* flit);
+    std::uint32_t receivedFlits() const { return receivedFlits_; }
+
+  private:
+    Message* message_;
+    std::uint32_t id_;
+    std::vector<std::unique_ptr<Flit>> flits_;
+
+    std::uint32_t routingPhase_ = 0;
+    std::int64_t intermediate_ = kNoIntermediate;
+    std::uint32_t vcClass_ = 0;
+    bool tookNonminimal_ = false;
+
+    std::uint32_t hopCount_ = 0;
+    Time injectTime_ = Time::invalid();
+    Time ejectTime_ = Time::invalid();
+    std::uint32_t receivedFlits_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_TYPES_PACKET_H_

@@ -1,0 +1,59 @@
+#include "workload/application.h"
+
+#include "workload/terminal.h"
+
+namespace ss {
+
+Application::Application(Simulator* simulator, const std::string& name,
+                         const Component* parent, Workload* workload,
+                         std::uint32_t id, const json::Value& settings)
+    : Component(simulator, name, parent), workload_(workload), id_(id)
+{
+    (void)settings;
+}
+
+Application::~Application() = default;
+
+std::uint32_t
+Application::numTerminals() const
+{
+    return static_cast<std::uint32_t>(terminals_.size());
+}
+
+Terminal*
+Application::terminal(std::uint32_t id) const
+{
+    checkSim(id < terminals_.size(), "terminal id out of range");
+    return terminals_[id].get();
+}
+
+void
+Application::adoptTerminal(Terminal* terminal)
+{
+    checkSim(terminal->id() == terminals_.size(),
+             "terminals must be adopted in endpoint order");
+    terminals_.emplace_back(terminal);
+}
+
+void
+Application::signalReady()
+{
+    schedule(Time(now().tick, eps::kControl),
+             [this]() { workload_->applicationReady(id_); });
+}
+
+void
+Application::signalComplete()
+{
+    schedule(Time(now().tick, eps::kControl),
+             [this]() { workload_->applicationComplete(id_); });
+}
+
+void
+Application::signalDone()
+{
+    schedule(Time(now().tick, eps::kControl),
+             [this]() { workload_->applicationDone(id_); });
+}
+
+}  // namespace ss

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Abstract Application (paper §IV-A): constructs one Terminal per network
+ * endpoint and participates in the Workload's four-phase handshake.
+ */
+#ifndef SS_WORKLOAD_APPLICATION_H_
+#define SS_WORKLOAD_APPLICATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/component.h"
+#include "json/json.h"
+#include "workload/workload.h"
+
+namespace ss {
+
+class Terminal;
+
+/** Base class of all application models. */
+class Application : public Component {
+  public:
+    /** @param id index of this application within the workload */
+    Application(Simulator* simulator, const std::string& name,
+                const Component* parent, Workload* workload,
+                std::uint32_t id, const json::Value& settings);
+    ~Application() override;
+
+    Workload* workload() const { return workload_; }
+    std::uint32_t id() const { return id_; }
+    std::uint32_t numTerminals() const;
+    Terminal* terminal(std::uint32_t id) const;
+
+    // ----- commands from the Workload (Figure 4 right-to-left) -----
+    /** Enter the Generating phase. */
+    virtual void start() = 0;
+    /** Enter the Finishing phase. */
+    virtual void stop() = 0;
+    /** Enter the Draining phase; no further traffic may be generated. */
+    virtual void kill() = 0;
+
+    /** Terminal callback: a message created by this application was
+     *  delivered somewhere. */
+    virtual void messageDelivered(const Message* message) = 0;
+
+  protected:
+    /** Subclasses populate terminals_ with their own terminal model, one
+     *  per network endpoint, and each terminal registers itself as the
+     *  interface's sink for this app. */
+    void adoptTerminal(Terminal* terminal);
+
+    /** Sends the corresponding signal to the workload, decoupled through
+     *  a control-epsilon event to avoid re-entrant phase changes. */
+    void signalReady();
+    void signalComplete();
+    void signalDone();
+
+    Workload* workload_;
+    std::uint32_t id_;
+    std::vector<std::unique_ptr<Terminal>> terminals_;
+};
+
+}  // namespace ss
+
+#endif  // SS_WORKLOAD_APPLICATION_H_

@@ -1,0 +1,180 @@
+#include "workload/blast.h"
+
+#include <cmath>
+
+#include "json/settings.h"
+
+namespace ss {
+
+BlastTerminal::BlastTerminal(Simulator* simulator, const std::string& name,
+                             const Component* parent,
+                             BlastApplication* app, std::uint32_t id,
+                             const json::Value& settings)
+    : Terminal(simulator, name, parent, app, id), blast_(app)
+{
+    (void)settings;
+    json::Value traffic_settings = app->trafficSettings();
+    std::string type = json::getString(traffic_settings, "type");
+    traffic_.reset(TrafficPatternFactory::instance().create(
+        type, simulator, "traffic", this,
+        app->workload()->network()->numInterfaces(), id,
+        traffic_settings));
+
+    double rate = app->injectionRate();
+    Tick period = app->workload()->network()->channelPeriod();
+    meanInterarrival_ =
+        rate > 0.0 ? app->messageSize() * static_cast<double>(period) /
+                         rate
+                   : 0.0;
+}
+
+void
+BlastTerminal::startInjecting()
+{
+    if (meanInterarrival_ <= 0.0) {
+        return;  // zero offered load
+    }
+    scheduleNextInjection();
+}
+
+void
+BlastTerminal::scheduleNextInjection()
+{
+    // Accumulate interarrival times in continuous time and round only
+    // when scheduling, so the offered rate is exact rather than biased
+    // by per-event truncation to ticks.
+    nextTime_ += random().nextExponential(meanInterarrival_);
+    auto when = static_cast<Tick>(std::llround(nextTime_));
+    if (when < now().tick) {
+        when = now().tick;
+    }
+    schedule(Time(when, eps::kControl), [this]() { injectNext(); });
+}
+
+void
+BlastTerminal::injectNext()
+{
+    if (blast_->killed()) {
+        return;  // draining: no new traffic, and no more events
+    }
+    bool sampled = blast_->sampling();
+    if (sampled && blast_->samplesPerTerminal() > 0) {
+        if (mySamples_ >= blast_->samplesPerTerminal()) {
+            sampled = false;
+        }
+    }
+    sendMessage(traffic_->nextDestination(), blast_->messageSize(),
+                blast_->maxPacketSize(), sampled);
+    if (sampled) {
+        blast_->sampledSent();
+        ++mySamples_;
+        if (blast_->samplesPerTerminal() > 0 &&
+            mySamples_ == blast_->samplesPerTerminal()) {
+            blast_->terminalQuotaReached();
+        }
+    }
+    scheduleNextInjection();
+}
+
+BlastApplication::BlastApplication(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent,
+                                   Workload* workload, std::uint32_t id,
+                                   const json::Value& settings)
+    : Application(simulator, name, parent, workload, id, settings),
+      injectionRate_(json::getFloat(settings, "injection_rate")),
+      messageSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "message_size", 1))),
+      maxPacketSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "max_packet_size", 64))),
+      traffic_(settings.at("traffic")),
+      warmupDuration_(json::getUint(settings, "warmup_duration", 0)),
+      numSamples_(json::getUint(settings, "num_samples", 0)),
+      sampleDuration_(json::getUint(settings, "sample_duration", 0))
+{
+    checkUser(injectionRate_ >= 0.0, "injection_rate must be >= 0");
+    checkUser(messageSize_ >= 1, "message_size must be >= 1");
+    checkUser(numSamples_ == 0 || sampleDuration_ == 0,
+              "choose either num_samples or sample_duration, not both");
+    checkUser(injectionRate_ > 0.0 || numSamples_ == 0,
+              "num_samples needs a positive injection_rate");
+
+    std::uint32_t endpoints = workload->network()->numInterfaces();
+    for (std::uint32_t t = 0; t < endpoints; ++t) {
+        auto* terminal = new BlastTerminal(
+            simulator, strf("terminal_", t), this, this, t, settings);
+        adoptTerminal(terminal);
+        terminal->startInjecting();
+    }
+
+    // Warm the network, then report Ready.
+    schedule(Time(warmupDuration_, eps::kControl),
+             [this]() { signalReady(); });
+}
+
+void
+BlastApplication::start()
+{
+    sampling_ = true;
+    if (numSamples_ == 0 && sampleDuration_ == 0) {
+        // Another application defines the window (Blast+Pulse transient):
+        // Complete immediately, keep flagging until Stop.
+        signalComplete();
+    } else if (sampleDuration_ > 0) {
+        schedule(Time(now().tick + sampleDuration_, eps::kControl),
+                 [this]() { signalComplete(); });
+    }
+    // num_samples mode: Complete when every terminal reaches its quota.
+}
+
+void
+BlastApplication::stop()
+{
+    sampling_ = false;
+    finishing_ = true;
+    maybeDone();
+}
+
+void
+BlastApplication::kill()
+{
+    killed_ = true;
+}
+
+void
+BlastApplication::sampledSent()
+{
+    ++sampledSent_;
+}
+
+void
+BlastApplication::terminalQuotaReached()
+{
+    ++terminalsAtQuota_;
+    if (terminalsAtQuota_ == numTerminals()) {
+        signalComplete();
+    }
+}
+
+void
+BlastApplication::messageDelivered(const Message* message)
+{
+    if (message->sampled()) {
+        ++sampledDelivered_;
+        maybeDone();
+    }
+}
+
+void
+BlastApplication::maybeDone()
+{
+    if (finishing_ && !doneSignaled_ &&
+        sampledDelivered_ == sampledSent_) {
+        doneSignaled_ = true;
+        signalDone();
+    }
+}
+
+SS_REGISTER(ApplicationFactory, "blast", BlastApplication);
+
+}  // namespace ss

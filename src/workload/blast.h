@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Blast application (paper §IV-A): steady-state synthetic traffic.
+ * Every terminal injects messages with exponential interarrival at a
+ * configured rate toward a configured traffic pattern, warming the
+ * network before sampling and continuing to inject at constant rate
+ * until the workload kills it.
+ *
+ * Settings:
+ *   "injection_rate":  float — offered load in flits/cycle/terminal
+ *   "message_size":    uint flits (default 1)
+ *   "max_packet_size": uint flits (default 64)
+ *   "traffic":         traffic pattern block ("type" + its settings)
+ *   "warmup_duration": uint ticks before Ready (default 0)
+ *   Completion: exactly one of
+ *     "num_samples":     uint — sampled messages per terminal, or
+ *     "sample_duration": uint ticks of sampling window, or neither —
+ *                        Complete immediately (another app defines the
+ *                        window, as in the Blast+Pulse transient).
+ */
+#ifndef SS_WORKLOAD_BLAST_H_
+#define SS_WORKLOAD_BLAST_H_
+
+#include <memory>
+
+#include "traffic/traffic_pattern.h"
+#include "workload/application.h"
+#include "workload/terminal.h"
+
+namespace ss {
+
+class BlastApplication;
+
+/** Per-endpoint Blast traffic generator. */
+class BlastTerminal : public Terminal {
+  public:
+    BlastTerminal(Simulator* simulator, const std::string& name,
+                  const Component* parent, BlastApplication* app,
+                  std::uint32_t id, const json::Value& settings);
+
+    /** Kicks off the injection process. */
+    void startInjecting();
+
+  private:
+    void injectNext();
+    void scheduleNextInjection();
+
+    BlastApplication* blast_;
+    std::unique_ptr<TrafficPattern> traffic_;
+    double meanInterarrival_;  // ticks
+    double nextTime_ = 0.0;    // continuous-time injection accumulator
+    std::uint64_t mySamples_ = 0;
+};
+
+/** The steady-state traffic application. */
+class BlastApplication : public Application {
+  public:
+    BlastApplication(Simulator* simulator, const std::string& name,
+                     const Component* parent, Workload* workload,
+                     std::uint32_t id, const json::Value& settings);
+
+    // ----- workload commands -----
+    void start() override;
+    void stop() override;
+    void kill() override;
+    void messageDelivered(const Message* message) override;
+
+    // ----- terminal callbacks -----
+    bool killed() const { return killed_; }
+    /** True while messages should be flagged for sampling. */
+    bool sampling() const { return sampling_; }
+    std::uint64_t samplesPerTerminal() const { return numSamples_; }
+    void sampledSent();
+    void terminalQuotaReached();
+
+    double injectionRate() const { return injectionRate_; }
+    std::uint32_t messageSize() const { return messageSize_; }
+    std::uint32_t maxPacketSize() const { return maxPacketSize_; }
+    const json::Value& trafficSettings() const { return traffic_; }
+
+  private:
+    void maybeDone();
+
+    double injectionRate_;
+    std::uint32_t messageSize_;
+    std::uint32_t maxPacketSize_;
+    json::Value traffic_;
+    Tick warmupDuration_;
+    std::uint64_t numSamples_;
+    Tick sampleDuration_;
+
+    bool sampling_ = false;
+    bool finishing_ = false;
+    bool killed_ = false;
+    bool doneSignaled_ = false;
+    std::uint64_t sampledSent_ = 0;
+    std::uint64_t sampledDelivered_ = 0;
+    std::uint32_t terminalsAtQuota_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_WORKLOAD_BLAST_H_

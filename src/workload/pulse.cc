@@ -1,0 +1,147 @@
+#include "workload/pulse.h"
+
+#include <cmath>
+
+#include "json/settings.h"
+
+namespace ss {
+
+PulseTerminal::PulseTerminal(Simulator* simulator, const std::string& name,
+                             const Component* parent,
+                             PulseApplication* app, std::uint32_t id,
+                             const json::Value& settings)
+    : Terminal(simulator, name, parent, app, id), pulse_(app)
+{
+    (void)settings;
+    json::Value traffic_settings = app->trafficSettings();
+    std::string type = json::getString(traffic_settings, "type");
+    traffic_.reset(TrafficPatternFactory::instance().create(
+        type, simulator, "traffic", this,
+        app->workload()->network()->numInterfaces(), id,
+        traffic_settings));
+
+    double rate = app->injectionRate();
+    Tick period = app->workload()->network()->channelPeriod();
+    meanInterarrival_ =
+        rate > 0.0 ? app->messageSize() * static_cast<double>(period) /
+                         rate
+                   : 0.0;
+}
+
+void
+PulseTerminal::startBurst()
+{
+    if (pulse_->messagesPerTerminal() == 0 || meanInterarrival_ <= 0.0) {
+        pulse_->terminalFinished();
+        return;
+    }
+    nextTime_ = static_cast<double>(now().tick);
+    injectNext();
+}
+
+void
+PulseTerminal::injectNext()
+{
+    if (pulse_->killed()) {
+        return;
+    }
+    sendMessage(traffic_->nextDestination(), pulse_->messageSize(),
+                pulse_->maxPacketSize(), /*sampled=*/true);
+    pulse_->messageSent();
+    ++sent_;
+    if (sent_ == pulse_->messagesPerTerminal()) {
+        pulse_->terminalFinished();
+        return;
+    }
+    // Continuous-time accumulator: exact offered rate (see Blast).
+    nextTime_ += random().nextExponential(meanInterarrival_);
+    auto when = static_cast<Tick>(std::llround(nextTime_));
+    if (when < now().tick) {
+        when = now().tick;
+    }
+    schedule(Time(when, eps::kControl), [this]() { injectNext(); });
+}
+
+PulseApplication::PulseApplication(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent,
+                                   Workload* workload, std::uint32_t id,
+                                   const json::Value& settings)
+    : Application(simulator, name, parent, workload, id, settings),
+      injectionRate_(json::getFloat(settings, "injection_rate")),
+      numMessages_(json::getUint(settings, "num_messages")),
+      messageSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "message_size", 1))),
+      maxPacketSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "max_packet_size", 64))),
+      traffic_(settings.at("traffic")),
+      delay_(json::getUint(settings, "delay", 0))
+{
+    checkUser(injectionRate_ >= 0.0, "injection_rate must be >= 0");
+    std::uint32_t endpoints = workload->network()->numInterfaces();
+    for (std::uint32_t t = 0; t < endpoints; ++t) {
+        adoptTerminal(new PulseTerminal(
+            simulator, strf("terminal_", t), this, this, t, settings));
+    }
+    // Pulse does no warming: Ready immediately.
+    schedule(Time(0, eps::kControl), [this]() { signalReady(); });
+}
+
+void
+PulseApplication::start()
+{
+    schedule(Time(now().tick + delay_, eps::kControl), [this]() {
+        for (std::uint32_t t = 0; t < numTerminals(); ++t) {
+            static_cast<PulseTerminal*>(terminal(t))->startBurst();
+        }
+    });
+}
+
+void
+PulseApplication::stop()
+{
+    finishing_ = true;
+    maybeDone();
+}
+
+void
+PulseApplication::kill()
+{
+    killed_ = true;
+}
+
+void
+PulseApplication::messageSent()
+{
+    ++sent_;
+}
+
+void
+PulseApplication::terminalFinished()
+{
+    ++terminalsFinished_;
+    if (terminalsFinished_ == numTerminals()) {
+        signalComplete();
+    }
+}
+
+void
+PulseApplication::messageDelivered(const Message* message)
+{
+    (void)message;
+    ++delivered_;
+    maybeDone();
+}
+
+void
+PulseApplication::maybeDone()
+{
+    if (finishing_ && !doneSignaled_ && delivered_ == sent_) {
+        doneSignaled_ = true;
+        signalDone();
+    }
+}
+
+SS_REGISTER(ApplicationFactory, "pulse", PulseApplication);
+
+}  // namespace ss

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Pulse application (paper §IV-A, Figure 5): a temporary disturbance
+ * for transient analysis. Pulse idles through warming (Ready at once),
+ * then on Start each terminal injects a fixed burst of messages at its
+ * configured rate; Complete fires when the burst has been sent and Done
+ * when it has fully drained.
+ *
+ * Settings:
+ *   "injection_rate":  float flits/cycle/terminal during the burst
+ *   "num_messages":    uint messages per terminal in the burst
+ *   "message_size":    uint flits (default 1)
+ *   "max_packet_size": uint flits (default 64)
+ *   "traffic":         traffic pattern block
+ *   "delay":           uint ticks after Start before the burst (default 0)
+ */
+#ifndef SS_WORKLOAD_PULSE_H_
+#define SS_WORKLOAD_PULSE_H_
+
+#include <memory>
+
+#include "traffic/traffic_pattern.h"
+#include "workload/application.h"
+#include "workload/terminal.h"
+
+namespace ss {
+
+class PulseApplication;
+
+/** Per-endpoint burst generator. */
+class PulseTerminal : public Terminal {
+  public:
+    PulseTerminal(Simulator* simulator, const std::string& name,
+                  const Component* parent, PulseApplication* app,
+                  std::uint32_t id, const json::Value& settings);
+
+    /** Begins the burst (called at Start + delay). */
+    void startBurst();
+
+  private:
+    void injectNext();
+
+    PulseApplication* pulse_;
+    std::unique_ptr<TrafficPattern> traffic_;
+    double meanInterarrival_;
+    double nextTime_ = 0.0;
+    std::uint64_t sent_ = 0;
+};
+
+/** The disturbance application. */
+class PulseApplication : public Application {
+  public:
+    PulseApplication(Simulator* simulator, const std::string& name,
+                     const Component* parent, Workload* workload,
+                     std::uint32_t id, const json::Value& settings);
+
+    void start() override;
+    void stop() override;
+    void kill() override;
+    void messageDelivered(const Message* message) override;
+
+    bool killed() const { return killed_; }
+    std::uint64_t messagesPerTerminal() const { return numMessages_; }
+    double injectionRate() const { return injectionRate_; }
+    std::uint32_t messageSize() const { return messageSize_; }
+    std::uint32_t maxPacketSize() const { return maxPacketSize_; }
+    const json::Value& trafficSettings() const { return traffic_; }
+
+    void messageSent();
+    void terminalFinished();
+
+  private:
+    void maybeDone();
+
+    double injectionRate_;
+    std::uint64_t numMessages_;
+    std::uint32_t messageSize_;
+    std::uint32_t maxPacketSize_;
+    json::Value traffic_;
+    Tick delay_;
+
+    bool finishing_ = false;
+    bool killed_ = false;
+    bool doneSignaled_ = false;
+    std::uint64_t sent_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint32_t terminalsFinished_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_WORKLOAD_PULSE_H_

@@ -1,0 +1,215 @@
+#include "workload/stencil.h"
+
+#include "json/settings.h"
+
+namespace ss {
+
+StencilTerminal::StencilTerminal(Simulator* simulator,
+                                 const std::string& name,
+                                 const Component* parent,
+                                 StencilApplication* app,
+                                 std::uint32_t id)
+    : Terminal(simulator, name, parent, app, id), stencil_(app)
+{
+}
+
+void
+StencilTerminal::setNeighbors(std::vector<std::uint32_t> neighbors)
+{
+    neighbors_ = std::move(neighbors);
+    halosFrom_.assign(neighbors_.size(), 0);
+}
+
+void
+StencilTerminal::startIterations()
+{
+    if (stencil_->iterations() == 0 || neighbors_.empty()) {
+        stencil_->terminalFinished();
+        return;
+    }
+    sendHalos();
+}
+
+void
+StencilTerminal::sendHalos()
+{
+    waiting_ = true;
+    for (std::uint32_t neighbor : neighbors_) {
+        sendMessage(neighbor, stencil_->messageSize(),
+                    stencil_->maxPacketSize(), /*sampled=*/true);
+        stencil_->messageSent();
+    }
+    checkIterationComplete();
+}
+
+void
+StencilTerminal::haloArrived(std::uint32_t from)
+{
+    for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+        if (neighbors_[i] == from) {
+            ++halosFrom_[i];
+            checkIterationComplete();
+            return;
+        }
+    }
+    panic("stencil halo from non-neighbor ", from, " at terminal ",
+          id());
+}
+
+void
+StencilTerminal::checkIterationComplete()
+{
+    if (!waiting_ || computing_ || stencil_->killed()) {
+        return;
+    }
+    for (std::uint64_t count : halosFrom_) {
+        if (count < iteration_ + 1) {
+            return;  // still missing a halo for this iteration
+        }
+    }
+    waiting_ = false;
+    // Fixed compute time between exchanges (the "skeleton" part of the
+    // motif).
+    if (stencil_->computeTime() > 0) {
+        computing_ = true;
+        schedule(Time(now().tick + stencil_->computeTime(),
+                      eps::kControl),
+                 [this]() {
+                     computing_ = false;
+                     finishIteration();
+                 });
+    } else {
+        finishIteration();
+    }
+}
+
+void
+StencilTerminal::finishIteration()
+{
+    ++iteration_;
+    if (iteration_ >= stencil_->iterations()) {
+        stencil_->terminalFinished();
+        return;
+    }
+    if (!stencil_->killed()) {
+        sendHalos();
+    }
+}
+
+StencilApplication::StencilApplication(Simulator* simulator,
+                                       const std::string& name,
+                                       const Component* parent,
+                                       Workload* workload,
+                                       std::uint32_t id,
+                                       const json::Value& settings)
+    : Application(simulator, name, parent, workload, id, settings),
+      iterations_(json::getUint(settings, "iterations")),
+      messageSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "message_size", 1))),
+      maxPacketSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "max_packet_size", 64))),
+      computeTime_(json::getUint(settings, "compute_time", 0))
+{
+    checkUser(iterations_ >= 1, "stencil needs iterations >= 1");
+    std::uint32_t endpoints = workload->network()->numInterfaces();
+    auto widths = json::getUintVector(settings, "widths");
+    std::uint64_t cells = 1;
+    for (std::uint64_t w : widths) {
+        checkUser(w >= 1, "stencil widths must be >= 1");
+        cells *= w;
+    }
+    checkUser(cells == endpoints, "stencil grid (", cells,
+              " cells) must match ", endpoints, " terminals");
+
+    std::vector<StencilTerminal*> terminals;
+    for (std::uint32_t t = 0; t < endpoints; ++t) {
+        auto* terminal = new StencilTerminal(
+            simulator, strf("terminal_", t), this, this, t);
+        adoptTerminal(terminal);
+        terminals.push_back(terminal);
+    }
+
+    // Logical torus neighbors: +/-1 in every grid dimension with
+    // wraparound; width-1 and width-2 dimensions avoid duplicates.
+    for (std::uint32_t t = 0; t < endpoints; ++t) {
+        std::vector<std::uint32_t> neighbors;
+        std::uint64_t stride = 1;
+        for (std::uint64_t w : widths) {
+            if (w >= 2) {
+                std::uint64_t coord = (t / stride) % w;
+                std::uint64_t up = t + ((coord + 1) % w - coord) * stride;
+                std::uint64_t down =
+                    t + ((coord + w - 1) % w - coord) * stride;
+                neighbors.push_back(static_cast<std::uint32_t>(up));
+                if (down != up) {
+                    neighbors.push_back(
+                        static_cast<std::uint32_t>(down));
+                }
+            }
+            stride *= w;
+        }
+        terminals[t]->setNeighbors(std::move(neighbors));
+    }
+
+    schedule(Time(0, eps::kControl), [this]() { signalReady(); });
+}
+
+void
+StencilApplication::start()
+{
+    startTick_ = now().tick;
+    for (std::uint32_t t = 0; t < numTerminals(); ++t) {
+        static_cast<StencilTerminal*>(terminal(t))->startIterations();
+    }
+}
+
+void
+StencilApplication::stop()
+{
+    finishing_ = true;
+    maybeDone();
+}
+
+void
+StencilApplication::kill()
+{
+    killed_ = true;
+}
+
+void
+StencilApplication::messageSent()
+{
+    ++sent_;
+}
+
+void
+StencilApplication::terminalFinished()
+{
+    ++terminalsFinished_;
+    lastFinish_ = now().tick;
+    if (terminalsFinished_ == numTerminals()) {
+        signalComplete();
+    }
+}
+
+void
+StencilApplication::messageDelivered(const Message* message)
+{
+    ++delivered_;
+    static_cast<StencilTerminal*>(terminal(message->destination()))
+        ->haloArrived(message->source());
+    maybeDone();
+}
+
+void
+StencilApplication::maybeDone()
+{
+    if (finishing_ && !doneSignaled_ && delivered_ == sent_) {
+        doneSignaled_ = true;
+        signalDone();
+    }
+}
+
+SS_REGISTER(ApplicationFactory, "stencil", StencilApplication);
+
+}  // namespace ss

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The Stencil application: a bulk-synchronous halo-exchange *motif* in
+ * the style of SST's skeleton applications (paper §II) — fixed compute
+ * times plus runtime interactions, as opposed to Blast's open-loop
+ * injection. Terminals form a logical torus grid; every iteration each
+ * terminal sends one halo message to each of its 2×dims neighbors,
+ * waits until it has received the iteration's halos from all of them,
+ * "computes" for a fixed delay, and proceeds to the next iteration.
+ *
+ * Traffic is therefore closed-loop and dependency-driven: a slow link
+ * stalls its neighbors, and the per-iteration time directly measures
+ * how the network's latency tail throttles a parallel application.
+ *
+ * Settings:
+ *   "widths":       [g0, g1, ...] — logical grid shape; the product must
+ *                   equal the number of network terminals
+ *   "iterations":   uint — halo exchanges to run (>= 1)
+ *   "message_size": uint flits per halo message (default 1)
+ *   "max_packet_size": uint (default 64)
+ *   "compute_time": uint ticks of compute between exchanges (default 0)
+ *
+ * Ready immediately; Complete when every terminal finished its last
+ * iteration; Done when all messages drained.
+ */
+#ifndef SS_WORKLOAD_STENCIL_H_
+#define SS_WORKLOAD_STENCIL_H_
+
+#include <vector>
+
+#include "workload/application.h"
+#include "workload/terminal.h"
+
+namespace ss {
+
+class StencilApplication;
+
+/** Per-endpoint stencil rank. */
+class StencilTerminal : public Terminal {
+  public:
+    StencilTerminal(Simulator* simulator, const std::string& name,
+                    const Component* parent, StencilApplication* app,
+                    std::uint32_t id);
+
+    /** Wires the neighbor list (called once by the application). */
+    void setNeighbors(std::vector<std::uint32_t> neighbors);
+
+    /** Begins iteration 0 (the Start command). */
+    void startIterations();
+
+    /** Neighbor halo arrived (routed from the application). */
+    void haloArrived(std::uint32_t from);
+
+    std::uint64_t iterationsFinished() const { return iteration_; }
+
+  private:
+    void sendHalos();
+    void checkIterationComplete();
+    void finishIteration();
+
+    StencilApplication* stencil_;
+    std::vector<std::uint32_t> neighbors_;
+    // halosFrom_[i]: total halos received from neighbors_[i]; the
+    // iteration-k exchange is complete when every count is >= k+1
+    // (robust to reordering across iterations).
+    std::vector<std::uint64_t> halosFrom_;
+    std::uint64_t iteration_ = 0;
+    bool waiting_ = false;   ///< sent this iteration's halos, waiting
+    bool computing_ = false;
+};
+
+/** The halo-exchange motif application. */
+class StencilApplication : public Application {
+  public:
+    StencilApplication(Simulator* simulator, const std::string& name,
+                       const Component* parent, Workload* workload,
+                       std::uint32_t id, const json::Value& settings);
+
+    void start() override;
+    void stop() override;
+    void kill() override;
+    void messageDelivered(const Message* message) override;
+
+    bool killed() const { return killed_; }
+    std::uint64_t iterations() const { return iterations_; }
+    std::uint32_t messageSize() const { return messageSize_; }
+    std::uint32_t maxPacketSize() const { return maxPacketSize_; }
+    Tick computeTime() const { return computeTime_; }
+
+    /** Terminal callbacks. */
+    void messageSent();
+    void terminalFinished();
+
+    /** Ticks from Start to the last terminal finishing (valid once the
+     *  application Completed). */
+    Tick elapsedTicks() const { return lastFinish_ - startTick_; }
+
+  private:
+    void maybeDone();
+
+    std::uint64_t iterations_;
+    std::uint32_t messageSize_;
+    std::uint32_t maxPacketSize_;
+    Tick computeTime_;
+
+    bool killed_ = false;
+    bool finishing_ = false;
+    bool doneSignaled_ = false;
+    std::uint64_t sent_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint32_t terminalsFinished_ = 0;
+    Tick startTick_ = 0;
+    Tick lastFinish_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_WORKLOAD_STENCIL_H_

@@ -1,0 +1,45 @@
+#include "workload/terminal.h"
+
+#include "workload/application.h"
+#include "workload/workload.h"
+
+namespace ss {
+
+Terminal::Terminal(Simulator* simulator, const std::string& name,
+                   const Component* parent, Application* application,
+                   std::uint32_t id)
+    : Component(simulator, name, parent),
+      application_(application),
+      id_(id),
+      interface_(application->workload()->network()->interface(id))
+{
+    interface_->setMessageSink(application->id(), this);
+}
+
+Terminal::~Terminal() = default;
+
+std::uint64_t
+Terminal::sendMessage(std::uint32_t destination, std::uint32_t num_flits,
+                      std::uint32_t max_packet_size, bool sampled)
+{
+    Workload* workload = application_->workload();
+    std::uint64_t id = workload->nextMessageId();
+    auto message = std::make_unique<Message>(
+        id, application_->id(), id_, destination, num_flits,
+        max_packet_size);
+    message->setCreateTime(now());
+    message->setSampled(sampled);
+    ++messagesSent_;
+    interface_->injectMessage(std::move(message));
+    return id;
+}
+
+void
+Terminal::messageDelivered(Message* message)
+{
+    ++messagesReceived_;
+    application_->workload()->recordDelivered(message);
+    application_->messageDelivered(message);
+}
+
+}  // namespace ss

@@ -1,0 +1,216 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "json/settings.h"
+
+namespace ss {
+
+std::vector<TraceRecord>
+parseTraceText(const std::string& text)
+{
+    std::vector<TraceRecord> records;
+    std::istringstream stream(text);
+    std::string line;
+    bool first = true;
+    while (std::getline(stream, line)) {
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        if (first) {
+            checkUser(line == "time,src,dst,size",
+                      "trace header must be 'time,src,dst,size', got: ",
+                      line);
+            first = false;
+            continue;
+        }
+        TraceRecord record;
+        char* end = nullptr;
+        const char* p = line.c_str();
+        record.time = std::strtoull(p, &end, 10);
+        checkUser(end != p && *end == ',', "bad trace row: ", line);
+        p = end + 1;
+        record.source =
+            static_cast<std::uint32_t>(std::strtoul(p, &end, 10));
+        checkUser(end != p && *end == ',', "bad trace row: ", line);
+        p = end + 1;
+        record.destination =
+            static_cast<std::uint32_t>(std::strtoul(p, &end, 10));
+        checkUser(end != p && *end == ',', "bad trace row: ", line);
+        p = end + 1;
+        record.flits =
+            static_cast<std::uint32_t>(std::strtoul(p, &end, 10));
+        checkUser(end != p && *end == '\0' && record.flits >= 1,
+                  "bad trace row: ", line);
+        records.push_back(record);
+    }
+    checkUser(!first, "trace has no header");
+    return records;
+}
+
+TraceTerminal::TraceTerminal(Simulator* simulator, const std::string& name,
+                             const Component* parent,
+                             TraceApplication* app, std::uint32_t id)
+    : Terminal(simulator, name, parent, app, id), trace_(app)
+{
+}
+
+void
+TraceTerminal::addRecord(const TraceRecord& record)
+{
+    checkUser(records_.empty() || records_.back().time <= record.time,
+              "trace records for terminal ", id(),
+              " must be time-ordered");
+    records_.push_back(record);
+}
+
+void
+TraceTerminal::startReplay(Tick start_tick)
+{
+    startTick_ = start_tick;
+    if (next_ < records_.size()) {
+        schedule(Time(startTick_ + records_[next_].time, eps::kControl),
+                 [this]() { injectNext(); });
+    }
+}
+
+void
+TraceTerminal::injectNext()
+{
+    if (trace_->killed()) {
+        return;
+    }
+    const TraceRecord& record = records_[next_];
+    sendMessage(record.destination, record.flits,
+                trace_->maxPacketSize(), /*sampled=*/true);
+    trace_->recordInjected();
+    ++next_;
+    if (next_ < records_.size()) {
+        Tick when = startTick_ + records_[next_].time;
+        if (when < now().tick) {
+            when = now().tick;
+        }
+        schedule(Time(when, eps::kControl), [this]() { injectNext(); });
+    }
+}
+
+TraceApplication::TraceApplication(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent,
+                                   Workload* workload, std::uint32_t id,
+                                   const json::Value& settings)
+    : Application(simulator, name, parent, workload, id, settings),
+      maxPacketSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "max_packet_size", 64)))
+{
+    std::uint32_t endpoints = workload->network()->numInterfaces();
+    std::vector<TraceTerminal*> terminals;
+    for (std::uint32_t t = 0; t < endpoints; ++t) {
+        auto* terminal = new TraceTerminal(
+            simulator, strf("terminal_", t), this, this, t);
+        adoptTerminal(terminal);
+        terminals.push_back(terminal);
+    }
+
+    std::vector<TraceRecord> records;
+    if (settings.has("file")) {
+        std::string path = json::getString(settings, "file");
+        std::ifstream file(path);
+        checkUser(file.good(), "cannot open trace file: ", path);
+        std::ostringstream oss;
+        oss << file.rdbuf();
+        records = parseTraceText(oss.str());
+    } else {
+        checkUser(settings.has("messages"),
+                  "trace application needs 'file' or 'messages'");
+        const json::Value& rows = settings.at("messages");
+        checkUser(rows.isArray(), "'messages' must be an array");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const json::Value& row = rows.at(i);
+            checkUser(row.isArray() && row.size() == 4,
+                      "each trace message is [time, src, dst, size]");
+            records.push_back(TraceRecord{
+                row.at(std::size_t{0}).asUint(),
+                static_cast<std::uint32_t>(row.at(std::size_t{1})
+                                               .asUint()),
+                static_cast<std::uint32_t>(row.at(std::size_t{2})
+                                               .asUint()),
+                static_cast<std::uint32_t>(row.at(std::size_t{3})
+                                               .asUint())});
+        }
+    }
+
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                         return a.time < b.time;
+                     });
+    for (const auto& record : records) {
+        checkUser(record.source < endpoints, "trace source ",
+                  record.source, " out of range");
+        checkUser(record.destination < endpoints, "trace destination ",
+                  record.destination, " out of range");
+        terminals[record.source]->addRecord(record);
+    }
+    totalRecords_ = records.size();
+
+    // No warming needed: Ready immediately.
+    schedule(Time(0, eps::kControl), [this]() { signalReady(); });
+}
+
+void
+TraceApplication::start()
+{
+    Tick start_tick = now().tick;
+    for (std::uint32_t t = 0; t < numTerminals(); ++t) {
+        static_cast<TraceTerminal*>(terminal(t))->startReplay(start_tick);
+    }
+    if (totalRecords_ == 0) {
+        signalComplete();
+    }
+}
+
+void
+TraceApplication::stop()
+{
+    finishing_ = true;
+    maybeDone();
+}
+
+void
+TraceApplication::kill()
+{
+    killed_ = true;
+}
+
+void
+TraceApplication::recordInjected()
+{
+    ++injected_;
+    if (injected_ == totalRecords_) {
+        signalComplete();
+    }
+}
+
+void
+TraceApplication::messageDelivered(const Message* message)
+{
+    (void)message;
+    ++delivered_;
+    maybeDone();
+}
+
+void
+TraceApplication::maybeDone()
+{
+    if (finishing_ && !doneSignaled_ && delivered_ == injected_) {
+        doneSignaled_ = true;
+        signalDone();
+    }
+}
+
+SS_REGISTER(ApplicationFactory, "trace", TraceApplication);
+
+}  // namespace ss

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Trace application: replays a recorded message trace — the
+ * trace-driven injection style of tools like CODES/TraceR (paper §II),
+ * available here as just another Application under the four-phase
+ * handshake, so traces can overlap with synthetic background traffic.
+ *
+ * Messages are given as (time, source, destination, size_flits) rows;
+ * times are relative to the Start command, so the warming of other
+ * applications composes naturally.
+ *
+ * Settings:
+ *   "file":     CSV path with header "time,src,dst,size" — or
+ *   "messages": inline JSON array of [time, src, dst, size] rows
+ *   "max_packet_size": uint flits (default 64)
+ *
+ * The application is Ready immediately, Complete when every trace
+ * message has been injected, and Done when all have been delivered.
+ */
+#ifndef SS_WORKLOAD_TRACE_H_
+#define SS_WORKLOAD_TRACE_H_
+
+#include <vector>
+
+#include "workload/application.h"
+#include "workload/terminal.h"
+
+namespace ss {
+
+class TraceApplication;
+
+/** One trace row. */
+struct TraceRecord {
+    Tick time = 0;  ///< injection time relative to Start
+    std::uint32_t source = 0;
+    std::uint32_t destination = 0;
+    std::uint32_t flits = 1;
+};
+
+/** Parses "time,src,dst,size" CSV text into records. */
+std::vector<TraceRecord> parseTraceText(const std::string& text);
+
+/** Per-endpoint trace replayer. */
+class TraceTerminal : public Terminal {
+  public:
+    TraceTerminal(Simulator* simulator, const std::string& name,
+                  const Component* parent, TraceApplication* app,
+                  std::uint32_t id);
+
+    /** Adds one record during construction (records must arrive in
+     *  nondecreasing time order). */
+    void addRecord(const TraceRecord& record);
+
+    std::size_t recordCount() const { return records_.size(); }
+
+    /** Begins replay; @p start_tick is the Start command's time. */
+    void startReplay(Tick start_tick);
+
+  private:
+    void injectNext();
+
+    TraceApplication* trace_;
+    std::vector<TraceRecord> records_;
+    std::size_t next_ = 0;
+    Tick startTick_ = 0;
+};
+
+/** The trace-replay application. */
+class TraceApplication : public Application {
+  public:
+    TraceApplication(Simulator* simulator, const std::string& name,
+                     const Component* parent, Workload* workload,
+                     std::uint32_t id, const json::Value& settings);
+
+    void start() override;
+    void stop() override;
+    void kill() override;
+    void messageDelivered(const Message* message) override;
+
+    bool killed() const { return killed_; }
+    std::uint32_t maxPacketSize() const { return maxPacketSize_; }
+    std::uint64_t totalRecords() const { return totalRecords_; }
+
+    /** Terminal callback: one record injected. */
+    void recordInjected();
+
+  private:
+    void maybeDone();
+
+    std::uint32_t maxPacketSize_;
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
+    bool finishing_ = false;
+    bool killed_ = false;
+    bool doneSignaled_ = false;
+};
+
+}  // namespace ss
+
+#endif  // SS_WORKLOAD_TRACE_H_

@@ -1,0 +1,176 @@
+#include "workload/workload.h"
+
+#include "json/settings.h"
+#include "workload/application.h"
+
+namespace ss {
+
+const char*
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::kWarming: return "warming";
+      case Phase::kGenerating: return "generating";
+      case Phase::kFinishing: return "finishing";
+      case Phase::kDraining: return "draining";
+    }
+    return "?";
+}
+
+Workload::Workload(Simulator* simulator, const std::string& name,
+                   const Component* parent, Network* network,
+                   const json::Value& settings)
+    : Component(simulator, name, parent), network_(network)
+{
+    checkUser(settings.has("applications"),
+              "workload needs an 'applications' array");
+    const json::Value& apps = settings.at("applications");
+    checkUser(apps.isArray() && apps.size() > 0,
+              "'applications' must be a non-empty array");
+
+    rateMonitor_.resize(network->numInterfaces());
+    network->setEjectMonitor([this](const Message* message) {
+        rateMonitor_.recordFlit(message->source());
+    });
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const json::Value& app_settings = apps.at(i);
+        std::string type = json::getString(app_settings, "type");
+        applications_.emplace_back(ApplicationFactory::instance().create(
+            type, simulator, strf("app_", i), this, this,
+            static_cast<std::uint32_t>(i), app_settings));
+    }
+    ready_.resize(applications_.size(), false);
+    complete_.resize(applications_.size(), false);
+    done_.resize(applications_.size(), false);
+
+    if (settings.has("message_log")) {
+        log_ = std::make_unique<TransactionLog>(
+            json::getString(settings, "message_log"));
+    }
+}
+
+Workload::~Workload() = default;
+
+std::uint32_t
+Workload::numApplications() const
+{
+    return static_cast<std::uint32_t>(applications_.size());
+}
+
+Application*
+Workload::application(std::uint32_t id) const
+{
+    checkSim(id < applications_.size(), "application id out of range");
+    return applications_[id].get();
+}
+
+void
+Workload::applicationReady(std::uint32_t app_id)
+{
+    checkSim(phase_ == Phase::kWarming, "Ready signal outside warming");
+    checkSim(app_id < ready_.size(), "bad app id");
+    checkSim(!ready_[app_id], "duplicate Ready from app ", app_id);
+    ready_[app_id] = true;
+    dbg("app ", app_id, " ready");
+    advanceIfUniform();
+}
+
+void
+Workload::applicationComplete(std::uint32_t app_id)
+{
+    checkSim(phase_ == Phase::kGenerating,
+             "Complete signal outside generating");
+    checkSim(!complete_[app_id], "duplicate Complete from app ", app_id);
+    complete_[app_id] = true;
+    dbg("app ", app_id, " complete");
+    advanceIfUniform();
+}
+
+void
+Workload::applicationDone(std::uint32_t app_id)
+{
+    checkSim(phase_ == Phase::kFinishing, "Done signal outside finishing");
+    checkSim(!done_[app_id], "duplicate Done from app ", app_id);
+    done_[app_id] = true;
+    dbg("app ", app_id, " done");
+    advanceIfUniform();
+}
+
+void
+Workload::advanceIfUniform()
+{
+    auto all = [](const std::vector<bool>& v) {
+        for (bool b : v) {
+            if (!b) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    switch (phase_) {
+      case Phase::kWarming:
+        if (all(ready_)) {
+            // Simultaneous Start to all applications.
+            phase_ = Phase::kGenerating;
+            generateStart_ = now().tick;
+            rateMonitor_.start(generateStart_);
+            dbg("-> generating");
+            for (auto& app : applications_) {
+                app->start();
+            }
+        }
+        break;
+      case Phase::kGenerating:
+        if (all(complete_)) {
+            phase_ = Phase::kFinishing;
+            generateStop_ = now().tick;
+            rateMonitor_.stop(generateStop_);
+            dbg("-> finishing");
+            for (auto& app : applications_) {
+                app->stop();
+            }
+        }
+        break;
+      case Phase::kFinishing:
+        if (all(done_)) {
+            phase_ = Phase::kDraining;
+            dbg("-> draining");
+            for (auto& app : applications_) {
+                app->kill();
+            }
+        }
+        break;
+      case Phase::kDraining:
+        break;
+    }
+}
+
+void
+Workload::recordDelivered(const Message* message)
+{
+    if (!message->sampled()) {
+        return;
+    }
+    MessageSample sample;
+    sample.id = message->id();
+    sample.app = message->appId();
+    sample.source = message->source();
+    sample.destination = message->destination();
+    sample.createTick = message->createTime().tick;
+    sample.injectTick = message->packet(0)->injectTime().tick;
+    sample.deliverTick = message->deliverTime().tick;
+    sample.flits = message->totalFlits();
+    sample.packets = message->numPackets();
+    sample.hops = message->maxHopCount();
+    sample.minHops =
+        network_->minimalHops(message->source(), message->destination());
+    sample.nonminimal = message->tookNonminimal();
+    sampler_.record(sample);
+    if (log_) {
+        log_->write(sample);
+    }
+}
+
+}  // namespace ss

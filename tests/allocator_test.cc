@@ -1,0 +1,148 @@
+/** @file Separable allocator tests: matching validity + throughput
+ *  properties. */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "allocator/allocator.h"
+#include "core/simulator.h"
+#include "rng/random.h"
+
+namespace ss {
+namespace {
+
+std::unique_ptr<Allocator>
+makeAllocator(Simulator* sim, const std::string& type,
+              std::uint32_t clients, std::uint32_t resources)
+{
+    static int counter = 0;
+    return AllocatorFactory::instance().createUnique(
+        type, sim, strf("alloc_", counter++), nullptr, clients, resources,
+        json::Value::object());
+}
+
+class AllocatorPolicyTest : public ::testing::TestWithParam<const char*> {
+  protected:
+    Simulator sim_;
+};
+
+TEST_P(AllocatorPolicyTest, SingleRequestGranted)
+{
+    auto alloc = makeAllocator(&sim_, GetParam(), 3, 4);
+    alloc->request(1, 2);
+    const auto& grants = alloc->allocate();
+    EXPECT_EQ(grants[1], 2u);
+    EXPECT_EQ(grants[0], Allocator::kNone);
+    EXPECT_EQ(grants[2], Allocator::kNone);
+}
+
+TEST_P(AllocatorPolicyTest, GrantsAreAValidMatching)
+{
+    auto alloc = makeAllocator(&sim_, GetParam(), 6, 5);
+    Random rng(31);
+    for (int round = 0; round < 300; ++round) {
+        std::vector<std::vector<bool>> requested(
+            6, std::vector<bool>(5, false));
+        for (std::uint32_t c = 0; c < 6; ++c) {
+            for (std::uint32_t r = 0; r < 5; ++r) {
+                if (rng.nextBool(0.3)) {
+                    alloc->request(c, r);
+                    requested[c][r] = true;
+                }
+            }
+        }
+        const auto& grants = alloc->allocate();
+        std::set<std::uint32_t> used_resources;
+        for (std::uint32_t c = 0; c < 6; ++c) {
+            if (grants[c] == Allocator::kNone) {
+                continue;
+            }
+            // Grant must correspond to a posted request.
+            EXPECT_TRUE(requested[c][grants[c]]);
+            // A resource serves at most one client.
+            EXPECT_TRUE(used_resources.insert(grants[c]).second);
+        }
+    }
+}
+
+TEST_P(AllocatorPolicyTest, DisjointRequestsAllGranted)
+{
+    auto alloc = makeAllocator(&sim_, GetParam(), 4, 4);
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        alloc->request(c, (c + 1) % 4);
+    }
+    const auto& grants = alloc->allocate();
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(grants[c], (c + 1) % 4);
+    }
+}
+
+TEST_P(AllocatorPolicyTest, ConflictGrantsExactlyOne)
+{
+    auto alloc = makeAllocator(&sim_, GetParam(), 4, 2);
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        alloc->request(c, 0);
+    }
+    const auto& grants = alloc->allocate();
+    int granted = 0;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        if (grants[c] != Allocator::kNone) {
+            ++granted;
+            EXPECT_EQ(grants[c], 0u);
+        }
+    }
+    EXPECT_EQ(granted, 1);
+}
+
+TEST_P(AllocatorPolicyTest, RequestsClearBetweenRounds)
+{
+    auto alloc = makeAllocator(&sim_, GetParam(), 2, 2);
+    alloc->request(0, 0);
+    alloc->allocate();
+    const auto& grants = alloc->allocate();
+    EXPECT_EQ(grants[0], Allocator::kNone);
+}
+
+TEST_P(AllocatorPolicyTest, FullContentionIsWorkConserving)
+{
+    // Everyone requests everything: every resource must be granted.
+    auto alloc = makeAllocator(&sim_, GetParam(), 4, 3);
+    for (int round = 0; round < 20; ++round) {
+        for (std::uint32_t c = 0; c < 4; ++c) {
+            for (std::uint32_t r = 0; r < 3; ++r) {
+                alloc->request(c, r);
+            }
+        }
+        const auto& grants = alloc->allocate();
+        std::set<std::uint32_t> used;
+        for (std::uint32_t c = 0; c < 4; ++c) {
+            if (grants[c] != Allocator::kNone) {
+                used.insert(grants[c]);
+            }
+        }
+        // Input-first separable allocation can leave a resource idle
+        // only if no client picked it in stage 1; with round-robin
+        // client arbiters and full requests, all three get picked after
+        // warmup rounds.
+        if (round > 4) {
+            EXPECT_GE(used.size(), 2u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Separable, AllocatorPolicyTest,
+                         ::testing::Values("separable_input_first",
+                                           "separable_output_first"));
+
+TEST(Allocator, InvalidShapeIsFatal)
+{
+    Simulator sim;
+    EXPECT_THROW(makeAllocator(&sim, "separable_input_first", 0, 4),
+                 FatalError);
+    EXPECT_THROW(makeAllocator(&sim, "separable_input_first", 4, 0),
+                 FatalError);
+}
+
+}  // namespace
+}  // namespace ss

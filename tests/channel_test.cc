@@ -1,0 +1,141 @@
+/** @file Channel and credit channel tests: latency, bandwidth policing,
+ *  utilization accounting. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.h"
+#include "network/channel.h"
+#include "network/credit_channel.h"
+#include "types/message.h"
+
+namespace ss {
+namespace {
+
+/** Captures deliveries with their timestamps. */
+class RecordingSink : public FlitReceiver, public CreditReceiver {
+  public:
+    explicit RecordingSink(Simulator* sim) : sim_(sim) {}
+
+    void
+    receiveFlit(std::uint32_t port, Flit* flit) override
+    {
+        flits.emplace_back(port, flit, sim_->now());
+    }
+
+    void
+    receiveCredit(std::uint32_t port, Credit credit) override
+    {
+        credits.emplace_back(port, credit.vc, sim_->now());
+    }
+
+    std::vector<std::tuple<std::uint32_t, Flit*, Time>> flits;
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, Time>> credits;
+
+  private:
+    Simulator* sim_;
+};
+
+TEST(Channel, DeliversAfterLatency)
+{
+    Simulator sim;
+    RecordingSink sink(&sim);
+    Channel channel(&sim, "ch", nullptr, 50, 1);
+    channel.setSink(&sink, 3);
+    Message msg(1, 0, 0, 1, 1, 8);
+    Flit* flit = msg.packet(0)->flit(0);
+
+    sim.schedule(Time(10), [&]() { channel.inject(flit, 10); });
+    sim.run();
+    ASSERT_EQ(sink.flits.size(), 1u);
+    auto [port, delivered, when] = sink.flits[0];
+    EXPECT_EQ(port, 3u);
+    EXPECT_EQ(delivered, flit);
+    EXPECT_EQ(when, Time(60, eps::kDelivery));
+}
+
+TEST(Channel, EnforcesOneFlitPerCycle)
+{
+    Simulator sim;
+    RecordingSink sink(&sim);
+    Channel channel(&sim, "ch", nullptr, 5, 2);  // 2-tick cycle
+    channel.setSink(&sink, 0);
+    Message msg(1, 0, 0, 1, 3, 8);
+
+    sim.schedule(Time(0), [&]() {
+        EXPECT_TRUE(channel.available(0));
+        channel.inject(msg.packet(0)->flit(0), 0);
+        EXPECT_FALSE(channel.available(1));
+        EXPECT_TRUE(channel.available(2));
+        channel.inject(msg.packet(0)->flit(1), 2);
+        EXPECT_EQ(channel.nextFreeTick(), 4u);
+    });
+    sim.run();
+    EXPECT_EQ(sink.flits.size(), 2u);
+    EXPECT_EQ(channel.flitCount(), 2u);
+}
+
+using ChannelDeathTest = ::testing::Test;
+
+TEST(ChannelDeathTest, OversubscriptionPanics)
+{
+    Simulator sim;
+    RecordingSink sink(&sim);
+    Channel channel(&sim, "ch", nullptr, 5, 2);
+    channel.setSink(&sink, 0);
+    Message msg(1, 0, 0, 1, 2, 8);
+    sim.schedule(Time(0), [&]() {
+        channel.inject(msg.packet(0)->flit(0), 0);
+        EXPECT_DEATH(channel.inject(msg.packet(0)->flit(1), 1),
+                     "oversubscribed");
+    });
+    sim.run();
+}
+
+TEST(Channel, UtilizationTracksBusyFraction)
+{
+    Simulator sim;
+    RecordingSink sink(&sim);
+    Channel channel(&sim, "ch", nullptr, 1, 1);
+    channel.setSink(&sink, 0);
+    Message msg(1, 0, 0, 1, 5, 8);
+    for (Tick t = 0; t < 5; ++t) {
+        sim.schedule(Time(t * 2), [&, t]() {
+            channel.inject(msg.packet(0)->flit(
+                               static_cast<std::uint32_t>(t)),
+                           t * 2);
+        });
+    }
+    sim.run();
+    // 5 flits over 9 elapsed ticks (last event at tick 8+1 latency).
+    EXPECT_NEAR(channel.utilization(), 5.0 / 9.0, 0.01);
+}
+
+TEST(CreditChannel, DeliversCreditsAfterLatency)
+{
+    Simulator sim;
+    RecordingSink sink(&sim);
+    CreditChannel channel(&sim, "cr", nullptr, 25);
+    channel.setSink(&sink, 7);
+    sim.schedule(Time(100), [&]() {
+        channel.inject(Credit{2, 1}, 100);
+        channel.inject(Credit{0, 1}, 100);  // no bandwidth limit
+    });
+    sim.run();
+    ASSERT_EQ(sink.credits.size(), 2u);
+    EXPECT_EQ(std::get<0>(sink.credits[0]), 7u);
+    EXPECT_EQ(std::get<1>(sink.credits[0]), 2u);
+    EXPECT_EQ(std::get<2>(sink.credits[0]), Time(125, eps::kDelivery));
+    EXPECT_EQ(channel.creditCount(), 2u);
+}
+
+TEST(Channel, InvalidParametersAreFatal)
+{
+    Simulator sim;
+    EXPECT_THROW(Channel(&sim, "bad1", nullptr, 0, 1), FatalError);
+    EXPECT_THROW(Channel(&sim, "bad2", nullptr, 1, 0), FatalError);
+    EXPECT_THROW(CreditChannel(&sim, "bad3", nullptr, 0), FatalError);
+}
+
+}  // namespace
+}  // namespace ss

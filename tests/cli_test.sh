@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end CLI test: run the supersim binary on the shipped config with
+# command line overrides, write a transaction log, and analyze it with
+# the ssparse binary using the paper's filter syntax.
+set -e
+
+SUPERSIM="$1"
+SSPARSE="$2"
+CONFIG="$3"
+LOG="${TMPDIR:-/tmp}/supersim_cli_test_$$.csv"
+
+# Listing 1 style invocation with overrides.
+OUT=$("$SUPERSIM" "$CONFIG" \
+    workload.message_log=string="$LOG" \
+    workload.applications.0.num_samples=uint=50 \
+    network.num_vcs=uint=4)
+echo "$OUT" | grep -q "sampled messages:  800" || {
+    echo "unexpected supersim output:"; echo "$OUT"; exit 1;
+}
+
+# ssparse with a filter keeps a subset.
+PARSED=$("$SSPARSE" "$LOG" +app=0)
+echo "$PARSED" | grep -q "messages: 800 of 800" || {
+    echo "unexpected ssparse output:"; echo "$PARSED"; exit 1;
+}
+PARSED2=$("$SSPARSE" "$LOG" +src=0)
+echo "$PARSED2" | grep -q "messages: 50 of 800" || {
+    echo "unexpected filtered ssparse output:"; echo "$PARSED2"; exit 1;
+}
+
+# Bad config must fail with a nonzero exit.
+if "$SUPERSIM" /nonexistent/config.json 2>/dev/null; then
+    echo "supersim should fail on a missing config"; exit 1
+fi
+
+rm -f "$LOG"
+echo "cli test ok"

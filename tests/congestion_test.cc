@@ -1,0 +1,176 @@
+/** @file Congestion sensor tests: accounting styles and the delayed
+ *  visibility at the heart of the paper's §VI-A case study. */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congestion/credit_sensor.h"
+#include "core/simulator.h"
+#include "json/settings.h"
+
+namespace ss {
+namespace {
+
+std::unique_ptr<CreditSensor>
+makeSensor(Simulator* sim, const std::string& settings_text,
+           std::uint32_t ports = 2, std::uint32_t vcs = 2)
+{
+    static int counter = 0;
+    json::Value settings = json::parse(settings_text);
+    auto sensor = std::make_unique<CreditSensor>(
+        sim, strf("sensor_", counter++), nullptr, ports, vcs, settings);
+    for (std::uint32_t p = 0; p < ports; ++p) {
+        for (std::uint32_t v = 0; v < vcs; ++v) {
+            sensor->initCapacity(p, v, CreditPool::kOutputQueue, 16);
+            sensor->initCapacity(p, v, CreditPool::kDownstream, 8);
+        }
+    }
+    return sensor;
+}
+
+TEST(CreditSensor, ZeroLatencyIsImmediatelyVisible)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"latency": 0})");
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 0.0);
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +3);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 3.0);
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, -1);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 2.0);
+}
+
+TEST(CreditSensor, LatencyDelaysVisibilityNotActual)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"latency": 10})");
+    CreditSensor* raw = sensor.get();
+    sim.schedule(Time(100), [raw]() {
+        raw->creditEvent(0, 0, CreditPool::kDownstream, +5);
+    });
+    // Visible value lags by exactly the propagation latency.
+    sim.schedule(Time(105), [raw]() {
+        EXPECT_DOUBLE_EQ(raw->status(0, 0), 0.0);
+        EXPECT_DOUBLE_EQ(raw->actualStatus(0, 0), 5.0);
+    });
+    sim.schedule(Time(111), [raw]() {
+        EXPECT_DOUBLE_EQ(raw->status(0, 0), 5.0);
+    });
+    sim.run();
+}
+
+TEST(CreditSensor, DelayedUpdatesInterleaveCorrectly)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"latency": 4})");
+    CreditSensor* raw = sensor.get();
+    for (Tick t = 0; t < 8; ++t) {
+        sim.schedule(Time(t), [raw]() {
+            raw->creditEvent(1, 1, CreditPool::kDownstream, +1);
+        });
+    }
+    sim.schedule(Time(7, 200), [raw]() {
+        // Events from ticks 0..3 are visible by tick 7 (epsilon after
+        // the sensor updates at eps::kSensor).
+        EXPECT_DOUBLE_EQ(raw->status(1, 1), 4.0);
+        EXPECT_DOUBLE_EQ(raw->actualStatus(1, 1), 8.0);
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(raw->status(1, 1), 8.0);
+}
+
+TEST(CreditSensor, PoolSelectionOutput)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"pools": "output"})");
+    sensor->creditEvent(0, 0, CreditPool::kOutputQueue, +4);
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +2);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 4.0);
+}
+
+TEST(CreditSensor, PoolSelectionDownstream)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"pools": "downstream"})");
+    sensor->creditEvent(0, 0, CreditPool::kOutputQueue, +4);
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +2);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 2.0);
+}
+
+TEST(CreditSensor, PoolSelectionBothSums)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"pools": "both"})");
+    sensor->creditEvent(0, 0, CreditPool::kOutputQueue, +4);
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +2);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 6.0);
+}
+
+TEST(CreditSensor, VcGranularityIsolatesVcs)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"granularity": "vc"})");
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +5);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 1), 0.0);
+}
+
+TEST(CreditSensor, PortGranularityAggregatesVcs)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({"granularity": "port"})");
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +5);
+    sensor->creditEvent(0, 1, CreditPool::kDownstream, +3);
+    // Port-based accounting reports the same value for every VC of the
+    // port (paper §VI-B).
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 8.0);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 1), 8.0);
+    EXPECT_DOUBLE_EQ(sensor->status(1, 0), 0.0);
+}
+
+TEST(CreditSensor, NormalizedModeDividesByCapacity)
+{
+    Simulator sim;
+    auto sensor = makeSensor(
+        &sim, R"({"mode": "normalized", "pools": "downstream"})");
+    sensor->creditEvent(0, 0, CreditPool::kDownstream, +4);
+    EXPECT_DOUBLE_EQ(sensor->status(0, 0), 0.5);  // 4 of 8
+}
+
+TEST(CreditSensor, SixAccountingStylesOfFigure10)
+{
+    // The cross product the paper's §VI-B case study sweeps.
+    Simulator sim;
+    for (const char* granularity : {"vc", "port"}) {
+        for (const char* pools : {"output", "downstream", "both"}) {
+            auto sensor = makeSensor(
+                &sim, strf(R"({"granularity": ")", granularity,
+                           R"(", "pools": ")", pools, R"("})"));
+            sensor->creditEvent(0, 0, CreditPool::kOutputQueue, +1);
+            sensor->creditEvent(0, 1, CreditPool::kDownstream, +1);
+            EXPECT_GE(sensor->status(0, 0) + sensor->status(0, 1), 1.0);
+        }
+    }
+}
+
+TEST(CreditSensor, InvalidSettingsAreFatal)
+{
+    Simulator sim;
+    EXPECT_THROW(makeSensor(&sim, R"({"granularity": "flit"})"),
+                 FatalError);
+    EXPECT_THROW(makeSensor(&sim, R"({"pools": "everything"})"),
+                 FatalError);
+    EXPECT_THROW(makeSensor(&sim, R"({"mode": "fancy"})"), FatalError);
+}
+
+using CongestionDeathTest = ::testing::Test;
+
+TEST(CongestionDeathTest, NegativeOccupancyPanics)
+{
+    Simulator sim;
+    auto sensor = makeSensor(&sim, R"({})");
+    EXPECT_DEATH(sensor->creditEvent(0, 0, CreditPool::kDownstream, -1),
+                 "negative");
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,225 @@
+/** @file DES core tests: time, clocks, event queue, components. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/clock.h"
+#include "core/component.h"
+#include "core/simulator.h"
+#include "core/time.h"
+
+namespace ss {
+namespace {
+
+TEST(Time, LexicographicOrdering)
+{
+    EXPECT_LT(Time(1, 5), Time(2, 0));  // lower tick always wins
+    EXPECT_LT(Time(2, 0), Time(2, 1));  // epsilon breaks ties
+    EXPECT_EQ(Time(3, 1), Time(3, 1));
+    EXPECT_GT(Time::invalid(), Time(~0ULL - 1, 0));
+}
+
+TEST(Time, Arithmetic)
+{
+    Time t(10, 3);
+    EXPECT_EQ(t.plusTicks(5), Time(15, 0));  // epsilon resets
+    EXPECT_EQ(t.plusEps(), Time(10, 4));
+    EXPECT_EQ(t.withEps(7), Time(10, 7));
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(Time::invalid().valid());
+}
+
+TEST(Clock, EdgesAndCycles)
+{
+    Clock clock(3);  // 3-tick cycle time (paper Figure 2b, Clock A)
+    EXPECT_EQ(clock.nextEdge(0), 0u);
+    EXPECT_EQ(clock.nextEdge(1), 3u);
+    EXPECT_EQ(clock.nextEdge(3), 3u);
+    EXPECT_EQ(clock.nextEdge(4), 6u);
+    EXPECT_EQ(clock.cycle(0), 0u);
+    EXPECT_EQ(clock.cycle(5), 1u);
+    EXPECT_EQ(clock.cycle(6), 2u);
+    EXPECT_TRUE(clock.onEdge(6));
+    EXPECT_FALSE(clock.onEdge(7));
+    EXPECT_EQ(clock.futureEdge(4, 2), 12u);
+}
+
+TEST(Clock, PhaseOffset)
+{
+    Clock clock(4, 1);
+    EXPECT_EQ(clock.nextEdge(0), 1u);
+    EXPECT_EQ(clock.nextEdge(1), 1u);
+    EXPECT_EQ(clock.nextEdge(2), 5u);
+    EXPECT_TRUE(clock.onEdge(9));
+}
+
+TEST(Clock, TwoFrequencies)
+{
+    // The paper's Figure 2b: Clock A period 3, Clock B period 2 — they
+    // align every 6 ticks.
+    Clock a(3);
+    Clock b(2);
+    EXPECT_EQ(a.nextEdge(5), 6u);
+    EXPECT_EQ(b.nextEdge(5), 6u);
+    EXPECT_EQ(a.cycle(6), b.cycle(6) * 2 / 3);
+}
+
+TEST(Clock, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(Clock(0), FatalError);
+    EXPECT_THROW(Clock(4, 4), FatalError);
+}
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(Time(30), [&]() { order.push_back(3); });
+    sim.schedule(Time(10), [&]() { order.push_back(1); });
+    sim.schedule(Time(20), [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+}
+
+TEST(Simulator, EpsilonOrdersWithinTick)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(Time(5, 2), [&]() { order.push_back(2); });
+    sim.schedule(Time(5, 0), [&]() { order.push_back(0); });
+    sim.schedule(Time(5, 1), [&]() { order.push_back(1); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, FifoAmongEqualTimes)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule(Time(1, 0), [&order, i]() { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(Simulator, EventsSpawnEvents)
+{
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        ++count;
+        if (count < 100) {
+            sim.schedule(sim.now().plusTicks(1), chain);
+        }
+    };
+    sim.schedule(Time(0), chain);
+    sim.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(sim.now().tick, 99u);
+}
+
+TEST(Simulator, EndsWhenQueueEmpty)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.run(), 0u);
+    sim.schedule(Time(1), []() {});
+    EXPECT_EQ(sim.run(), 1u);
+    EXPECT_EQ(sim.eventsPending(), 0u);
+}
+
+TEST(Simulator, TimeLimitStopsExecution)
+{
+    Simulator sim;
+    int executed = 0;
+    for (Tick t = 0; t < 100; ++t) {
+        sim.schedule(Time(t * 10), [&]() { ++executed; });
+    }
+    sim.setTimeLimit(500);
+    sim.run();
+    EXPECT_TRUE(sim.timeLimitHit());
+    EXPECT_EQ(executed, 51);  // events at ticks 0..500
+}
+
+TEST(Simulator, CallerOwnedEventReschedulable)
+{
+    Simulator sim;
+    struct Counter : Event {
+        int n = 0;
+        Simulator* sim;
+        void
+        process() override
+        {
+            if (++n < 5) {
+                sim->schedule(this, sim->now().plusTicks(2));
+            }
+        }
+    } ev;
+    ev.sim = &sim;
+    sim.schedule(&ev, Time(0));
+    EXPECT_TRUE(ev.pending());
+    sim.run();
+    EXPECT_EQ(ev.n, 5);
+    EXPECT_FALSE(ev.pending());
+    EXPECT_EQ(sim.now().tick, 8u);
+}
+
+TEST(Simulator, MemberEventDispatches)
+{
+    struct Obj {
+        int hits = 0;
+        void fire() { ++hits; }
+    } obj;
+    Simulator sim;
+    MemberEvent<Obj> ev(&obj, &Obj::fire);
+    sim.schedule(&ev, Time(3));
+    sim.run();
+    EXPECT_EQ(obj.hits, 1);
+}
+
+TEST(Component, HierarchicalNames)
+{
+    Simulator sim;
+    Component root(&sim, "network", nullptr);
+    Component child(&sim, "router_3", &root);
+    Component grandchild(&sim, "input_0", &child);
+    EXPECT_EQ(grandchild.fullName(), "network.router_3.input_0");
+    EXPECT_EQ(sim.findComponent("network.router_3"), &child);
+    EXPECT_EQ(sim.numComponents(), 3u);
+}
+
+TEST(Component, DuplicateNamesAreFatal)
+{
+    Simulator sim;
+    Component a(&sim, "x", nullptr);
+    EXPECT_THROW(Component(&sim, "x", nullptr), FatalError);
+}
+
+TEST(Component, SeedsAreStableAndDistinct)
+{
+    Simulator sim_a(7);
+    Simulator sim_b(7);
+    Simulator sim_c(8);
+    EXPECT_EQ(sim_a.componentSeed("net.r0"), sim_b.componentSeed("net.r0"));
+    EXPECT_NE(sim_a.componentSeed("net.r0"), sim_a.componentSeed("net.r1"));
+    EXPECT_NE(sim_a.componentSeed("net.r0"), sim_c.componentSeed("net.r0"));
+}
+
+TEST(Component, RandomStreamsAreIndependentOfCreationOrder)
+{
+    Simulator sim_a(3);
+    Component a1(&sim_a, "alpha", nullptr);
+    Component a2(&sim_a, "beta", nullptr);
+    std::uint64_t v = a2.random().nextU64();
+
+    Simulator sim_b(3);
+    Component b2(&sim_b, "beta", nullptr);  // created first this time
+    Component b1(&sim_b, "alpha", nullptr);
+    EXPECT_EQ(b2.random().nextU64(), v);
+}
+
+}  // namespace
+}  // namespace ss

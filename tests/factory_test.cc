@@ -1,0 +1,90 @@
+/** @file Smart object factory tests (paper §III-D). */
+#include <gtest/gtest.h>
+
+#include "factory/factory.h"
+
+namespace ss {
+namespace {
+
+/** A local abstract component type for factory testing. */
+class Widget {
+  public:
+    explicit Widget(int size) : size_(size) {}
+    virtual ~Widget() = default;
+    virtual const char* kind() const = 0;
+    int size() const { return size_; }
+
+  private:
+    int size_;
+};
+
+using WidgetFactory = Factory<Widget, int>;
+
+class SmallWidget : public Widget {
+  public:
+    using Widget::Widget;
+    const char* kind() const override { return "small"; }
+};
+
+class BigWidget : public Widget {
+  public:
+    using Widget::Widget;
+    const char* kind() const override { return "big"; }
+};
+
+// Registration exactly as a drop-in model source file would do it.
+SS_REGISTER(WidgetFactory, "small", SmallWidget);
+SS_REGISTER(WidgetFactory, "big", BigWidget);
+
+TEST(Factory, CreatesByName)
+{
+    std::unique_ptr<Widget> w(WidgetFactory::instance().create("small", 3));
+    EXPECT_STREQ(w->kind(), "small");
+    EXPECT_EQ(w->size(), 3);
+
+    auto b = WidgetFactory::instance().createUnique("big", 9);
+    EXPECT_STREQ(b->kind(), "big");
+}
+
+TEST(Factory, ContainsAndNames)
+{
+    auto& factory = WidgetFactory::instance();
+    EXPECT_TRUE(factory.contains("small"));
+    EXPECT_TRUE(factory.contains("big"));
+    EXPECT_FALSE(factory.contains("medium"));
+    auto names = factory.names();
+    EXPECT_NE(std::find(names.begin(), names.end(), "small"),
+              names.end());
+}
+
+TEST(Factory, UnknownNameIsFatalAndListsModels)
+{
+    try {
+        WidgetFactory::instance().create("medium", 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("medium"), std::string::npos);
+        EXPECT_NE(what.find("small"), std::string::npos);  // lists models
+    }
+}
+
+TEST(Factory, DuplicateRegistrationIsFatal)
+{
+    EXPECT_THROW(WidgetFactory::instance().add(
+                     "small", [](int s) -> Widget* {
+                         return new SmallWidget(s);
+                     }),
+                 FatalError);
+}
+
+TEST(Factory, DistinctFactoriesPerBaseType)
+{
+    // A second factory over the same base but different signature is a
+    // different registry.
+    using OtherFactory = Factory<Widget, int, int>;
+    EXPECT_FALSE(OtherFactory::instance().contains("small"));
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,134 @@
+/** @file Flow control technique tests (paper §VI-C): FB, PB, and WTA
+ *  semantics on the IQ crossbar scheduler. */
+#include <gtest/gtest.h>
+
+#include "json/settings.h"
+#include "router/input_queued_router.h"
+#include "sim/builder.h"
+#include "test_util.h"
+
+namespace ss {
+namespace {
+
+std::string
+torusNetwork(const std::string& fc, unsigned vcs, unsigned buffer)
+{
+    return strf(
+        R"({"topology": "torus", "widths": [4], "concentration": 1,
+            "num_vcs": )", vcs, R"(, "clock_period": 1,
+            "channel_latency": 4,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": )", buffer, R"(,
+                       "crossbar_latency": 1,
+                       "crossbar_scheduler": {"flow_control": ")", fc,
+        R"("}},
+            "routing": {"algorithm": "torus_dimension_order"}})");
+}
+
+TEST(FlowControl, NamesParse)
+{
+    EXPECT_EQ(flowControlFromString("flit_buffer"),
+              FlowControl::kFlitBuffer);
+    EXPECT_EQ(flowControlFromString("packet_buffer"),
+              FlowControl::kPacketBuffer);
+    EXPECT_EQ(flowControlFromString("winner_take_all"),
+              FlowControl::kWinnerTakeAll);
+    EXPECT_STREQ(flowControlName(FlowControl::kPacketBuffer),
+                 "packet_buffer");
+    EXPECT_THROW(flowControlFromString("psychic"), FatalError);
+}
+
+double
+runMeanLatency(const std::string& fc, unsigned vcs, unsigned msg_size,
+               unsigned buffer, double rate, std::uint64_t* count = nullptr)
+{
+    json::Value config = test::makeConfig(
+        torusNetwork(fc, vcs, buffer),
+        strf(R"({"applications": [{
+            "type": "blast", "injection_rate": )", rate, R"(,
+            "message_size": )", msg_size, R"(,
+            "num_samples": 50, "warmup_duration": 500,
+            "traffic": {"type": "uniform_random"}}]})"),
+        7, 5000000);
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated) << fc;
+    if (count != nullptr) {
+        *count = result.sampler.count();
+    }
+    return result.sampler.totalLatencyDistribution().mean();
+}
+
+TEST(FlowControl, SingleFlitMessagesBehaveIdentically)
+{
+    // With single-flit messages the three techniques act the same
+    // (paper §VI-C) — same seed, same decisions, same latencies.
+    double fb = runMeanLatency("flit_buffer", 2, 1, 16, 0.2);
+    double pb = runMeanLatency("packet_buffer", 2, 1, 16, 0.2);
+    double wta = runMeanLatency("winner_take_all", 2, 1, 16, 0.2);
+    EXPECT_DOUBLE_EQ(fb, pb);
+    EXPECT_DOUBLE_EQ(fb, wta);
+}
+
+TEST(FlowControl, PacketBufferCannotStartWithoutFullSpace)
+{
+    // 8-flit packets against 4-flit downstream buffers: PB can never
+    // reserve the full packet, so traffic never drains -> saturation.
+    json::Value config = test::makeConfig(
+        torusNetwork("packet_buffer", 2, 4),
+        test::blastWorkload(0.1, 8, 5), 1, 100000);
+    RunResult pb = runSimulation(config);
+    EXPECT_TRUE(pb.saturated);
+
+    // FB and WTA stream flit-by-flit through the same small buffers.
+    json::Value fb_config = test::makeConfig(
+        torusNetwork("flit_buffer", 2, 4),
+        test::blastWorkload(0.1, 8, 5), 1, 1000000);
+    EXPECT_FALSE(runSimulation(fb_config).saturated);
+    json::Value wta_config = test::makeConfig(
+        torusNetwork("winner_take_all", 2, 4),
+        test::blastWorkload(0.1, 8, 5), 1, 1000000);
+    EXPECT_FALSE(runSimulation(wta_config).saturated);
+}
+
+TEST(FlowControl, AllThreeDeliverMultiFlitTraffic)
+{
+    for (const char* fc :
+         {"flit_buffer", "packet_buffer", "winner_take_all"}) {
+        std::uint64_t count = 0;
+        runMeanLatency(fc, 4, 8, 32, 0.15, &count);
+        EXPECT_EQ(count, 200u) << fc;
+    }
+}
+
+TEST(FlowControl, LongMessagesManyVcsFavorFlitBuffer)
+{
+    // The paper's Figure 12 shape: with many VCs and long messages, FB
+    // yields the lowest latency and PB the highest (WTA in between).
+    // This 4-router instance only shows the trend weakly, so assert a
+    // loose ordering here; bench_fig12 reproduces the full effect.
+    double fb = runMeanLatency("flit_buffer", 8, 16, 24, 0.3);
+    double pb = runMeanLatency("packet_buffer", 8, 16, 24, 0.3);
+    EXPECT_LE(fb, pb * 1.25);
+}
+
+TEST(FlowControl, SchedulerArbiterConfigurable)
+{
+    // Age-based crossbar arbitration is a drop-in setting.
+    json::Value config = test::makeConfig(
+        strf(R"({"topology": "torus", "widths": [4],
+                 "concentration": 1, "num_vcs": 2, "clock_period": 1,
+                 "channel_latency": 4,
+                 "router": {"architecture": "input_queued",
+                            "input_buffer_size": 16,
+                            "crossbar_scheduler": {
+                                "flow_control": "flit_buffer",
+                                "arbiter": {"type": "age"}}},
+                 "routing": {"algorithm": "torus_dimension_order"}})"),
+        test::blastWorkload(0.3, 2, 30));
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 120u);
+}
+
+}  // namespace
+}  // namespace ss

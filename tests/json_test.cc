@@ -1,0 +1,248 @@
+/** @file JSON value model, parser, and settings layer tests. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/logging.h"
+#include "json/json.h"
+#include "json/settings.h"
+
+namespace ss::json {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_EQ(parse("true").asBool(), true);
+    EXPECT_EQ(parse("false").asBool(), false);
+    EXPECT_EQ(parse("42").asInt(), 42);
+    EXPECT_EQ(parse("-17").asInt(), -17);
+    EXPECT_DOUBLE_EQ(parse("2.5").asFloat(), 2.5);
+    EXPECT_DOUBLE_EQ(parse("1e3").asFloat(), 1000.0);
+    EXPECT_EQ(parse("\"hello\"").asString(), "hello");
+}
+
+TEST(Json, ParsesHugeUintBeyondInt64)
+{
+    Value v = parse("18446744073709551615");
+    EXPECT_EQ(v.asUint(), 18446744073709551615ULL);
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").at(2).at("b").asString(), "c");
+    EXPECT_TRUE(v.at("d").at("e").isNull());
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+    EXPECT_EQ(v.keys(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Json, ParsesEscapes)
+{
+    Value v = parse(R"("line\nbreak\t\"quote\" A")");
+    EXPECT_EQ(v.asString(), "line\nbreak\t\"quote\" A");
+}
+
+TEST(Json, AllowsCommentsAndTrailingCommas)
+{
+    Value v = parse(R"({
+        // line comment
+        "a": 1, /* block comment */
+        "b": [1, 2,],
+    })");
+    EXPECT_EQ(v.at("a").asInt(), 1);
+    EXPECT_EQ(v.at("b").size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(parse("{"), FatalError);
+    EXPECT_THROW(parse("[1 2]"), FatalError);
+    EXPECT_THROW(parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parse("tru"), FatalError);
+    EXPECT_THROW(parse("1 2"), FatalError);
+    EXPECT_THROW(parse(""), FatalError);
+    EXPECT_THROW(parse("\"unterminated"), FatalError);
+}
+
+TEST(Json, ReportsLineAndColumn)
+{
+    try {
+        parse("{\n  \"a\": oops\n}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Json, TypeMismatchesAreFatal)
+{
+    Value v = parse(R"({"s": "x", "n": -1})");
+    EXPECT_THROW(v.at("s").asInt(), FatalError);
+    EXPECT_THROW(v.at("n").asUint(), FatalError);
+    EXPECT_THROW(v.at("s").asBool(), FatalError);
+    EXPECT_THROW(v.at("missing"), FatalError);
+}
+
+TEST(Json, NumericCrossConversions)
+{
+    EXPECT_EQ(parse("7").asUint(), 7u);
+    EXPECT_DOUBLE_EQ(parse("7").asFloat(), 7.0);
+    EXPECT_EQ(parse("7.0").asInt(), 7);
+    EXPECT_THROW(parse("7.5").asInt(), FatalError);
+}
+
+TEST(Json, SerializationRoundTrips)
+{
+    const char* text =
+        R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-3})";
+    Value v = parse(text);
+    Value again = parse(v.toString());
+    EXPECT_TRUE(v == again);
+}
+
+TEST(Json, PrettyPrintParses)
+{
+    Value v = parse(R"({"a": [1, 2], "b": {"c": 3}})");
+    Value again = parse(v.toString(2));
+    EXPECT_TRUE(v == again);
+}
+
+TEST(Json, EqualityAcrossNumericRepresentations)
+{
+    EXPECT_TRUE(parse("3") == parse("3.0"));
+    EXPECT_FALSE(parse("3") == parse("4"));
+    EXPECT_FALSE(parse("-1") == parse("18446744073709551615"));
+}
+
+TEST(Settings, AppliesTypedOverrides)
+{
+    Value v = parse(R"({"network": {"router": {}}})");
+    applyOverride(&v, "network.router.architecture=string=my_arch");
+    applyOverride(&v, "network.concentration=uint=16");
+    applyOverride(&v, "network.rate=float=0.25");
+    applyOverride(&v, "network.enable=bool=true");
+    applyOverride(&v, "network.offset=int=-4");
+    applyOverride(&v, "network.widths=json=[4,4,2]");
+    EXPECT_EQ(v.at("network").at("router").at("architecture").asString(),
+              "my_arch");
+    EXPECT_EQ(v.at("network").at("concentration").asUint(), 16u);
+    EXPECT_DOUBLE_EQ(v.at("network").at("rate").asFloat(), 0.25);
+    EXPECT_TRUE(v.at("network").at("enable").asBool());
+    EXPECT_EQ(v.at("network").at("offset").asInt(), -4);
+    EXPECT_EQ(v.at("network").at("widths").size(), 3u);
+}
+
+TEST(Settings, OverridesIndexIntoArrays)
+{
+    Value v = parse(R"({"apps": [{"rate": 0.1}, {"rate": 0.2}]})");
+    applyOverride(&v, "apps.1.rate=float=0.9");
+    EXPECT_DOUBLE_EQ(v.at("apps").at(1).at("rate").asFloat(), 0.9);
+    EXPECT_DOUBLE_EQ(v.at("apps").at(0).at("rate").asFloat(), 0.1);
+}
+
+TEST(Settings, OverrideCreatesIntermediateObjects)
+{
+    Value v = Value::object();
+    applyOverride(&v, "a.b.c=uint=1");
+    EXPECT_EQ(v.at("a").at("b").at("c").asUint(), 1u);
+}
+
+TEST(Settings, MalformedOverridesAreFatal)
+{
+    Value v = Value::object();
+    EXPECT_THROW(applyOverride(&v, "novalue"), FatalError);
+    EXPECT_THROW(applyOverride(&v, "a=unknown=1"), FatalError);
+    EXPECT_THROW(applyOverride(&v, "a=uint=-3"), FatalError);
+    EXPECT_THROW(applyOverride(&v, "a=bool=maybe"), FatalError);
+}
+
+TEST(Settings, FindNavigatesPaths)
+{
+    Value v = parse(R"({"a": {"b": [10, {"c": 3}]}})");
+    ASSERT_NE(find(v, "a.b.1.c"), nullptr);
+    EXPECT_EQ(find(v, "a.b.1.c")->asInt(), 3);
+    EXPECT_EQ(find(v, "a.b.0")->asInt(), 10);
+    EXPECT_EQ(find(v, "a.x"), nullptr);
+    EXPECT_EQ(find(v, "a.b.7"), nullptr);
+}
+
+TEST(Settings, GettersWithDefaults)
+{
+    Value v = parse(R"({"present": 5})");
+    EXPECT_EQ(getUint(v, "present", 9), 5u);
+    EXPECT_EQ(getUint(v, "absent", 9), 9u);
+    EXPECT_EQ(getString(v, "absent", "dflt"), "dflt");
+    EXPECT_THROW(getUint(v, "absent"), FatalError);
+}
+
+TEST(Settings, GetUintVector)
+{
+    Value v = parse(R"({"widths": [8, 8, 8, 8]})");
+    EXPECT_EQ(getUintVector(v, "widths"),
+              (std::vector<std::uint64_t>{8, 8, 8, 8}));
+    EXPECT_THROW(getUintVector(v, "missing"), FatalError);
+}
+
+class SettingsFileTest : public ::testing::Test {
+  protected:
+    std::string
+    writeFile(const std::string& name, const std::string& text)
+    {
+        std::string path = testing::TempDir() + name;
+        std::ofstream f(path);
+        f << text;
+        return path;
+    }
+};
+
+TEST_F(SettingsFileTest, IncludeMergesFiles)
+{
+    writeFile("base_router.json",
+              R"({"architecture": "input_queued", "num": 3})");
+    std::string top = writeFile("top.json", R"({
+        "router": {"$include": "base_router.json", "num": 7}
+    })");
+    Value v = loadSettings(top);
+    // Explicit members win over included ones.
+    EXPECT_EQ(v.at("router").at("num").asInt(), 7);
+    EXPECT_EQ(v.at("router").at("architecture").asString(),
+              "input_queued");
+}
+
+TEST_F(SettingsFileTest, RefCopiesNodes)
+{
+    std::string top = writeFile("reftop.json", R"({
+        "template": {"latency": 50, "size": 128},
+        "a": {"$ref": "template"},
+        "b": {"$ref": "template"}
+    })");
+    Value v = loadSettings(top);
+    EXPECT_EQ(v.at("a").at("latency").asInt(), 50);
+    EXPECT_EQ(v.at("b").at("size").asInt(), 128);
+}
+
+TEST_F(SettingsFileTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadSettings("/nonexistent/nope.json"), FatalError);
+    std::string top =
+        writeFile("badinc.json", R"({"$include": "missing.json"})");
+    EXPECT_THROW(loadSettings(top), FatalError);
+}
+
+TEST_F(SettingsFileTest, MissingRefIsFatal)
+{
+    std::string top =
+        writeFile("badref.json", R"({"a": {"$ref": "no.where"}})");
+    EXPECT_THROW(loadSettings(top), FatalError);
+}
+
+}  // namespace
+}  // namespace ss::json

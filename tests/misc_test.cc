@@ -1,0 +1,173 @@
+/** @file Odds and ends: logging, time formatting, JSON value editing,
+ *  simulator misuse, topology helper functions. */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/component.h"
+#include "core/logging.h"
+#include "core/simulator.h"
+#include "json/json.h"
+#include "json/settings.h"
+#include "topology/folded_clos.h"
+#include "topology/hyperx.h"
+
+namespace ss {
+namespace {
+
+TEST(Logging, StrfConcatenatesMixedTypes)
+{
+    EXPECT_EQ(strf("a=", 1, " b=", 2.5, " c=", "x"), "a=1 b=2.5 c=x");
+    EXPECT_EQ(strf(), "");
+}
+
+TEST(Logging, FatalCarriesMessage)
+{
+    try {
+        fatal("bad thing ", 42);
+        FAIL();
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "bad thing 42");
+    }
+}
+
+TEST(Logging, CheckUserOnlyThrowsOnFailure)
+{
+    EXPECT_NO_THROW(checkUser(true, "should not throw"));
+    EXPECT_THROW(checkUser(false, "boom"), FatalError);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    setInformEnabled(false);
+    inform("suppressed");
+    setInformEnabled(true);
+    warn("this is a test warning — ignore");
+}
+
+TEST(Time, ToStringFormats)
+{
+    EXPECT_EQ(Time(42, 3).toString(), "42:3");
+    EXPECT_EQ(Time::invalid().toString(), "<invalid>");
+}
+
+TEST(Json, ObjectEditing)
+{
+    json::Value v = json::Value::object();
+    v["a"] = 1;
+    v["b"] = "two";
+    EXPECT_TRUE(v.has("a"));
+    EXPECT_TRUE(v.erase("a"));
+    EXPECT_FALSE(v.erase("a"));
+    EXPECT_FALSE(v.has("a"));
+    EXPECT_EQ(v.size(), 1u);
+
+    json::Value arr = json::Value::array();
+    arr.append(1);
+    arr.append("x");
+    EXPECT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr.at(std::size_t{1}).asString(), "x");
+
+    // Null values promote on first use.
+    json::Value null_obj;
+    null_obj["k"] = 7;
+    EXPECT_TRUE(null_obj.isObject());
+    json::Value null_arr;
+    null_arr.append(7);
+    EXPECT_TRUE(null_arr.isArray());
+}
+
+using SimulatorDeathTest = ::testing::Test;
+
+TEST(SimulatorDeathTest, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.schedule(Time(100), [&sim]() {
+        EXPECT_DEATH(sim.schedule(Time(50), []() {}), "past");
+    });
+    sim.run();
+}
+
+TEST(SimulatorDeathTest, DoubleSchedulingAnEventPanics)
+{
+    Simulator sim;
+    CallbackEvent event([]() {});
+    sim.schedule(&event, Time(10));
+    EXPECT_DEATH(sim.schedule(&event, Time(20)), "pending");
+}
+
+TEST(FoldedClosHelpers, DigitsAndCoverage)
+{
+    Simulator sim(1);
+    json::Value settings = json::parse(
+        R"({"topology": "folded_clos", "half_radix": 3, "levels": 3,
+            "num_vcs": 1, "merged_roots": false,
+            "routing": {"algorithm": "folded_clos_deterministic"}})");
+    std::unique_ptr<Network> base(NetworkFactory::instance().create(
+        "folded_clos", &sim, "network", nullptr, settings));
+    auto* clos = dynamic_cast<FoldedClos*>(base.get());
+    ASSERT_NE(clos, nullptr);
+    EXPECT_EQ(clos->numInterfaces(), 27u);
+    EXPECT_EQ(clos->routersPerLevel(), 9u);
+    EXPECT_FALSE(clos->mergedRoots());
+    // digit() is little-endian base-k.
+    EXPECT_EQ(clos->digit(14, 0), 2u);  // 14 = 1*9 + 1*3 + 2
+    EXPECT_EQ(clos->digit(14, 1), 1u);
+    EXPECT_EQ(clos->digit(14, 2), 1u);
+    // Leaf router x covers exactly its own k terminals at level 0.
+    for (std::uint32_t t = 0; t < 27; ++t) {
+        for (std::uint32_t leaf = 0; leaf < 9; ++leaf) {
+            EXPECT_EQ(clos->covers(0, leaf, t), t / 3 == leaf);
+        }
+    }
+    // Roots cover everything.
+    for (std::uint32_t t = 0; t < 27; ++t) {
+        EXPECT_TRUE(clos->covers(2, 0, t));
+    }
+}
+
+TEST(HyperXHelpers, PortTowardIsBijectivePerDimension)
+{
+    Simulator sim(1);
+    json::Value settings = json::parse(
+        R"({"topology": "hyperx", "widths": [4, 3], "num_vcs": 2,
+            "routing": {"algorithm": "hyperx_dimension_order"}})");
+    std::unique_ptr<Network> base(NetworkFactory::instance().create(
+        "hyperx", &sim, "network", nullptr, settings));
+    auto* hx = dynamic_cast<HyperX*>(base.get());
+    ASSERT_NE(hx, nullptr);
+    for (std::uint32_t r = 0; r < hx->numRouterNodes(); ++r) {
+        std::set<std::uint32_t> ports;
+        for (std::uint32_t d = 0; d < 2; ++d) {
+            std::uint32_t own = hx->coordinate(r, d);
+            for (std::uint32_t c = 0; c < hx->widths()[d]; ++c) {
+                if (c == own) {
+                    continue;
+                }
+                // Each (dim, coord) maps to a distinct port.
+                EXPECT_TRUE(
+                    ports.insert(hx->portToward(r, d, c)).second);
+            }
+        }
+        // concentration 1: ports 1..(3+2) used by topology links.
+        EXPECT_EQ(ports.size(), 5u);
+        EXPECT_EQ(*ports.begin(), 1u);
+    }
+}
+
+TEST(Component, DebugSwitchControlsDbgOutput)
+{
+    Simulator sim;
+    Component c(&sim, "dbg_probe", nullptr);
+    EXPECT_FALSE(c.debugEnabled());
+    c.setDebug(true);
+    EXPECT_TRUE(c.debugEnabled());
+    c.setDebug(false);
+    sim.setDebug(true);
+    EXPECT_TRUE(c.debugEnabled());  // global switch reaches components
+    sim.setDebug(false);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,118 @@
+/** @file Deterministic PRNG tests. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/random.h"
+
+namespace ss {
+namespace {
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(42);
+    Random b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+    }
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.nextU64() == b.nextU64()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BoundedValuesInRange)
+{
+    Random rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.nextU64(bound), bound);
+        }
+    }
+}
+
+TEST(Random, BoundedValuesCoverRange)
+{
+    Random rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i) {
+        ++seen[rng.nextU64(8)];
+    }
+    for (int count : seen) {
+        EXPECT_GT(count, 300);  // ~500 expected each
+        EXPECT_LT(count, 700);
+    }
+}
+
+TEST(Random, SignedRangeInclusive)
+{
+    Random rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.nextI64(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RealsInHalfOpenUnitInterval)
+{
+    Random rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextF64();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ExponentialMeanApproximatelyCorrect)
+{
+    Random rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.nextExponential(50.0);
+    }
+    EXPECT_NEAR(sum / n, 50.0, 2.0);
+}
+
+TEST(Random, BernoulliProbability)
+{
+    Random rng(19);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.nextBool(0.25) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(Random, ShuffleIsPermutation)
+{
+    Random rng(23);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    std::vector<int> original = v;
+    rng.shuffle(&v);
+    EXPECT_NE(v, original);  // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,85 @@
+/** @file End-to-end smoke tests: every topology builds and delivers a
+ *  small blast workload to completion. */
+#include <gtest/gtest.h>
+
+#include "sim/builder.h"
+#include "test_util.h"
+
+namespace ss {
+namespace {
+
+TEST(Smoke, TorusDeliversBlast)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "torus", "widths": [4, 4], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 16u * 20u);
+}
+
+TEST(Smoke, FoldedClosDeliversBlast)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "folded_clos", "half_radix": 2, "levels": 3,
+            "num_vcs": 1, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "output_queued",
+                       "input_buffer_size": 16,
+                       "output_buffer_size": 0},
+            "routing": {"algorithm": "folded_clos_adaptive"}})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 8u * 20u);
+}
+
+TEST(Smoke, HyperXDeliversBlast)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "hyperx", "widths": [4], "concentration": 2,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_output_queued",
+                       "input_buffer_size": 8,
+                       "output_buffer_size": 16},
+            "routing": {"algorithm": "hyperx_ugal"}})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 8u * 20u);
+}
+
+TEST(Smoke, DragonflyDeliversBlast)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "dragonfly", "group_size": 2,
+            "global_channels": 1, "concentration": 1,
+            "num_vcs": 3, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "dragonfly_minimal"}})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 6u * 20u);
+}
+
+TEST(Smoke, ParkingLotDeliversConvergecast)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "parking_lot", "length": 4, "concentration": 1,
+            "num_vcs": 1, "clock_period": 1, "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "parking_lot"}})",
+        R"({"applications": [{
+            "type": "blast", "injection_rate": 0.05,
+            "message_size": 1, "num_samples": 10,
+            "warmup_duration": 100,
+            "traffic": {"type": "single_target", "target": 0}}]})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 4u * 10u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,209 @@
+/** @file Statistics tests: distributions, percentiles, rate monitor,
+ *  transaction log. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/logging.h"
+#include "stats/distribution.h"
+#include "stats/latency_sampler.h"
+#include "stats/rate_monitor.h"
+#include "stats/transaction_log.h"
+
+namespace ss {
+namespace {
+
+TEST(Distribution, BasicMoments)
+{
+    Distribution d({4.0, 2.0, 6.0, 8.0});
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.236, 0.001);
+    EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Distribution, PercentilesInterpolate)
+{
+    Distribution d({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_DOUBLE_EQ(d.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(25), 20.0);
+    EXPECT_DOUBLE_EQ(d.percentile(87.5), 45.0);
+}
+
+TEST(Distribution, TailPercentileMatchesDefinition)
+{
+    // 1000 samples 1..1000: p99.9 is the 1-in-1000 tail (paper Fig. 7).
+    std::vector<double> samples;
+    for (int i = 1; i <= 1000; ++i) {
+        samples.push_back(i);
+    }
+    Distribution d(std::move(samples));
+    EXPECT_NEAR(d.percentile(99.9), 999.0, 1.0);
+    EXPECT_NEAR(d.percentile(50), 500.5, 1.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d({7.0});
+    EXPECT_DOUBLE_EQ(d.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99.9), 7.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, EmptyQueriesAreFatal)
+{
+    Distribution d{std::vector<double>{}};
+    EXPECT_TRUE(d.empty());
+    EXPECT_THROW(d.mean(), FatalError);
+    EXPECT_THROW(d.percentile(50), FatalError);
+    EXPECT_TRUE(d.percentileSeries().empty());
+}
+
+TEST(Distribution, PdfSumsToOne)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i) {
+        samples.push_back(i % 37);
+    }
+    Distribution d(std::move(samples));
+    double mass = 0.0;
+    for (const auto& [center, p] : d.pdf(10)) {
+        (void)center;
+        mass += p;
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Distribution, CdfIsMonotone)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 200; ++i) {
+        samples.push_back((i * 7919) % 101);
+    }
+    Distribution d(std::move(samples));
+    auto cdf = d.cdf(50);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Distribution, PercentileSeriesCoversRange)
+{
+    Distribution d({1.0, 2.0, 3.0});
+    auto series = d.percentileSeries(10);
+    ASSERT_EQ(series.size(), 11u);
+    EXPECT_DOUBLE_EQ(series.front().second, 1.0);
+    EXPECT_DOUBLE_EQ(series.back().second, 3.0);
+}
+
+MessageSample
+sample(std::uint64_t id, std::uint64_t create, std::uint64_t inject,
+       std::uint64_t deliver, std::uint32_t hops = 3,
+       std::uint32_t min_hops = 3)
+{
+    MessageSample s;
+    s.id = id;
+    s.app = 0;
+    s.source = 1;
+    s.destination = 2;
+    s.createTick = create;
+    s.injectTick = inject;
+    s.deliverTick = deliver;
+    s.flits = 4;
+    s.packets = 1;
+    s.hops = hops;
+    s.minHops = min_hops;
+    s.nonminimal = hops > min_hops;
+    return s;
+}
+
+TEST(LatencySampler, DerivesLatencies)
+{
+    LatencySampler sampler;
+    sampler.record(sample(1, 100, 110, 160));
+    sampler.record(sample(2, 200, 200, 240));
+    EXPECT_EQ(sampler.count(), 2u);
+    EXPECT_DOUBLE_EQ(sampler.totalLatencyDistribution().mean(), 50.0);
+    EXPECT_DOUBLE_EQ(sampler.networkLatencyDistribution().mean(), 45.0);
+}
+
+TEST(LatencySampler, NonminimalFraction)
+{
+    LatencySampler sampler;
+    sampler.record(sample(1, 0, 0, 10, 3, 3));
+    sampler.record(sample(2, 0, 0, 10, 5, 3));
+    sampler.record(sample(3, 0, 0, 10, 6, 3));
+    sampler.record(sample(4, 0, 0, 10, 3, 3));
+    EXPECT_DOUBLE_EQ(sampler.nonminimalFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(sampler.hopDistribution().mean(), 4.25);
+}
+
+TEST(RateMonitor, CountsOnlyInsideWindow)
+{
+    RateMonitor monitor(4);
+    monitor.recordFlit(0);  // before start: ignored
+    monitor.start(1000);
+    monitor.recordFlit(0);
+    monitor.recordFlit(1);
+    monitor.recordFlit(1);
+    monitor.stop(2000);
+    monitor.recordFlit(2);  // after stop: ignored
+    EXPECT_EQ(monitor.totalFlits(), 3u);
+    EXPECT_EQ(monitor.sourceFlits(0), 1u);
+    EXPECT_EQ(monitor.sourceFlits(1), 2u);
+    EXPECT_EQ(monitor.sourceFlits(2), 0u);
+    EXPECT_EQ(monitor.windowTicks(), 1000u);
+}
+
+TEST(RateMonitor, ThroughputPerTerminalPerCycle)
+{
+    RateMonitor monitor(2);
+    monitor.start(0);
+    for (int i = 0; i < 600; ++i) {
+        monitor.recordFlit(i % 2);
+    }
+    monitor.stop(1000);
+    // 600 flits / (2 terminals * 1000 cycles) with period 1.
+    EXPECT_DOUBLE_EQ(monitor.throughput(2, 1), 0.3);
+    EXPECT_DOUBLE_EQ(monitor.sourceThroughput(0, 1), 0.3);
+    // With a 2-tick channel period there are only 500 cycles.
+    EXPECT_DOUBLE_EQ(monitor.throughput(2, 2), 0.6);
+}
+
+TEST(TransactionLog, RowFormatRoundTrips)
+{
+    MessageSample s = sample(42, 5, 6, 99);
+    std::string row = TransactionLog::formatRow(s);
+    EXPECT_EQ(row, "42,0,1,2,5,6,99,4,1,3,3,0");
+}
+
+TEST(TransactionLog, WritesFile)
+{
+    std::string path = testing::TempDir() + "txn_log_test.csv";
+    {
+        TransactionLog log(path);
+        log.write(sample(1, 0, 1, 50));
+        log.write(sample(2, 10, 11, 60));
+        EXPECT_EQ(log.rowsWritten(), 2u);
+    }
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[256];
+    ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+    EXPECT_EQ(std::string(line),
+              std::string(TransactionLog::header()) + "\n");
+    std::fclose(f);
+}
+
+TEST(TransactionLog, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(TransactionLog("/nonexistent/dir/log.csv"), FatalError);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,102 @@
+/** @file Stencil motif application tests: dependency-driven halo
+ *  exchange over the network. */
+#include <gtest/gtest.h>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+#include "test_util.h"
+#include "workload/stencil.h"
+
+namespace ss {
+namespace {
+
+const char* kNet =
+    R"({"topology": "torus", "widths": [4, 2], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 4,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 8},
+        "routing": {"algorithm": "torus_dimension_order"}})";
+
+TEST(Stencil, RunsAllIterations)
+{
+    // 4x2 logical grid on the 4x2 torus: neighbors = +/-1 in dim 0
+    // (2 halos) and the single width-2 partner in dim 1 (1 halo) =
+    // 3 messages per terminal per iteration.
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [{
+            "type": "stencil", "widths": [4, 2], "iterations": 10,
+            "message_size": 2, "compute_time": 20}]})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 8u * 3u * 10u);
+}
+
+TEST(Stencil, IterationsAreBulkSynchronous)
+{
+    // With one slow dependency chain, elapsed time per iteration is at
+    // least the longest halo round trip plus compute time.
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [{
+            "type": "stencil", "widths": [4, 2], "iterations": 5,
+            "message_size": 1, "compute_time": 100}]})");
+    Simulation simulation(config);
+    RunResult result = simulation.run();
+    EXPECT_FALSE(result.saturated);
+    auto* app = dynamic_cast<StencilApplication*>(
+        simulation.workload()->application(0));
+    ASSERT_NE(app, nullptr);
+    // 5 iterations x (compute 100 + at least one network round trip).
+    EXPECT_GE(app->elapsedTicks(), 5u * 100u);
+    // And not absurdly long: each exchange is a handful of hops.
+    EXPECT_LE(app->elapsedTicks(), 5u * 400u);
+}
+
+TEST(Stencil, ComposesWithBackgroundTraffic)
+{
+    // Background load slows the halo exchange down — the closed-loop
+    // motif measures interference where open-loop Blast cannot.
+    auto elapsed = [](double background_rate) {
+        json::Value config = test::makeConfig(kNet, strf(R"({
+            "applications": [
+              {"type": "stencil", "widths": [4, 2], "iterations": 8,
+               "message_size": 4, "compute_time": 0},
+              {"type": "blast", "injection_rate": )", background_rate,
+                R"(, "message_size": 4,
+               "traffic": {"type": "uniform_random"}}
+            ]})"));
+        Simulation simulation(config);
+        RunResult result = simulation.run();
+        auto* app = dynamic_cast<StencilApplication*>(
+            simulation.workload()->application(0));
+        return app->elapsedTicks();
+    };
+    Tick quiet = elapsed(0.0);
+    Tick busy = elapsed(0.7);
+    EXPECT_GT(busy, quiet);
+}
+
+TEST(Stencil, GridMismatchIsFatal)
+{
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet, R"({
+        "applications": [{
+            "type": "stencil", "widths": [3, 2], "iterations": 1}]})")),
+                 FatalError);
+}
+
+TEST(Stencil, SingleCellGridFinishesWithoutTraffic)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "torus", "widths": [1], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}})",
+        R"({"applications": [{
+            "type": "stencil", "widths": [1], "iterations": 3}]})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 0u);  // no neighbors, no halos
+}
+
+}  // namespace
+}  // namespace ss

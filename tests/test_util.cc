@@ -1,0 +1,40 @@
+#include "test_util.h"
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss::test {
+
+json::Value
+makeConfig(const std::string& network_json,
+           const std::string& workload_json, std::uint64_t seed,
+           std::uint64_t time_limit)
+{
+    std::string workload =
+        workload_json.empty() ? blastWorkload(0.1, 1, 20) : workload_json;
+    std::string text = strf(
+        "{\n"
+        "  \"simulator\": {\"seed\": ", seed, ", \"time_limit\": ",
+        time_limit, "},\n"
+        "  \"network\": ", network_json, ",\n"
+        "  \"workload\": ", workload, "\n"
+        "}\n");
+    return json::parse(text);
+}
+
+std::string
+blastWorkload(double rate, unsigned message_size, unsigned num_samples,
+              const std::string& traffic_type)
+{
+    return strf(
+        "{\"applications\": [{\n"
+        "  \"type\": \"blast\",\n"
+        "  \"injection_rate\": ", rate, ",\n"
+        "  \"message_size\": ", message_size, ",\n"
+        "  \"num_samples\": ", num_samples, ",\n"
+        "  \"warmup_duration\": 200,\n"
+        "  \"traffic\": {\"type\": \"", traffic_type, "\"}\n"
+        "}]}");
+}
+
+}  // namespace ss::test

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the test suite: canned configurations for small
+ * instances of each topology/router/workload combination.
+ */
+#ifndef SS_TESTS_TEST_UTIL_H_
+#define SS_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "json/json.h"
+
+namespace ss::test {
+
+/**
+ * Builds a complete runnable config from a compact spec.
+ * @param network_json  contents of the "network" block (JSON text)
+ * @param workload_json contents of the "workload" block (JSON text);
+ *        empty uses a small uniform-random blast
+ * @param seed          simulator seed
+ * @param time_limit    tick cap (0 = none)
+ */
+json::Value makeConfig(const std::string& network_json,
+                       const std::string& workload_json = "",
+                       std::uint64_t seed = 1,
+                       std::uint64_t time_limit = 2'000'000);
+
+/** A small blast workload block with the given rate/size/samples. */
+std::string blastWorkload(double rate, unsigned message_size,
+                          unsigned num_samples,
+                          const std::string& traffic_type =
+                              "uniform_random");
+
+}  // namespace ss::test
+
+#endif  // SS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,265 @@
+/** @file Tooling tests: the SSParse/TaskRun/SSSweep equivalents. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/logging.h"
+#include "json/settings.h"
+#include "stats/transaction_log.h"
+#include "tools/log_parser.h"
+#include "tools/series_writer.h"
+#include "tools/sweeper.h"
+#include "tools/task_runner.h"
+
+namespace ss {
+namespace {
+
+std::string
+sampleLogText()
+{
+    std::ostringstream out;
+    out << TransactionLog::header() << '\n';
+    // id,app,src,dst,create,inject,deliver,flits,packets,hops,minhops,nm
+    out << "1,0,0,5,100,101,150,1,1,3,3,0\n";
+    out << "2,0,1,6,200,210,300,4,1,5,3,1\n";
+    out << "3,1,2,7,500,500,560,1,1,3,3,0\n";
+    out << "4,1,3,0,900,950,1200,8,2,4,4,0\n";
+    return out.str();
+}
+
+TEST(LogParser, ParsesRowsAndFields)
+{
+    auto samples = LogParser::parseText(sampleLogText());
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_EQ(samples[1].id, 2u);
+    EXPECT_EQ(samples[1].flits, 4u);
+    EXPECT_TRUE(samples[1].nonminimal);
+    EXPECT_EQ(samples[3].packets, 2u);
+    EXPECT_EQ(samples[0].totalLatency(), 50u);
+    EXPECT_EQ(samples[0].networkLatency(), 49u);
+}
+
+TEST(LogParser, RejectsBadInput)
+{
+    EXPECT_THROW(LogParser::parseText("not,a,header\n1,2\n"), FatalError);
+    EXPECT_THROW(LogParser::parseText(""), FatalError);
+    EXPECT_THROW(LogParser::parseText(
+                     std::string(TransactionLog::header()) + "\n1,2,3\n"),
+                 FatalError);
+}
+
+TEST(LogFilter, AppFilter)
+{
+    auto samples = LogParser::parseText(sampleLogText());
+    auto filtered = LogParser::apply(samples, std::vector<std::string>{"+app=0"});
+    ASSERT_EQ(filtered.size(), 2u);
+    EXPECT_EQ(filtered[0].id, 1u);
+    EXPECT_EQ(filtered[1].id, 2u);
+}
+
+TEST(LogFilter, SendRangeFilterMatchesPaperSyntax)
+{
+    // The paper's example: "+send=500-1000" keeps traffic sent in
+    // [500, 1000].
+    auto samples = LogParser::parseText(sampleLogText());
+    auto filtered = LogParser::apply(samples, std::vector<std::string>{"+send=500-1000"});
+    ASSERT_EQ(filtered.size(), 2u);
+    EXPECT_EQ(filtered[0].id, 3u);
+    EXPECT_EQ(filtered[1].id, 4u);
+}
+
+TEST(LogFilter, FiltersCompose)
+{
+    auto samples = LogParser::parseText(sampleLogText());
+    auto filtered =
+        LogParser::apply(samples, std::vector<std::string>{"+app=1", "+send=500-1000"});
+    ASSERT_EQ(filtered.size(), 2u);
+    filtered = LogParser::apply(samples, std::vector<std::string>{"+app=0", "+nonminimal=1"});
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[0].id, 2u);
+}
+
+TEST(LogFilter, SizeHopsSrcDst)
+{
+    auto samples = LogParser::parseText(sampleLogText());
+    EXPECT_EQ(LogParser::apply(samples, std::vector<std::string>{"+size=4-8"}).size(), 2u);
+    EXPECT_EQ(LogParser::apply(samples, std::vector<std::string>{"+hops=5"}).size(), 1u);
+    EXPECT_EQ(LogParser::apply(samples, std::vector<std::string>{"+src=1"}).size(), 1u);
+    EXPECT_EQ(LogParser::apply(samples, std::vector<std::string>{"+dst=0"}).size(), 1u);
+    EXPECT_EQ(LogParser::apply(samples, std::vector<std::string>{"+recv=0-400"}).size(), 2u);
+}
+
+TEST(LogFilter, MalformedSpecsAreFatal)
+{
+    EXPECT_THROW(LogFilter::parse("app=0"), FatalError);       // no '+'
+    EXPECT_THROW(LogFilter::parse("+app"), FatalError);        // no '='
+    EXPECT_THROW(LogFilter::parse("+nope=1"), FatalError);     // field
+    EXPECT_THROW(LogFilter::parse("+send=9-5"), FatalError);   // inverted
+    EXPECT_THROW(LogFilter::parse("+app=x"), FatalError);      // number
+}
+
+TEST(SeriesWriter, WritesRowsAndSeries)
+{
+    std::ostringstream out;
+    SeriesWriter writer(&out);
+    writer.header({"a", "b"});
+    writer.row({1.5, 2.0});
+    writer.row("label", {3.0});
+    EXPECT_EQ(out.str(), "a,b\n1.5,2\nlabel,3\n");
+}
+
+TEST(SeriesWriter, LoadLatencyTable)
+{
+    std::ostringstream out;
+    SeriesWriter writer(&out);
+    writer.loadLatencyHeader();
+    writer.loadLatencyRow(0.5, Distribution({10.0, 20.0, 30.0}));
+    std::string text = out.str();
+    EXPECT_NE(text.find("load,mean,p50"), std::string::npos);
+    EXPECT_NE(text.find("0.5,20,20"), std::string::npos);
+}
+
+TEST(TaskGraph, RunsDependenciesInOrder)
+{
+    TaskGraph graph;
+    std::vector<int> order;
+    std::mutex m;
+    auto record = [&](int id) {
+        return [&order, &m, id]() {
+            std::lock_guard<std::mutex> lock(m);
+            order.push_back(id);
+            return true;
+        };
+    };
+    graph.addTask("sim", record(1));
+    graph.addTask("parse", record(2), {"sim"});
+    graph.addTask("plot", record(3), {"parse"});
+    EXPECT_TRUE(graph.run(2));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(graph.state("plot"), TaskState::kSucceeded);
+}
+
+TEST(TaskGraph, FailureSkipsDependentsOnly)
+{
+    TaskGraph graph;
+    std::atomic<int> ran{0};
+    graph.addTask("ok", [&]() { ++ran; return true; });
+    graph.addTask("bad", []() { return false; });
+    graph.addTask("child_of_bad", [&]() { ++ran; return true; },
+                  {"bad"});
+    graph.addTask("grandchild", [&]() { ++ran; return true; },
+                  {"child_of_bad"});
+    graph.addTask("child_of_ok", [&]() { ++ran; return true; }, {"ok"});
+    EXPECT_FALSE(graph.run(2));
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_EQ(graph.state("bad"), TaskState::kFailed);
+    EXPECT_EQ(graph.state("child_of_bad"), TaskState::kSkipped);
+    EXPECT_EQ(graph.state("grandchild"), TaskState::kSkipped);
+    EXPECT_EQ(graph.state("child_of_ok"), TaskState::kSucceeded);
+    EXPECT_EQ(graph.tasksInState(TaskState::kSkipped).size(), 2u);
+}
+
+TEST(TaskGraph, ThrowingTaskCountsAsFailed)
+{
+    TaskGraph graph;
+    graph.addTask("boom", []() -> bool {
+        throw std::runtime_error("kapow");
+    });
+    EXPECT_FALSE(graph.run(1));
+    EXPECT_EQ(graph.state("boom"), TaskState::kFailed);
+}
+
+TEST(TaskGraph, ResourceCapacityLimitsConcurrency)
+{
+    TaskGraph graph;
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    for (int i = 0; i < 6; ++i) {
+        graph.addTask(strf("task_", i), [&]() {
+            int now = ++concurrent;
+            int old = peak.load();
+            while (now > old && !peak.compare_exchange_weak(old, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            --concurrent;
+            return true;
+        }, {}, 2);
+    }
+    // Capacity 2 with cost-2 tasks: strictly serial despite 4 threads.
+    EXPECT_TRUE(graph.run(4, 2));
+    EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(TaskGraph, UnknownDependencyIsFatal)
+{
+    TaskGraph graph;
+    EXPECT_THROW(graph.addTask("x", []() { return true; }, {"ghost"}),
+                 FatalError);
+    graph.addTask("a", []() { return true; });
+    EXPECT_THROW(graph.addTask("a", []() { return true; }), FatalError);
+}
+
+TEST(Sweeper, GeneratesCrossProduct)
+{
+    Sweeper sweeper;
+    sweeper.addVariable("Latency", "CL", {"1", "8"},
+                        [](const std::string& v) {
+                            return std::vector<std::string>{
+                                "network.channel_latency=uint=" + v};
+                        });
+    sweeper.addVariable("Size", "MS", {"1", "4", "16"},
+                        [](const std::string& v) {
+                            return std::vector<std::string>{
+                                "workload.applications.0.message_size="
+                                "uint=" + v};
+                        });
+    auto points = sweeper.generate();
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].id, "CL-1_MS-1");
+    EXPECT_EQ(points[5].id, "CL-8_MS-16");
+    EXPECT_EQ(points[3].values.at("Latency"), "8");
+    EXPECT_EQ(points[3].overrides.size(), 2u);
+}
+
+TEST(Sweeper, EmptySweepIsFatal)
+{
+    Sweeper sweeper;
+    EXPECT_THROW(sweeper.generate(), FatalError);
+}
+
+TEST(Sweeper, RunAllCollectsMetrics)
+{
+    Sweeper sweeper;
+    sweeper.addVariable("X", "X", {"2", "5"},
+                        [](const std::string& v) {
+                            return std::vector<std::string>{
+                                "x=uint=" + v};
+                        });
+    json::Value base = json::parse(R"({"x": 0, "y": 7})");
+    auto rows = sweeper.runAll(
+        base,
+        [](const json::Value& config, const SweepPoint& point) {
+            EXPECT_FALSE(point.id.empty());
+            std::map<std::string, double> metrics;
+            metrics["x_plus_y"] =
+                static_cast<double>(config.at("x").asUint() +
+                                    config.at("y").asUint());
+            return metrics;
+        },
+        2);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows[0].second.at("x_plus_y"), 9.0);
+    EXPECT_DOUBLE_EQ(rows[1].second.at("x_plus_y"), 12.0);
+
+    std::string csv = Sweeper::toCsv(rows);
+    EXPECT_NE(csv.find("X,x_plus_y"), std::string::npos);
+    EXPECT_NE(csv.find("2,9"), std::string::npos);
+    EXPECT_NE(csv.find("5,12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,137 @@
+/** @file Trace application tests: parsing, replay timing, composition
+ *  with synthetic traffic. */
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+#include "test_util.h"
+#include "workload/trace.h"
+
+namespace ss {
+namespace {
+
+const char* kNet =
+    R"({"topology": "torus", "widths": [4], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 3,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 8},
+        "routing": {"algorithm": "torus_dimension_order"}})";
+
+TEST(TraceParser, ParsesRows)
+{
+    auto records = parseTraceText(
+        "time,src,dst,size\n"
+        "# a comment\n"
+        "0,0,1,1\n"
+        "50,2,3,8\n"
+        "100,1,0,4\n");
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[1].time, 50u);
+    EXPECT_EQ(records[1].source, 2u);
+    EXPECT_EQ(records[1].destination, 3u);
+    EXPECT_EQ(records[1].flits, 8u);
+}
+
+TEST(TraceParser, RejectsBadInput)
+{
+    EXPECT_THROW(parseTraceText(""), FatalError);
+    EXPECT_THROW(parseTraceText("wrong,header\n"), FatalError);
+    EXPECT_THROW(parseTraceText("time,src,dst,size\n1,2,3\n"),
+                 FatalError);
+    EXPECT_THROW(parseTraceText("time,src,dst,size\n1,2,3,0\n"),
+                 FatalError);
+    EXPECT_THROW(parseTraceText("time,src,dst,size\nx,2,3,1\n"),
+                 FatalError);
+}
+
+TEST(Trace, ReplaysInlineMessages)
+{
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [{
+            "type": "trace",
+            "messages": [[0, 0, 2, 1], [10, 1, 3, 4], [10, 2, 0, 1],
+                          [500, 3, 1, 2]]
+        }]})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    ASSERT_EQ(result.sampler.count(), 4u);
+    // Injection times respect the trace offsets (relative to Start).
+    std::uint64_t start = ~0ULL;
+    for (const auto& s : result.sampler.samples()) {
+        start = std::min(start, s.createTick);
+    }
+    for (const auto& s : result.sampler.samples()) {
+        if (s.source == 3) {
+            EXPECT_EQ(s.createTick, start + 500);
+            EXPECT_EQ(s.flits, 2u);
+        }
+    }
+}
+
+TEST(Trace, ReplaysFromFile)
+{
+    std::string path = testing::TempDir() + "trace_test.csv";
+    {
+        std::ofstream f(path);
+        f << "time,src,dst,size\n";
+        for (int i = 0; i < 20; ++i) {
+            f << i * 7 << "," << i % 4 << "," << (i + 1) % 4 << ",2\n";
+        }
+    }
+    json::Value config = test::makeConfig(
+        kNet, strf(R"({"applications": [{
+            "type": "trace", "file": ")", path, R"("}]})"));
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 20u);
+}
+
+TEST(Trace, EmptyTraceCompletesImmediately)
+{
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [{"type": "trace", "messages": []}]})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(result.sampler.count(), 0u);
+}
+
+TEST(Trace, OutOfRangeEndpointsAreFatal)
+{
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet, R"({
+        "applications": [{"type": "trace",
+                           "messages": [[0, 9, 0, 1]]}]})")),
+                 FatalError);
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet, R"({
+        "applications": [{"type": "trace",
+                           "messages": [[0, 0, 9, 1]]}]})")),
+                 FatalError);
+}
+
+TEST(Trace, ComposesWithBlastBackground)
+{
+    // A trace replays on top of Blast background traffic — the
+    // multi-workload composition the four-phase handshake enables.
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [
+          {"type": "blast", "injection_rate": 0.2, "message_size": 1,
+           "warmup_duration": 500,
+           "traffic": {"type": "uniform_random"}},
+          {"type": "trace",
+           "messages": [[0, 0, 2, 4], [100, 1, 3, 4], [200, 2, 0, 4]]}
+        ]})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.saturated);
+    std::size_t trace_count = 0;
+    for (const auto& s : result.sampler.samples()) {
+        if (s.app == 1) {
+            ++trace_count;
+            EXPECT_EQ(s.flits, 4u);
+        }
+    }
+    EXPECT_EQ(trace_count, 3u);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,108 @@
+/** @file Flit/Packet/Message structure tests. */
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+#include "types/message.h"
+
+namespace ss {
+namespace {
+
+TEST(Types, SingleFlitMessage)
+{
+    Message msg(1, 0, 2, 3, 1, 64);
+    EXPECT_EQ(msg.numPackets(), 1u);
+    EXPECT_EQ(msg.totalFlits(), 1u);
+    Flit* flit = msg.packet(0)->flit(0);
+    EXPECT_TRUE(flit->isHead());
+    EXPECT_TRUE(flit->isTail());
+    EXPECT_EQ(flit->packet()->message(), &msg);
+}
+
+TEST(Types, PacketizationSplitsAtMaxSize)
+{
+    Message msg(1, 0, 0, 1, 10, 4);  // 10 flits, max packet 4
+    ASSERT_EQ(msg.numPackets(), 3u);
+    EXPECT_EQ(msg.packet(0)->numFlits(), 4u);
+    EXPECT_EQ(msg.packet(1)->numFlits(), 4u);
+    EXPECT_EQ(msg.packet(2)->numFlits(), 2u);
+    EXPECT_EQ(msg.totalFlits(), 10u);
+}
+
+TEST(Types, HeadTailFlags)
+{
+    Message msg(1, 0, 0, 1, 3, 8);
+    Packet* pkt = msg.packet(0);
+    EXPECT_TRUE(pkt->flit(0)->isHead());
+    EXPECT_FALSE(pkt->flit(0)->isTail());
+    EXPECT_FALSE(pkt->flit(1)->isHead());
+    EXPECT_FALSE(pkt->flit(1)->isTail());
+    EXPECT_TRUE(pkt->flit(2)->isTail());
+    EXPECT_EQ(pkt->headFlit(), pkt->flit(0));
+    EXPECT_EQ(pkt->tailFlit(), pkt->flit(2));
+}
+
+TEST(Types, InOrderReceiveCompletesPacket)
+{
+    Message msg(1, 0, 0, 1, 3, 8);
+    Packet* pkt = msg.packet(0);
+    EXPECT_FALSE(pkt->receiveFlit(pkt->flit(0)));
+    EXPECT_FALSE(pkt->receiveFlit(pkt->flit(1)));
+    EXPECT_TRUE(pkt->receiveFlit(pkt->flit(2)));
+    EXPECT_EQ(pkt->receivedFlits(), 3u);
+}
+
+TEST(Types, MessageCompletesWhenAllPacketsArrive)
+{
+    Message msg(1, 0, 0, 1, 6, 3);
+    ASSERT_EQ(msg.numPackets(), 2u);
+    EXPECT_FALSE(msg.receivePacket(msg.packet(0)));
+    EXPECT_TRUE(msg.receivePacket(msg.packet(1)));
+}
+
+TEST(Types, RoutingStateDefaults)
+{
+    Message msg(1, 0, 0, 1, 1, 8);
+    Packet* pkt = msg.packet(0);
+    EXPECT_EQ(pkt->routingPhase(), 0u);
+    EXPECT_EQ(pkt->intermediate(), Packet::kNoIntermediate);
+    EXPECT_EQ(pkt->vcClass(), 0u);
+    EXPECT_FALSE(pkt->tookNonminimal());
+    EXPECT_EQ(pkt->hopCount(), 0u);
+    pkt->setTookNonminimal();
+    EXPECT_TRUE(msg.tookNonminimal());
+}
+
+TEST(Types, MaxHopCountOverPackets)
+{
+    Message msg(1, 0, 0, 1, 6, 3);
+    msg.packet(0)->incrementHopCount();
+    msg.packet(1)->incrementHopCount();
+    msg.packet(1)->incrementHopCount();
+    EXPECT_EQ(msg.maxHopCount(), 2u);
+}
+
+using TypesDeathTest = ::testing::Test;
+
+TEST(TypesDeathTest, OutOfOrderFlitPanics)
+{
+    Message msg(1, 0, 0, 1, 3, 8);
+    Packet* pkt = msg.packet(0);
+    // §IV-D: flits must arrive in order within a packet.
+    EXPECT_DEATH(pkt->receiveFlit(pkt->flit(1)), "out of order");
+}
+
+TEST(TypesDeathTest, WrongPacketFlitPanics)
+{
+    Message msg(1, 0, 0, 1, 6, 3);
+    EXPECT_DEATH(msg.packet(0)->receiveFlit(msg.packet(1)->flit(0)),
+                 "wrong packet");
+}
+
+TEST(Types, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(Message(1, 0, 0, 1, 0, 8), FatalError);
+    EXPECT_THROW(Message(1, 0, 0, 1, 4, 0), FatalError);
+}
+
+}  // namespace
+}  // namespace ss
