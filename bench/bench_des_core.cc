@@ -134,6 +134,59 @@ BM_EndToEndTorusSimulation(benchmark::State& state)
 }
 BENCHMARK(BM_EndToEndTorusSimulation);
 
+ss::json::Value
+observabilityBenchConfig()
+{
+    return ss::json::parse(R"({
+      "simulator": {"seed": 1, "time_limit": 0},
+      "network": {
+        "topology": "torus", "widths": [4, 4], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 16, "crossbar_latency": 1},
+        "routing": {"algorithm": "torus_dimension_order"}
+      },
+      "workload": {"applications": [{
+        "type": "blast", "injection_rate": 0.3, "message_size": 1,
+        "num_samples": 50, "warmup_duration": 500,
+        "traffic": {"type": "uniform_random"}}]}
+    })");
+}
+
+void
+BM_ObservabilityOverhead(benchmark::State& state)
+{
+    // Arg 0: no "observability" block at all (the pre-obs baseline).
+    // Arg 1: block present with enabled=false (the gated-off branch).
+    // Arg 2: enabled=true with series + trace streaming to temp files.
+    const std::int64_t mode = state.range(0);
+    ss::json::Value config = observabilityBenchConfig();
+    if (mode >= 1) {
+        ss::json::Value obs = ss::json::Value::object();
+        obs["enabled"] = mode == 2;
+        if (mode == 2) {
+            obs["sample_interval"] = std::uint64_t{500};
+            obs["series_file"] =
+                std::string("/tmp/bench_obs_series.csv");
+            obs["trace_file"] =
+                std::string("/tmp/bench_obs_trace.json");
+        }
+        config["observability"] = std::move(obs);
+    }
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        (void)_;
+        ss::RunResult result = ss::runSimulation(config);
+        events += result.eventsExecuted;
+        benchmark::DoNotOptimize(result.sampler.count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.SetLabel(mode == 0   ? "absent"
+                   : mode == 1 ? "disabled"
+                                : "enabled");
+}
+BENCHMARK(BM_ObservabilityOverhead)->Arg(0)->Arg(1)->Arg(2);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -23,7 +23,7 @@ Simulator::~Simulator()
 }
 
 void
-Simulator::schedule(Event* event, Time time)
+Simulator::schedule(Event* event, Time time, bool background)
 {
     // Hot path: keep the failure messages out of the fast path (string
     // construction per call would dominate the simulation).
@@ -36,7 +36,11 @@ Simulator::schedule(Event* event, Time time)
               now_.toString());
     }
     event->time_ = time;
-    queue_.push(QueueEntry{time, sequence_++, event, false});
+    queue_.push(QueueEntry{time, sequence_++, event, false, background});
+    foregroundPending_ += !background;
+    if (queue_.size() > peakQueueDepth_) {
+        peakQueueDepth_ = queue_.size();
+    }
 }
 
 void
@@ -48,7 +52,11 @@ Simulator::schedule(Time time, std::function<void()> fn)
     }
     auto* event = new CallbackEvent(std::move(fn));
     event->time_ = time;
-    queue_.push(QueueEntry{time, sequence_++, event, true});
+    queue_.push(QueueEntry{time, sequence_++, event, true, false});
+    ++foregroundPending_;
+    if (queue_.size() > peakQueueDepth_) {
+        peakQueueDepth_ = queue_.size();
+    }
 }
 
 std::uint64_t
@@ -56,25 +64,61 @@ Simulator::run()
 {
     checkSim(!running_, "Simulator::run() is not reentrant");
     running_ = true;
-    std::uint64_t executed = 0;
-    while (!queue_.empty()) {
+    const std::uint64_t start_count = eventsExecuted_;
+    const auto wall_start = std::chrono::steady_clock::now();
+    heartbeatWall_ = wall_start;
+    heartbeatEvents_ = eventsExecuted_;
+    // Run while *foreground* work remains; background events (periodic
+    // observability samples) execute in time order alongside but never
+    // keep the simulation alive on their own.
+    while (foregroundPending_ > 0) {
         QueueEntry entry = queue_.top();
         if (timeLimit_ > 0 && entry.time.tick > timeLimit_) {
             timeLimitHit_ = true;
             break;
         }
         queue_.pop();
+        foregroundPending_ -= !entry.background;
         now_ = entry.time;
         entry.event->time_ = Time::invalid();
         entry.event->process();
         if (entry.owned) {
             delete entry.event;
         }
-        ++executed;
+        ++eventsExecuted_;
+        if (heartbeatSeconds_ > 0 &&
+            (eventsExecuted_ & 0x3fff) == 0) [[unlikely]] {
+            maybeHeartbeat();
+        }
     }
-    eventsExecuted_ += executed;
+    const std::uint64_t executed = eventsExecuted_ - start_count;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    runWallSeconds_ += seconds;
+    lastRunEventRate_ =
+        seconds > 0.0 ? static_cast<double>(executed) / seconds : 0.0;
     running_ = false;
     return executed;
+}
+
+void
+Simulator::maybeHeartbeat()
+{
+    auto wall = std::chrono::steady_clock::now();
+    double elapsed =
+        std::chrono::duration<double>(wall - heartbeatWall_).count();
+    if (elapsed < heartbeatSeconds_) {
+        return;
+    }
+    double rate =
+        static_cast<double>(eventsExecuted_ - heartbeatEvents_) / elapsed;
+    inform("progress: tick ", now_.tick, ", ", eventsExecuted_,
+           " events (", static_cast<std::uint64_t>(rate),
+           " events/s), queue depth ", queue_.size());
+    heartbeatWall_ = wall;
+    heartbeatEvents_ = eventsExecuted_;
 }
 
 std::uint64_t

@@ -13,6 +13,7 @@
 #ifndef SS_CORE_SIMULATOR_H_
 #define SS_CORE_SIMULATOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,9 +24,14 @@
 
 #include "core/event.h"
 #include "core/time.h"
+#include "obs/metrics.h"
 #include "rng/random.h"
 
 namespace ss {
+
+namespace obs {
+class TraceWriter;
+}
 
 class Component;
 
@@ -44,8 +50,12 @@ class Simulator {
 
     /** Schedules @p event at @p time. The event must not already be
      *  pending and @p time must not be in the past. The caller retains
-     *  ownership; the event may be rescheduled after it fires. */
-    void schedule(Event* event, Time time);
+     *  ownership; the event may be rescheduled after it fires.
+     *
+     *  A @p background event does not keep the simulation alive: run()
+     *  stops once only background events remain queued (observability
+     *  sampling uses this so periodic collection never extends a run). */
+    void schedule(Event* event, Time time, bool background = false);
 
     /** Schedules a one-shot callable at @p time. The simulator owns the
      *  wrapper event. */
@@ -84,12 +94,50 @@ class Simulator {
     void setDebug(bool on) { debug_ = on; }
     bool debug() const { return debug_; }
 
+    // ----- observability -----
+
+    /** The per-simulation instrument registry (always present; cheap
+     *  when unused). */
+    obs::MetricsRegistry& metrics() { return metrics_; }
+    const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+    /** Master observability switch. Components consult this at
+     *  construction time to decide whether to create instruments; when
+     *  off, their cached instrument pointers stay null and the hot paths
+     *  pay a single branch each. */
+    void setObservabilityEnabled(bool on) { obsEnabled_ = on; }
+    bool observabilityEnabled() const { return obsEnabled_; }
+
+    /** Trace sink for timeline spans, or nullptr (the default). The
+     *  caller retains ownership and must keep it alive through run(). */
+    void setTraceWriter(obs::TraceWriter* writer) { trace_ = writer; }
+    obs::TraceWriter* traceWriter() const { return trace_; }
+
+    /** Enables a wall-clock progress heartbeat: run() inform()s current
+     *  tick, events/sec, and queue depth roughly every @p seconds of
+     *  real time. 0 disables (default). */
+    void setHeartbeatSeconds(double seconds) { heartbeatSeconds_ = seconds; }
+    double heartbeatSeconds() const { return heartbeatSeconds_; }
+
+    // ----- engine counters (observability + RunResult) -----
+
+    /** Wall-clock seconds spent inside run() over the simulator's
+     *  lifetime. */
+    double runWallSeconds() const { return runWallSeconds_; }
+    /** Events per wall-clock second of the most recent run() call. */
+    double lastRunEventRate() const { return lastRunEventRate_; }
+    /** Largest event-queue depth ever observed. */
+    std::size_t peakQueueDepth() const { return peakQueueDepth_; }
+
   private:
+    void maybeHeartbeat();
+
     struct QueueEntry {
         Time time;
         std::uint64_t sequence;
         Event* event;
         bool owned;
+        bool background;
 
         bool
         operator>(const QueueEntry& other) const
@@ -105,13 +153,26 @@ class Simulator {
     Time now_;
     std::uint64_t sequence_ = 0;
     std::uint64_t eventsExecuted_ = 0;
+    std::uint64_t foregroundPending_ = 0;
     Tick timeLimit_ = 0;
     bool timeLimitHit_ = false;
     bool running_ = false;
     bool debug_ = false;
+    bool obsEnabled_ = false;
     std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                         std::greater<QueueEntry>> queue_;
     std::unordered_map<std::string, Component*> components_;
+
+    obs::MetricsRegistry metrics_;
+    obs::TraceWriter* trace_ = nullptr;
+
+    double heartbeatSeconds_ = 0.0;
+    std::chrono::steady_clock::time_point heartbeatWall_;
+    std::uint64_t heartbeatEvents_ = 0;
+
+    double runWallSeconds_ = 0.0;
+    double lastRunEventRate_ = 0.0;
+    std::size_t peakQueueDepth_ = 0;
 };
 
 }  // namespace ss

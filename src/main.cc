@@ -5,8 +5,12 @@
  *   supersim myconfig.json \
  *       network.router.architecture=string=my_arch \
  *       network.concentration=uint=16
+ *
+ * `--json[=path]` additionally emits the structured RunResult: to stdout
+ * (after the summary) with no path, or to the given file.
  */
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,20 +23,42 @@ main(int argc, char** argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <config.json> [path=type=value ...]\n",
+                     "usage: %s <config.json> [--json[=path]] "
+                     "[path=type=value ...]\n",
                      argv[0]);
         return 1;
     }
     try {
         ss::json::Value config = ss::json::loadSettings(argv[1]);
+        bool emit_json = false;
+        std::string json_path;
         std::vector<std::string> overrides;
         for (int i = 2; i < argc; ++i) {
-            overrides.emplace_back(argv[i]);
+            std::string arg = argv[i];
+            if (arg == "--json") {
+                emit_json = true;
+            } else if (arg.rfind("--json=", 0) == 0) {
+                emit_json = true;
+                json_path = arg.substr(7);
+            } else {
+                overrides.push_back(std::move(arg));
+            }
         }
         ss::json::applyOverrides(&config, overrides);
 
         ss::RunResult result = ss::runSimulation(config);
         std::printf("%s", result.summary().c_str());
+        if (emit_json) {
+            std::string text = result.toJson().toString(2);
+            if (json_path.empty()) {
+                std::printf("%s\n", text.c_str());
+            } else {
+                std::ofstream out(json_path);
+                ss::checkUser(out.is_open(), "cannot write JSON result to ",
+                              json_path);
+                out << text << '\n';
+            }
+        }
         return 0;
     } catch (const ss::FatalError&) {
         return 1;

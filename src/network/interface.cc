@@ -21,6 +21,19 @@ Interface::Interface(Simulator* simulator, const std::string& name,
     checkUser(num_vcs > 0, "interface needs VCs");
     checkUser(ejectionBufferSize_ > 0, "ejection buffer size must be > 0");
     injectionCredits_.resize(numVcs_, 0);
+
+    if (simulator->observabilityEnabled()) {
+        obs::MetricsRegistry& m = simulator->metrics();
+        injectionStalls_ = m.counter(fullName() + ".injection_stalls");
+        m.polledGauge(fullName() + ".flits_injected", [this]() {
+            return static_cast<double>(flitsInjected_);
+        });
+        m.polledGauge(fullName() + ".flits_ejected", [this]() {
+            return static_cast<double>(flitsEjected_);
+        });
+    }
+    obs::TraceWriter* tw = simulator->traceWriter();
+    tracePackets_ = (tw != nullptr && tw->packetsEnabled()) ? tw : nullptr;
 }
 
 Interface::~Interface() = default;
@@ -118,6 +131,9 @@ Interface::processInjection()
     }
     Tick tick = now().tick;
     if (!outputChannel_->available(tick)) {
+        if (injectionStalls_) {
+            injectionStalls_->inc();
+        }
         activate();
         return;
     }
@@ -135,6 +151,9 @@ Interface::processInjection()
             }
         }
         if (chosen == numVcs_) {
+            if (injectionStalls_) {
+                injectionStalls_->inc();
+            }
             activate();  // no credits anywhere; retry next cycle
             return;
         }
@@ -142,6 +161,9 @@ Interface::processInjection()
         nextVc_ = (chosen + 1) % numVcs_;
         packet->setInjectTime(now());
     } else if (injectionCredits_[currentVc_] == 0) {
+        if (injectionStalls_) {
+            injectionStalls_->inc();
+        }
         activate();  // credit stall mid-packet
         return;
     }
@@ -183,6 +205,20 @@ Interface::receiveFlit(std::uint32_t port, Flit* flit)
 
     if (packet->receiveFlit(flit)) {
         packet->setEjectTime(now());
+        if (tracePackets_) {
+            // Injection -> ejection lifetime span on the source
+            // terminal's trace row; per-hop sub-spans live on the
+            // router rows (same span name groups them when searching).
+            Tick inject = packet->injectTime().tick;
+            tracePackets_->completeEvent(
+                obs::TraceWriter::kPidPackets, message->source(),
+                strf("pkt m", message->id(), ".", packet->id()),
+                "packet", inject, now().tick - inject,
+                strf("{\"src\":", message->source(), ",\"dst\":",
+                     message->destination(), ",\"flits\":",
+                     packet->numFlits(), ",\"hops\":",
+                     packet->hopCount(), "}"));
+        }
         if (message->receivePacket(packet)) {
             message->setDeliverTime(now());
             std::uint32_t app = message->appId();

@@ -22,6 +22,8 @@
 #include "network/channel.h"
 #include "network/credit_channel.h"
 #include "network/message_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
 #include "types/message.h"
 
 namespace ss {
@@ -104,6 +106,11 @@ class Interface : public Component,
 
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsEjected_ = 0;
+
+    // Observability (nullptr when disabled — single cached-pointer
+    // branch per hook).
+    obs::Counter* injectionStalls_ = nullptr;
+    obs::TraceWriter* tracePackets_ = nullptr;
 };
 
 }  // namespace ss

@@ -96,6 +96,16 @@ Network::channelUtilizations() const
     return out;
 }
 
+std::uint64_t
+Network::totalCreditsSent() const
+{
+    std::uint64_t total = 0;
+    for (const auto& channel : creditChannels_) {
+        total += channel->creditCount();
+    }
+    return total;
+}
+
 Router*
 Network::makeRouter(const std::string& name, std::uint32_t id,
                     std::uint32_t num_ports,

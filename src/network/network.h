@@ -67,6 +67,10 @@ class Network : public Component {
     std::vector<std::pair<std::string, double>> channelUtilizations()
         const;
 
+    /** Total credits ever carried by all credit channels — the
+     *  network-wide credit-loop traffic (observability gauge). */
+    std::uint64_t totalCreditsSent() const;
+
   protected:
     // ----- construction helpers for topology subclasses -----
 

@@ -1,0 +1,145 @@
+#include "obs/collector.h"
+
+#include <utility>
+#include <vector>
+
+namespace ss::obs {
+
+SeriesFormat
+seriesFormatFromString(const std::string& name)
+{
+    if (name == "csv") {
+        return SeriesFormat::kCsv;
+    }
+    if (name == "jsonl") {
+        return SeriesFormat::kJsonl;
+    }
+    fatal("unknown series format '", name, "' (want csv|jsonl)");
+}
+
+MetricsCollector::MetricsCollector(Simulator* simulator,
+                                   const std::string& name,
+                                   const Component* parent, Tick interval,
+                                   const std::string& series_path,
+                                   SeriesFormat format, TraceWriter* trace)
+    : Component(simulator, name, parent),
+      interval_(interval),
+      seriesPath_(series_path),
+      format_(format),
+      trace_(trace),
+      sampleEvent_(this, &MetricsCollector::sample)
+{
+    checkUser(interval_ >= 1, "observability sample_interval must be >= 1");
+    if (!seriesPath_.empty()) {
+        out_.open(seriesPath_);
+        checkUser(out_.good(), "cannot open series file: ", seriesPath_);
+        if (format_ == SeriesFormat::kCsv) {
+            series_ = std::make_unique<SeriesWriter>(&out_);
+            series_->timeSeriesHeader();
+        }
+    }
+}
+
+MetricsCollector::~MetricsCollector() { finish(); }
+
+void
+MetricsCollector::start()
+{
+    if (started_) {
+        return;
+    }
+    started_ = true;
+    // Engine-level gauges live here: the registry owns them and the
+    // poll callbacks read the simulator directly, so sampling them costs
+    // nothing between collection points. Wall-clock rate deliberately
+    // stays out of the registry — series files must be deterministic.
+    obs::MetricsRegistry& m = simulator()->metrics();
+    Simulator* sim = simulator();
+    m.polledGauge("engine.events_executed", [sim]() {
+        return static_cast<double>(sim->eventsExecuted());
+    });
+    m.polledGauge("engine.queue_depth", [sim]() {
+        return static_cast<double>(sim->eventsPending());
+    });
+    m.polledGauge("engine.peak_queue_depth", [sim]() {
+        return static_cast<double>(sim->peakQueueDepth());
+    });
+    lastWall_ = std::chrono::steady_clock::now();
+    lastEvents_ = simulator()->eventsExecuted();
+    scheduleNext();
+}
+
+void
+MetricsCollector::scheduleNext()
+{
+    Tick next = (now().tick / interval_ + 1) * interval_;
+    simulator()->schedule(&sampleEvent_, Time(next, eps::kStats),
+                          /*background=*/true);
+}
+
+void
+MetricsCollector::sample()
+{
+    ++samplesTaken_;
+    Tick tick = now().tick;
+    const obs::MetricsRegistry& m = simulator()->metrics();
+    std::vector<std::pair<std::string, double>> values;
+    if (out_.is_open()) {
+        if (format_ == SeriesFormat::kJsonl) {
+            out_ << "{\"tick\":" << tick << ",\"metrics\":{";
+            bool first = true;
+            for (std::size_t i = 0; i < m.size(); ++i) {
+                values.clear();
+                m.at(i).snapshot(&values);
+                for (const auto& [suffix, value] : values) {
+                    out_ << (first ? "" : ",") << '"'
+                         << jsonEscape(m.at(i).name() + suffix)
+                         << "\":" << value;
+                    first = false;
+                }
+            }
+            out_ << "}}\n";
+        } else {
+            for (std::size_t i = 0; i < m.size(); ++i) {
+                values.clear();
+                m.at(i).snapshot(&values);
+                for (const auto& [suffix, value] : values) {
+                    series_->timeSeriesRow(tick, m.at(i).name() + suffix,
+                                           value);
+                }
+            }
+        }
+    }
+    if (trace_ != nullptr && trace_->countersEnabled()) {
+        trace_->counterEvent(TraceWriter::kPidEngine, "engine.queue_depth",
+                             tick,
+                             static_cast<double>(
+                                 simulator()->eventsPending()));
+        trace_->counterEvent(
+            TraceWriter::kPidEngine, "engine.events_executed", tick,
+            static_cast<double>(simulator()->eventsExecuted()));
+        // Wall-clock simulation rate since the last sample — trace only.
+        auto wall = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(wall - lastWall_).count();
+        std::uint64_t events = simulator()->eventsExecuted();
+        if (seconds > 0.0) {
+            trace_->counterEvent(
+                TraceWriter::kPidEngine, "engine.events_per_sec", tick,
+                static_cast<double>(events - lastEvents_) / seconds);
+        }
+        lastWall_ = wall;
+        lastEvents_ = events;
+    }
+    scheduleNext();
+}
+
+void
+MetricsCollector::finish()
+{
+    if (out_.is_open()) {
+        out_.flush();
+    }
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include "core/logging.h"
+
+namespace ss::obs {
+
+const char*
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::kCounter: return "counter";
+      case MetricKind::kGauge: return "gauge";
+      case MetricKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    // Rank of the requested percentile (1-based, clamped).
+    double want = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t rank = want <= 1.0
+                             ? 1
+                             : static_cast<std::uint64_t>(want + 0.5);
+    if (rank > count_) {
+        rank = count_;
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < 65; ++b) {
+        seen += buckets_[b];
+        if (seen >= rank) {
+            // Upper bound of bucket b: 2^b - 1 (bucket 0 holds value 0),
+            // clamped to the exact recorded maximum.
+            if (b == 0) {
+                return 0.0;
+            }
+            if (b >= 64) {
+                return static_cast<double>(max_);
+            }
+            std::uint64_t bound = (std::uint64_t{1} << b) - 1;
+            return static_cast<double>(bound < max_ ? bound : max_);
+        }
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram::snapshot(
+    std::vector<std::pair<std::string, double>>* out) const
+{
+    out->emplace_back(".count", static_cast<double>(count_));
+    out->emplace_back(".mean", mean());
+    out->emplace_back(".min", static_cast<double>(min()));
+    out->emplace_back(".max", static_cast<double>(max_));
+    out->emplace_back(".p50", percentile(50));
+    out->emplace_back(".p99", percentile(99));
+}
+
+template <typename T>
+T*
+MetricsRegistry::getOrCreate(const std::string& name, MetricKind kind)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        Metric* existing = metrics_[it->second].get();
+        checkUser(existing->kind() == kind, "metric '", name,
+                  "' already registered as a ",
+                  metricKindName(existing->kind()), ", requested as a ",
+                  metricKindName(kind));
+        return static_cast<T*>(existing);
+    }
+    auto metric = std::make_unique<T>(name);
+    T* raw = metric.get();
+    index_.emplace(name, metrics_.size());
+    metrics_.push_back(std::move(metric));
+    return raw;
+}
+
+Counter*
+MetricsRegistry::counter(const std::string& name)
+{
+    return getOrCreate<Counter>(name, MetricKind::kCounter);
+}
+
+Gauge*
+MetricsRegistry::gauge(const std::string& name)
+{
+    return getOrCreate<Gauge>(name, MetricKind::kGauge);
+}
+
+Gauge*
+MetricsRegistry::polledGauge(const std::string& name,
+                             std::function<double()> poll)
+{
+    checkUser(index_.find(name) == index_.end(),
+              "polled gauge '", name, "' registered twice");
+    Gauge* gauge = getOrCreate<Gauge>(name, MetricKind::kGauge);
+    gauge->setPoll(std::move(poll));
+    return gauge;
+}
+
+Histogram*
+MetricsRegistry::histogram(const std::string& name)
+{
+    return getOrCreate<Histogram>(name, MetricKind::kHistogram);
+}
+
+Metric*
+MetricsRegistry::find(const std::string& name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : metrics_[it->second].get();
+}
+
+}  // namespace ss::obs

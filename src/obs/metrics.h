@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Metric instruments and the per-simulation metrics registry — the data
+ * half of the observability layer.
+ *
+ * Any component can create Counter/Gauge/Histogram instruments by
+ * hierarchical name (e.g. "network.router_3.input_queue.occupancy"). The
+ * instruments themselves are header-inline and branch-free: a counter
+ * increment is one add on a cached pointer. All cost gating happens at
+ * the *call sites*, which hold nullptr instrument pointers when
+ * observability is disabled — the hot paths then pay exactly one branch
+ * on a cached pointer and nothing else.
+ *
+ * This header is deliberately free of core-framework includes so the
+ * Simulator can own a MetricsRegistry without an include cycle.
+ */
+#ifndef SS_OBS_METRICS_H_
+#define SS_OBS_METRICS_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ss::obs {
+
+/** The kind of an instrument. */
+enum class MetricKind : std::uint8_t {
+    kCounter,
+    kGauge,
+    kHistogram,
+};
+
+const char* metricKindName(MetricKind kind);
+
+/** Base class of all instruments: a name, a kind, and a snapshot. */
+class Metric {
+  public:
+    Metric(std::string name, MetricKind kind)
+        : name_(std::move(name)), kind_(kind)
+    {
+    }
+    virtual ~Metric() = default;
+
+    Metric(const Metric&) = delete;
+    Metric& operator=(const Metric&) = delete;
+
+    const std::string& name() const { return name_; }
+    MetricKind kind() const { return kind_; }
+
+    /** Appends the instrument's current value(s) as (name suffix, value)
+     *  pairs — scalar instruments append one pair with an empty suffix,
+     *  histograms append one pair per aggregate (".count", ".mean", ...).
+     */
+    virtual void snapshot(
+        std::vector<std::pair<std::string, double>>* out) const = 0;
+
+  private:
+    std::string name_;
+    MetricKind kind_;
+};
+
+/** A monotonically increasing event count. */
+class Counter final : public Metric {
+  public:
+    explicit Counter(std::string name)
+        : Metric(std::move(name), MetricKind::kCounter)
+    {
+    }
+
+    void inc() { ++value_; }
+    void add(std::uint64_t n) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+    void
+    snapshot(std::vector<std::pair<std::string, double>>* out) const
+        override
+    {
+        out->emplace_back("", static_cast<double>(value_));
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A point-in-time value: either set explicitly or polled on demand via
+ *  a callback (polled gauges cost nothing between samples). */
+class Gauge final : public Metric {
+  public:
+    explicit Gauge(std::string name)
+        : Metric(std::move(name), MetricKind::kGauge)
+    {
+    }
+
+    void set(double value) { value_ = value; }
+
+    /** Installs a poll callback; value() then reflects the callback. */
+    void setPoll(std::function<double()> poll) { poll_ = std::move(poll); }
+    bool polled() const { return static_cast<bool>(poll_); }
+
+    double value() const { return poll_ ? poll_() : value_; }
+
+    void
+    snapshot(std::vector<std::pair<std::string, double>>* out) const
+        override
+    {
+        out->emplace_back("", value());
+    }
+
+  private:
+    double value_ = 0.0;
+    std::function<double()> poll_;
+};
+
+/** A value distribution with exact count/sum/min/max and power-of-two
+ *  buckets for approximate tail percentiles. Recording is a handful of
+ *  arithmetic ops — cheap enough for per-hop latencies. */
+class Histogram final : public Metric {
+  public:
+    explicit Histogram(std::string name)
+        : Metric(std::move(name), MetricKind::kHistogram)
+    {
+    }
+
+    void
+    record(std::uint64_t value)
+    {
+        ++count_;
+        sum_ += value;
+        if (value < min_ || count_ == 1) {
+            min_ = value;
+        }
+        if (value > max_) {
+            max_ = value;
+        }
+        ++buckets_[std::bit_width(value)];  // bucket b: [2^(b-1), 2^b)
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /** Approximate percentile in [0, 100]: the upper bound of the
+     *  power-of-two bucket holding the requested rank (within 2x). */
+    double percentile(double p) const;
+
+    void snapshot(std::vector<std::pair<std::string, double>>* out) const
+        override;
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t buckets_[65] = {};
+};
+
+/**
+ * The per-simulation instrument registry. Names are unique: requesting
+ * an existing name of the same kind returns the existing instrument;
+ * a kind collision is a user error (fatal()). Iteration order is
+ * insertion order, making collector output deterministic.
+ */
+class MetricsRegistry {
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** Finds-or-creates a counter named @p name. */
+    Counter* counter(const std::string& name);
+
+    /** Finds-or-creates a set-style gauge named @p name. */
+    Gauge* gauge(const std::string& name);
+
+    /** Creates a polled gauge; the name must not already exist. The
+     *  callback must stay valid as long as samples are taken (i.e. for
+     *  the lifetime of the simulation's components). */
+    Gauge* polledGauge(const std::string& name,
+                       std::function<double()> poll);
+
+    /** Finds-or-creates a histogram named @p name. */
+    Histogram* histogram(const std::string& name);
+
+    /** Looks up an instrument; nullptr if absent. */
+    Metric* find(const std::string& name) const;
+
+    std::size_t size() const { return metrics_.size(); }
+    /** Instrument @p i in registration order. */
+    const Metric& at(std::size_t i) const { return *metrics_[i]; }
+
+  private:
+    template <typename T>
+    T* getOrCreate(const std::string& name, MetricKind kind);
+
+    std::vector<std::unique_ptr<Metric>> metrics_;  // insertion order
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace ss::obs
+
+#endif  // SS_OBS_METRICS_H_

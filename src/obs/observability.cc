@@ -1,0 +1,124 @@
+#include "obs/observability.h"
+
+#include "json/settings.h"
+#include "network/network.h"
+
+namespace ss::obs {
+
+namespace {
+
+bool
+endsWith(const std::string& text, const std::string& suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+}  // namespace
+
+Observability::Observability(Simulator* simulator,
+                             const json::Value& config)
+    : simulator_(simulator)
+{
+    json::Value settings = config.isObject() && config.has("observability")
+                               ? config.at("observability")
+                               : json::Value::object();
+    enabled_ = json::getBool(settings, "enabled", false);
+    simulator_->setHeartbeatSeconds(
+        json::getFloat(settings, "heartbeat_seconds", 0.0));
+    if (!enabled_) {
+        return;
+    }
+    simulator_->setObservabilityEnabled(true);
+
+    seriesFile_ = json::getString(settings, "series_file",
+                                  "supersim_series.csv");
+    traceFile_ =
+        json::getString(settings, "trace_file", "supersim_trace.json");
+
+    if (!traceFile_.empty()) {
+        json::Value trace_settings =
+            settings.has("trace") ? settings.at("trace")
+                                  : json::Value::object();
+        trace_ = std::make_unique<TraceWriter>(
+            traceFile_, json::getBool(trace_settings, "packets", true),
+            json::getBool(trace_settings, "hops", true),
+            json::getBool(trace_settings, "counters", true),
+            json::getUint(trace_settings, "max_events", 0));
+        trace_->processName(TraceWriter::kPidEngine, "DES engine");
+        trace_->processName(TraceWriter::kPidPackets, "packets");
+        trace_->processName(TraceWriter::kPidRouters, "routers");
+        simulator_->setTraceWriter(trace_.get());
+    }
+
+    Tick interval = json::getUint(settings, "sample_interval", 1000);
+    SeriesFormat format =
+        settings.has("series_format")
+            ? seriesFormatFromString(
+                  json::getString(settings, "series_format"))
+            : (endsWith(seriesFile_, ".jsonl") ? SeriesFormat::kJsonl
+                                               : SeriesFormat::kCsv);
+    collector_ = std::make_unique<MetricsCollector>(
+        simulator_, "obs_collector", nullptr, interval, seriesFile_,
+        format, trace_.get());
+}
+
+Observability::~Observability() { finish(); }
+
+void
+Observability::attachNetwork(Network* network)
+{
+    if (!enabled_) {
+        return;
+    }
+    obs::MetricsRegistry& m = simulator_->metrics();
+    m.polledGauge("network.mean_channel_utilization", [network]() {
+        auto utils = network->channelUtilizations();
+        if (utils.empty()) {
+            return 0.0;
+        }
+        double sum = 0.0;
+        for (const auto& [name, util] : utils) {
+            sum += util;
+        }
+        return sum / static_cast<double>(utils.size());
+    });
+    m.polledGauge("network.messages_in_flight", [network]() {
+        return static_cast<double>(network->messagesInFlight());
+    });
+    m.polledGauge("network.credits_sent", [network]() {
+        return static_cast<double>(network->totalCreditsSent());
+    });
+    if (trace_) {
+        for (std::uint32_t r = 0; r < network->numRouters(); ++r) {
+            trace_->threadName(TraceWriter::kPidRouters, r,
+                               network->router(r)->fullName());
+        }
+        for (std::uint32_t t = 0; t < network->numInterfaces(); ++t) {
+            trace_->threadName(TraceWriter::kPidPackets, t,
+                               strf("terminal_", t));
+        }
+    }
+}
+
+void
+Observability::start()
+{
+    if (collector_) {
+        collector_->start();
+    }
+}
+
+void
+Observability::finish()
+{
+    if (collector_) {
+        collector_->finish();
+    }
+    if (trace_) {
+        trace_->close();
+    }
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Config-driven assembly of the observability layer.
+ *
+ * The "observability" subtree of the simulation config enables and
+ * shapes everything in src/obs with one flag:
+ *
+ *   "observability": {
+ *     "enabled": true,                 // master switch (default false)
+ *     "sample_interval": 1000,         // ticks between samples
+ *     "series_file": "series.csv",     // time series (csv or .jsonl)
+ *     "series_format": "csv",          // csv|jsonl (default: extension)
+ *     "trace_file": "trace.json",      // Chrome trace-event JSON
+ *     "trace": {                       // per-category switches
+ *       "packets": true,               //   packet lifetime spans
+ *       "hops": true,                  //   per-hop router spans
+ *       "counters": true,              //   engine counter tracks
+ *       "max_events": 0                //   0 = unlimited
+ *     },
+ *     "heartbeat_seconds": 0           // wall-clock progress inform()
+ *   }
+ *
+ * Construct an Observability *before* the network/workload so components
+ * see the enabled flag and create their instruments; attachNetwork()
+ * afterwards registers the network-wide gauges, start() arms the
+ * collector, and finish() closes the output files.
+ */
+#ifndef SS_OBS_OBSERVABILITY_H_
+#define SS_OBS_OBSERVABILITY_H_
+
+#include <memory>
+#include <string>
+
+#include "json/json.h"
+#include "obs/collector.h"
+#include "obs/trace_writer.h"
+
+namespace ss {
+
+class Network;
+class Simulator;
+
+namespace obs {
+
+/** Owns the trace writer and collector for one simulation. */
+class Observability {
+  public:
+    /** @param config the *root* simulation config (the "observability"
+     *  subtree is read from it; absent means disabled). */
+    Observability(Simulator* simulator, const json::Value& config);
+    ~Observability();
+
+    Observability(const Observability&) = delete;
+    Observability& operator=(const Observability&) = delete;
+
+    bool enabled() const { return enabled_; }
+    TraceWriter* trace() const { return trace_.get(); }
+    MetricsCollector* collector() const { return collector_.get(); }
+    const std::string& seriesFile() const { return seriesFile_; }
+    const std::string& traceFile() const { return traceFile_; }
+
+    /** Registers network-wide polled gauges (channel utilization,
+     *  in-flight messages, credit traffic) and names the trace rows. */
+    void attachNetwork(Network* network);
+
+    /** Schedules the collector's first sample (no-op when disabled). */
+    void start();
+
+    /** Flushes the series and terminates the trace JSON (idempotent). */
+    void finish();
+
+  private:
+    Simulator* simulator_;
+    bool enabled_ = false;
+    std::string seriesFile_;
+    std::string traceFile_;
+    std::unique_ptr<TraceWriter> trace_;
+    std::unique_ptr<MetricsCollector> collector_;
+};
+
+}  // namespace obs
+}  // namespace ss
+
+#endif  // SS_OBS_OBSERVABILITY_H_

@@ -1,0 +1,133 @@
+#include "obs/trace_writer.h"
+
+#include <cstdio>
+
+#include "core/logging.h"
+
+namespace ss::obs {
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+TraceWriter::TraceWriter(const std::string& path, bool packets, bool hops,
+                         bool counters, std::uint64_t max_events)
+    : out_(path),
+      path_(path),
+      packets_(packets),
+      hops_(hops),
+      counters_(counters),
+      maxEvents_(max_events)
+{
+    checkUser(out_.good(), "cannot open trace file: ", path);
+    out_ << "[";
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void
+TraceWriter::beginEvent()
+{
+    out_ << (eventCount_ == 0 ? "\n" : ",\n");
+    ++eventCount_;
+}
+
+void
+TraceWriter::completeEvent(std::uint32_t pid, std::uint32_t tid,
+                           const std::string& name, const char* category,
+                           std::uint64_t ts, std::uint64_t dur,
+                           const std::string& args_json)
+{
+    if (closed_ || truncated_) {
+        return;
+    }
+    if (maxEvents_ > 0 && eventCount_ >= maxEvents_) {
+        truncated_ = true;
+        warn("trace ", path_, " truncated at ", eventCount_, " events");
+        return;
+    }
+    beginEvent();
+    out_ << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+         << category << "\",\"ts\":" << ts << ",\"dur\":" << dur;
+    if (!args_json.empty()) {
+        out_ << ",\"args\":" << args_json;
+    }
+    out_ << "}";
+}
+
+void
+TraceWriter::counterEvent(std::uint32_t pid, const std::string& name,
+                          std::uint64_t ts, double value)
+{
+    if (closed_ || truncated_) {
+        return;
+    }
+    if (maxEvents_ > 0 && eventCount_ >= maxEvents_) {
+        truncated_ = true;
+        warn("trace ", path_, " truncated at ", eventCount_, " events");
+        return;
+    }
+    beginEvent();
+    out_ << "{\"ph\":\"C\",\"pid\":" << pid << ",\"name\":\""
+         << jsonEscape(name) << "\",\"ts\":" << ts
+         << ",\"args\":{\"value\":" << value << "}}";
+}
+
+void
+TraceWriter::processName(std::uint32_t pid, const std::string& name)
+{
+    if (closed_) {
+        return;
+    }
+    beginEvent();
+    out_ << "{\"ph\":\"M\",\"pid\":" << pid
+         << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+         << jsonEscape(name) << "\"}}";
+}
+
+void
+TraceWriter::threadName(std::uint32_t pid, std::uint32_t tid,
+                        const std::string& name)
+{
+    if (closed_) {
+        return;
+    }
+    beginEvent();
+    out_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << jsonEscape(name) << "\"}}";
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_) {
+        return;
+    }
+    closed_ = true;
+    out_ << "\n]\n";
+    out_.close();
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Chrome trace-event JSON emitter (Perfetto / chrome://tracing
+ * compatible) — the timeline half of the observability layer.
+ *
+ * Emits the trace-event array format: complete spans ("ph":"X") for
+ * packet lifetimes and per-hop router traversals, counter tracks
+ * ("ph":"C") for engine-level series, and metadata records naming the
+ * synthetic processes/threads. Simulation ticks map 1:1 to trace
+ * microseconds (the viewer's "us" axis reads as ticks).
+ *
+ * The writer streams events straight to disk; close() (or destruction)
+ * terminates the JSON array so the file is always well-formed once
+ * closed. Event categories can be disabled individually so hot paths
+ * can cache a nullptr instead of re-checking flags.
+ */
+#ifndef SS_OBS_TRACE_WRITER_H_
+#define SS_OBS_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace ss::obs {
+
+/** Streams Chrome trace-event JSON to a file. */
+class TraceWriter {
+  public:
+    // Synthetic process ids grouping the trace rows.
+    static constexpr std::uint32_t kPidEngine = 1;
+    static constexpr std::uint32_t kPidPackets = 2;
+    static constexpr std::uint32_t kPidRouters = 3;
+
+    /** Opens @p path for writing; fatal() if it cannot be created.
+     *  @param max_events stop recording after this many events
+     *                    (0 = unlimited). */
+    TraceWriter(const std::string& path, bool packets, bool hops,
+                bool counters, std::uint64_t max_events = 0);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    bool packetsEnabled() const { return packets_; }
+    bool hopsEnabled() const { return hops_; }
+    bool countersEnabled() const { return counters_; }
+
+    /** A complete span: [ts, ts+dur] on (pid, tid). @p args_json, if
+     *  non-empty, must be a serialized JSON object. */
+    void completeEvent(std::uint32_t pid, std::uint32_t tid,
+                       const std::string& name, const char* category,
+                       std::uint64_t ts, std::uint64_t dur,
+                       const std::string& args_json = std::string());
+
+    /** One point of a counter track on @p pid. */
+    void counterEvent(std::uint32_t pid, const std::string& name,
+                      std::uint64_t ts, double value);
+
+    /** Names a synthetic process in the viewer. */
+    void processName(std::uint32_t pid, const std::string& name);
+
+    /** Names a thread (row) within a synthetic process. */
+    void threadName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string& name);
+
+    /** Events written so far (metadata included). */
+    std::uint64_t eventCount() const { return eventCount_; }
+    /** True once max_events was reached and recording stopped. */
+    bool truncated() const { return truncated_; }
+
+    /** Terminates the JSON array and closes the file (idempotent). */
+    void close();
+
+  private:
+    void beginEvent();
+
+    std::ofstream out_;
+    std::string path_;
+    bool packets_;
+    bool hops_;
+    bool counters_;
+    std::uint64_t maxEvents_;
+    std::uint64_t eventCount_ = 0;
+    bool truncated_ = false;
+    bool closed_ = false;
+};
+
+/** Escapes a string for embedding in a JSON literal (no quotes added). */
+std::string jsonEscape(const std::string& text);
+
+}  // namespace ss::obs
+
+#endif  // SS_OBS_TRACE_WRITER_H_

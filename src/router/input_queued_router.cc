@@ -78,6 +78,27 @@ InputQueuedRouter::InputQueuedRouter(
     inputs_.resize(slots);
     outputVcAllocated_.resize(slots, false);
     outputState_.resize(numPorts_);
+
+    // Observability instruments exist only when the layer is enabled;
+    // otherwise the cached pointers stay null and the pipeline pays one
+    // branch per hook.
+    if (simulator->observabilityEnabled()) {
+        obs::MetricsRegistry& m = simulator->metrics();
+        pipelineEvals_ = m.counter(fullName() + ".pipeline_evals");
+        vcaGrants_ = m.counter(fullName() + ".vca_grants");
+        saGrants_ = m.counter(fullName() + ".sa_grants");
+        hopLatency_ = m.histogram(fullName() + ".hop_latency");
+        m.polledGauge(fullName() + ".input_occupancy", [this]() {
+            std::size_t total = 0;
+            for (const auto& state : inputs_) {
+                total += state.buffer.size();
+            }
+            return static_cast<double>(total);
+        });
+    }
+    obs::TraceWriter* tw = simulator->traceWriter();
+    traceHops_ = (tw != nullptr && tw->hopsEnabled()) ? tw : nullptr;
+    markHopArrival_ = traceHops_ != nullptr || hopLatency_ != nullptr;
     std::uint32_t clients = numPorts_ * numVcs_;
     for (std::uint32_t o = 0; o < numPorts_; ++o) {
         saArbiters_.push_back(ArbiterFactory::instance().createUnique(
@@ -115,6 +136,9 @@ InputQueuedRouter::receiveFlit(std::uint32_t port, Flit* flit)
     state.buffer.push_back(flit);
     if (flit->isHead()) {
         flit->packet()->incrementHopCount();
+        if (markHopArrival_) {
+            flit->packet()->setHopArriveTick(now().tick);
+        }
     }
     activate();
 }
@@ -135,6 +159,9 @@ InputQueuedRouter::activate()
 void
 InputQueuedRouter::processPipeline()
 {
+    if (pipelineEvals_) {
+        pipelineEvals_->inc();
+    }
     runVcAllocation();
     runSwitchAllocation();
 
@@ -220,6 +247,9 @@ InputQueuedRouter::runVcAllocation()
                 continue;
             }
             arb->grant(winner);
+            if (vcaGrants_) {
+                vcaGrants_->inc();
+            }
             InputVc& state = inputs_[winner];
             state.allocated = true;
             state.outPort = o;
@@ -308,6 +338,26 @@ InputQueuedRouter::runSwitchAllocation()
         std::uint32_t in_port = winner / numVcs_;
         std::uint32_t in_vc = winner % numVcs_;
 
+        if (saGrants_) {
+            saGrants_->inc();
+        }
+        if (markHopArrival_ && flit->isHead()) {
+            Packet* packet = flit->packet();
+            Tick arrive = packet->hopArriveTick();
+            if (hopLatency_) {
+                hopLatency_->record(tick - arrive);
+            }
+            if (traceHops_) {
+                traceHops_->completeEvent(
+                    obs::TraceWriter::kPidRouters, id_,
+                    strf("pkt m", packet->message()->id(), ".",
+                         packet->id()),
+                    "hop", arrive, tick - arrive,
+                    strf("{\"in_port\":", in_port, ",\"out_port\":",
+                         state.outPort, ",\"out_vc\":", state.outVc,
+                         "}"));
+            }
+        }
         dispatch(flit, state.outPort, state.outVc, tick);
         returnCredit(in_port, in_vc);
 

@@ -28,6 +28,8 @@
 
 #include "arbiter/arbiter.h"
 #include "network/router.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
 
 namespace ss {
 
@@ -111,6 +113,16 @@ class InputQueuedRouter : public Router {
     std::vector<std::unique_ptr<Arbiter>> vcaArbiters_;  // per (o,v)
     std::vector<std::unique_ptr<Arbiter>> saArbiters_;   // per output port
     MemberEvent<InputQueuedRouter> pipelineEvent_;
+
+    // Observability. All pointers are nullptr when observability is
+    // disabled, so every hot-path hook is a single branch on a cached
+    // pointer (zero-overhead requirement; see DESIGN.md).
+    obs::Counter* pipelineEvals_ = nullptr;
+    obs::Counter* vcaGrants_ = nullptr;
+    obs::Counter* saGrants_ = nullptr;
+    obs::Histogram* hopLatency_ = nullptr;
+    obs::TraceWriter* traceHops_ = nullptr;
+    bool markHopArrival_ = false;  ///< hopLatency_ or traceHops_ active
 
   private:
     void runVcAllocation();

@@ -29,6 +29,16 @@ IoqRouter::IoqRouter(Simulator* simulator, const std::string& name,
             "round_robin", simulator, strf("drain_arb_", o), this,
             numVcs_, json::Value::object()));
     }
+    if (simulator->observabilityEnabled()) {
+        simulator->metrics().polledGauge(
+            fullName() + ".output_occupancy", [this]() {
+                std::size_t total = 0;
+                for (std::size_t i = 0; i < outputQueues_.size(); ++i) {
+                    total += outputQueues_[i].size() + reserved_[i];
+                }
+                return static_cast<double>(total);
+            });
+    }
 }
 
 IoqRouter::~IoqRouter() = default;

@@ -15,6 +15,11 @@ Simulation::Simulation(const json::Value& config) : config_(config)
         json::getUint(sim_settings, "time_limit", 0));
     simulator_->setDebug(json::getBool(sim_settings, "debug", false));
 
+    // Observability must exist before the network so routers/interfaces
+    // see the enabled flag and register their instruments at build time.
+    observability_ =
+        std::make_unique<obs::Observability>(simulator_.get(), config);
+
     checkUser(config.has("network"), "config needs a 'network' block");
     const json::Value& network_settings = config.at("network");
     std::string topology =
@@ -22,6 +27,7 @@ Simulation::Simulation(const json::Value& config) : config_(config)
     network_.reset(NetworkFactory::instance().create(
         topology, simulator_.get(), "network", nullptr,
         network_settings));
+    observability_->attachNetwork(network_.get());
 
     checkUser(config.has("workload"), "config needs a 'workload' block");
     workload_ = std::make_unique<Workload>(
@@ -34,12 +40,17 @@ Simulation::~Simulation() = default;
 RunResult
 Simulation::run()
 {
+    observability_->start();
     simulator_->run();
+    observability_->finish();
 
     RunResult result;
     result.saturated = simulator_->timeLimitHit();
     result.eventsExecuted = simulator_->eventsExecuted();
     result.endTick = simulator_->now().tick;
+    result.wallSeconds = simulator_->runWallSeconds();
+    result.eventRate = simulator_->lastRunEventRate();
+    result.peakQueueDepth = simulator_->peakQueueDepth();
     result.sampler = workload_->sampler();
     result.rateMonitor = workload_->rateMonitor();
     if (result.rateMonitor.running()) {

@@ -20,6 +20,7 @@
 #include "core/simulator.h"
 #include "json/json.h"
 #include "network/network.h"
+#include "obs/observability.h"
 #include "sim/run_result.h"
 #include "workload/workload.h"
 
@@ -35,6 +36,7 @@ class Simulation {
     Simulator* simulator() { return simulator_.get(); }
     Network* network() { return network_.get(); }
     Workload* workload() { return workload_.get(); }
+    obs::Observability* observability() { return observability_.get(); }
 
     /** Runs to completion (or the configured time limit) and returns the
      *  gathered results. */
@@ -43,6 +45,10 @@ class Simulation {
   private:
     json::Value config_;
     std::unique_ptr<Simulator> simulator_;
+    // Constructed before the network so components see the enabled flag
+    // at build time; destroyed after it so polled-gauge lambdas and the
+    // trace writer outlive every component that references them.
+    std::unique_ptr<obs::Observability> observability_;
     std::unique_ptr<Network> network_;
     std::unique_ptr<Workload> workload_;
 };

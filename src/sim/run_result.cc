@@ -37,4 +37,44 @@ RunResult::summary() const
     return out.str();
 }
 
+json::Value
+RunResult::toJson() const
+{
+    json::Value root = json::Value::object();
+    root["saturated"] = saturated;
+    root["events_executed"] = eventsExecuted;
+    root["end_tick"] = endTick;
+    root["num_terminals"] = std::uint64_t{numTerminals};
+    root["channel_period"] = channelPeriod;
+    root["throughput"] = throughput();
+
+    json::Value engine = json::Value::object();
+    engine["wall_seconds"] = wallSeconds;
+    engine["event_rate"] = eventRate;
+    engine["peak_queue_depth"] = std::uint64_t{peakQueueDepth};
+    root["engine"] = std::move(engine);
+
+    json::Value latency = json::Value::object();
+    latency["sampled_messages"] = std::uint64_t{sampler.count()};
+    if (sampler.count() > 0) {
+        Distribution total = sampler.totalLatencyDistribution();
+        Distribution network = sampler.networkLatencyDistribution();
+        json::Value t = json::Value::object();
+        t["mean"] = total.mean();
+        t["p50"] = total.percentile(50);
+        t["p99"] = total.percentile(99);
+        t["p999"] = total.percentile(99.9);
+        t["max"] = total.max();
+        latency["total"] = std::move(t);
+        json::Value n = json::Value::object();
+        n["mean"] = network.mean();
+        n["p99"] = network.percentile(99);
+        latency["network"] = std::move(n);
+        latency["mean_hops"] = sampler.hopDistribution().mean();
+        latency["nonminimal_fraction"] = sampler.nonminimalFraction();
+    }
+    root["latency"] = std::move(latency);
+    return root;
+}
+
 }  // namespace ss

@@ -6,9 +6,11 @@
 #ifndef SS_SIM_RUN_RESULT_H_
 #define SS_SIM_RUN_RESULT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "json/json.h"
 #include "stats/latency_sampler.h"
 #include "stats/rate_monitor.h"
 
@@ -24,6 +26,14 @@ struct RunResult {
     std::uint64_t eventsExecuted = 0;
     std::uint64_t endTick = 0;
 
+    // ----- engine performance counters -----
+    /** Wall-clock seconds spent inside Simulator::run(). */
+    double wallSeconds = 0.0;
+    /** Events per wall-clock second over the last run() call. */
+    double eventRate = 0.0;
+    /** High-water mark of the event queue. */
+    std::size_t peakQueueDepth = 0;
+
     /** Sampled messages gathered in the measurement window. */
     LatencySampler sampler;
     /** Network-wide accepted-throughput accounting. */
@@ -37,6 +47,10 @@ struct RunResult {
 
     /** Human-readable multi-line summary. */
     std::string summary() const;
+
+    /** Structured JSON form of the same results (machine consumers:
+     *  sweep drivers, CI regression checks, plotting scripts). */
+    json::Value toJson() const;
 };
 
 }  // namespace ss

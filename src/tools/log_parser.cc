@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/logging.h"
+#include "json/json.h"
 #include "stats/transaction_log.h"
 
 namespace ss {
@@ -177,6 +178,115 @@ LogParser::apply(const std::vector<MessageSample>& samples,
         filters.push_back(LogFilter::parse(spec));
     }
     return apply(samples, filters);
+}
+
+std::vector<SeriesPoint>
+SeriesParser::parseFile(const std::string& path)
+{
+    std::ifstream file(path);
+    checkUser(file.good(), "cannot open series file: ", path);
+    std::ostringstream oss;
+    oss << file.rdbuf();
+    return parseText(oss.str());
+}
+
+bool
+SeriesParser::looksLikeSeries(const std::string& first_line)
+{
+    return first_line == "tick,name,value" ||
+           (!first_line.empty() && first_line[0] == '{');
+}
+
+std::vector<SeriesPoint>
+SeriesParser::parseText(const std::string& text)
+{
+    std::vector<SeriesPoint> points;
+    std::istringstream stream(text);
+    std::string line;
+    bool first = true;
+    bool jsonl = false;
+    while (std::getline(stream, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        if (first) {
+            first = false;
+            jsonl = line[0] == '{';
+            if (!jsonl) {
+                checkUser(line == "tick,name,value",
+                          "unexpected series header: ", line);
+                continue;
+            }
+        }
+        if (jsonl) {
+            json::Value row = json::parse(line);
+            checkUser(row.isObject() && row.has("tick") &&
+                          row.has("metrics"),
+                      "bad series JSONL row: ", line);
+            std::uint64_t tick = row.at("tick").asUint();
+            const json::Value& metrics = row.at("metrics");
+            for (const std::string& key : metrics.keys()) {
+                points.push_back(
+                    {tick, key, metrics.at(key).asFloat()});
+            }
+        } else {
+            auto fields = splitCsv(line);
+            checkUser(fields.size() == 3, "bad series row (",
+                      fields.size(), " fields): ", line);
+            char* end = nullptr;
+            double value = std::strtod(fields[2].c_str(), &end);
+            checkUser(end == fields[2].c_str() + fields[2].size() &&
+                          !fields[2].empty(),
+                      "invalid value '", fields[2], "' in series");
+            points.push_back({parseU64(fields[0]), fields[1], value});
+        }
+    }
+    return points;
+}
+
+std::vector<SeriesPoint>
+SeriesParser::apply(const std::vector<SeriesPoint>& points,
+                    const std::vector<std::string>& filter_specs)
+{
+    // Series filters: +name=substring, +tick=lo[-hi].
+    std::vector<std::pair<std::string, std::string>> parsed;
+    for (const auto& spec : filter_specs) {
+        checkUser(spec.size() > 1 && spec[0] == '+',
+                  "filter must start with '+': ", spec);
+        auto eq = spec.find('=');
+        checkUser(eq != std::string::npos && eq > 1,
+                  "filter needs '=': ", spec);
+        std::string field = spec.substr(1, eq - 1);
+        checkUser(field == "name" || field == "tick",
+                  "unknown series filter field '", field, "'");
+        parsed.emplace_back(field, spec.substr(eq + 1));
+    }
+    std::vector<SeriesPoint> out;
+    for (const auto& p : points) {
+        bool keep = true;
+        for (const auto& [field, value] : parsed) {
+            if (field == "name") {
+                keep = p.name.find(value) != std::string::npos;
+            } else {
+                auto dash = value.find('-');
+                std::uint64_t lo, hi;
+                if (dash != std::string::npos) {
+                    lo = parseU64(value.substr(0, dash));
+                    hi = parseU64(value.substr(dash + 1));
+                } else {
+                    lo = hi = parseU64(value);
+                }
+                keep = p.tick >= lo && p.tick <= hi;
+            }
+            if (!keep) {
+                break;
+            }
+        }
+        if (keep) {
+            out.push_back(p);
+        }
+    }
+    return out;
 }
 
 }  // namespace ss

@@ -12,6 +12,13 @@
  *   +nonminimal=1    only messages that took a non-minimal route
  *
  * Multiple filters AND together.
+ *
+ * Also parses the observability time-series files written by the
+ * MetricsCollector (CSV "tick,name,value" long format or JSONL
+ * {"tick":N,"metrics":{...}} lines) with its own filter syntax:
+ *
+ *   +name=router_0      instruments whose name contains "router_0"
+ *   +tick=1000-5000     samples in an inclusive tick range
  */
 #ifndef SS_TOOLS_LOG_PARSER_H_
 #define SS_TOOLS_LOG_PARSER_H_
@@ -55,6 +62,34 @@ class LogParser {
     /** Convenience: parse specs then apply. */
     static std::vector<MessageSample> apply(
         const std::vector<MessageSample>& samples,
+        const std::vector<std::string>& filter_specs);
+};
+
+/** One instrument sample from an observability time-series file. */
+struct SeriesPoint {
+    std::uint64_t tick = 0;
+    std::string name;
+    double value = 0.0;
+};
+
+/** Reads and filters observability time-series files. */
+class SeriesParser {
+  public:
+    /** Parses a series file, autodetecting CSV vs JSONL from content;
+     *  fatal() on format errors. */
+    static std::vector<SeriesPoint> parseFile(const std::string& path);
+
+    /** Parses series text (CSV with tick,name,value header or JSONL). */
+    static std::vector<SeriesPoint> parseText(const std::string& text);
+
+    /** True if @p first_line looks like a series file (rather than a
+     *  transaction log) — used by ssparse to pick the mode. */
+    static bool looksLikeSeries(const std::string& first_line);
+
+    /** Keeps points matching every "+name=substr" / "+tick=lo-hi"
+     *  filter; fatal() on unknown filter fields. */
+    static std::vector<SeriesPoint> apply(
+        const std::vector<SeriesPoint>& points,
         const std::vector<std::string>& filter_specs);
 };
 

@@ -79,4 +79,17 @@ SeriesWriter::loadLatencyRow(double load, const Distribution& latency)
          latency.percentile(99.9), latency.percentile(99.99)});
 }
 
+void
+SeriesWriter::timeSeriesHeader()
+{
+    header({"tick", "name", "value"});
+}
+
+void
+SeriesWriter::timeSeriesRow(std::uint64_t tick, const std::string& name,
+                            double value)
+{
+    *out_ << tick << ',' << name << ',' << value << '\n';
+}
+
 }  // namespace ss

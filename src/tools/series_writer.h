@@ -9,6 +9,7 @@
 #ifndef SS_TOOLS_SERIES_WRITER_H_
 #define SS_TOOLS_SERIES_WRITER_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ class SeriesWriter {
      */
     void loadLatencyHeader();
     void loadLatencyRow(double load, const Distribution& latency);
+
+    /**
+     * Observability time series (long format, one instrument sample per
+     * row): columns tick,name,value. Written by the MetricsCollector and
+     * read back by SeriesParser / the ssparse CLI.
+     */
+    void timeSeriesHeader();
+    void timeSeriesRow(std::uint64_t tick, const std::string& name,
+                       double value);
 
   private:
     std::ostream* out_;

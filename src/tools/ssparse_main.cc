@@ -4,8 +4,15 @@
  * "+field=value" filters, and prints latency/hop aggregates.
  *
  *   ssparse run.log +app=0 +send=500-1000
+ *
+ * Observability time-series files (CSV "tick,name,value" or JSONL) are
+ * detected automatically and summarized per instrument instead:
+ *
+ *   ssparse series.csv +name=router_0 +tick=1000-5000
  */
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -13,20 +20,58 @@
 #include "stats/distribution.h"
 #include "tools/log_parser.h"
 
+namespace {
+
+int
+seriesMode(const std::string& path, const std::vector<std::string>& filters)
+{
+    auto points = ss::SeriesParser::parseFile(path);
+    auto filtered = ss::SeriesParser::apply(points, filters);
+    std::printf("samples: %zu of %zu\n", filtered.size(), points.size());
+    // Per-instrument aggregates, instrument names sorted.
+    std::map<std::string, std::vector<double>> byName;
+    std::map<std::string, double> lastValue;
+    for (const auto& p : filtered) {
+        byName[p.name].push_back(p.value);
+        lastValue[p.name] = p.value;
+    }
+    std::printf("instruments: %zu\n", byName.size());
+    for (const auto& [name, values] : byName) {
+        ss::Distribution dist(values);
+        std::printf("%-48s n %zu last %.6g mean %.6g min %.6g max %.6g\n",
+                    name.c_str(), dist.count(), lastValue[name],
+                    dist.mean(), dist.min(), dist.max());
+    }
+    return 0;
+}
+
+}  // namespace
+
 int
 main(int argc, char** argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <log.csv> [+field=value ...]\n", argv[0]);
+                     "usage: %s <log.csv|series.csv> [+field=value ...]\n",
+                     argv[0]);
         return 1;
     }
     try {
-        auto samples = ss::LogParser::parseFile(argv[1]);
         std::vector<std::string> filters;
         for (int i = 2; i < argc; ++i) {
             filters.emplace_back(argv[i]);
         }
+
+        std::ifstream probe(argv[1]);
+        ss::checkUser(probe.good(), "cannot open file: ", argv[1]);
+        std::string first_line;
+        std::getline(probe, first_line);
+        probe.close();
+        if (ss::SeriesParser::looksLikeSeries(first_line)) {
+            return seriesMode(argv[1], filters);
+        }
+
+        auto samples = ss::LogParser::parseFile(argv[1]);
         auto filtered = ss::LogParser::apply(samples, filters);
         std::printf("messages: %zu of %zu\n", filtered.size(),
                     samples.size());

@@ -66,6 +66,12 @@ class Packet {
     std::uint32_t hopCount() const { return hopCount_; }
     void incrementHopCount() { ++hopCount_; }
 
+    /** Head-flit arrival tick at the router currently holding the
+     *  packet — transient per-hop state maintained only while the
+     *  observability layer records hop latencies or trace spans. */
+    Tick hopArriveTick() const { return hopArriveTick_; }
+    void setHopArriveTick(Tick t) { hopArriveTick_ = t; }
+
     /** Head-flit injection at the source interface. */
     Time injectTime() const { return injectTime_; }
     void setInjectTime(Time t) { injectTime_ = t; }
@@ -90,6 +96,7 @@ class Packet {
     bool tookNonminimal_ = false;
 
     std::uint32_t hopCount_ = 0;
+    Tick hopArriveTick_ = 0;
     Time injectTime_ = Time::invalid();
     Time ejectTime_ = Time::invalid();
     std::uint32_t receivedFlits_ = 0;

@@ -28,10 +28,44 @@ echo "$PARSED2" | grep -q "messages: 50 of 800" || {
     echo "unexpected filtered ssparse output:"; echo "$PARSED2"; exit 1;
 }
 
+# Observability-enabled run: time series + Chrome trace + JSON result.
+SERIES="${TMPDIR:-/tmp}/supersim_cli_series_$$.csv"
+TRACE="${TMPDIR:-/tmp}/supersim_cli_trace_$$.json"
+RESULT="${TMPDIR:-/tmp}/supersim_cli_result_$$.json"
+"$SUPERSIM" "$CONFIG" \
+    observability.enabled=bool=true \
+    observability.sample_interval=uint=500 \
+    observability.series_file=string="$SERIES" \
+    observability.trace_file=string="$TRACE" \
+    --json="$RESULT" > /dev/null
+
+head -n 1 "$SERIES" | grep -q "^tick,name,value$" || {
+    echo "bad series header:"; head -n 1 "$SERIES"; exit 1;
+}
+NAMES=$(cut -d, -f2 "$SERIES" | tail -n +2 | sort -u | wc -l)
+[ "$NAMES" -ge 3 ] || {
+    echo "expected >= 3 instruments in series, got $NAMES"; exit 1;
+}
+head -c 1 "$TRACE" | grep -q '\[' || {
+    echo "trace does not start with ["; exit 1;
+}
+tail -c 3 "$TRACE" | grep -q ']' || {
+    echo "trace does not end with ]"; exit 1;
+}
+grep -q '"events_executed"' "$RESULT" || {
+    echo "JSON result missing events_executed"; exit 1;
+}
+
+# ssparse autodetects series files and summarizes per instrument.
+SOUT=$("$SSPARSE" "$SERIES" +name=engine)
+echo "$SOUT" | grep -q "instruments:" || {
+    echo "unexpected ssparse series output:"; echo "$SOUT"; exit 1;
+}
+
 # Bad config must fail with a nonzero exit.
 if "$SUPERSIM" /nonexistent/config.json 2>/dev/null; then
     echo "supersim should fail on a missing config"; exit 1
 fi
 
-rm -f "$LOG"
+rm -f "$LOG" "$SERIES" "$TRACE" "$RESULT"
 echo "cli test ok"

@@ -1,0 +1,391 @@
+/** @file Observability layer tests: metrics registry, background events,
+ *  collector sampling, trace JSON, series parsing, and the
+ *  zero-overhead-when-disabled guarantee. */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "json/json.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
+#include "sim/builder.h"
+#include "test_util.h"
+#include "tools/log_parser.h"
+
+namespace ss {
+namespace {
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path;
+    std::ostringstream oss;
+    oss << file.rdbuf();
+    return oss.str();
+}
+
+// ----- registry + instruments -----
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameInstrument)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter* c1 = registry.counter("a.b.count");
+    obs::Counter* c2 = registry.counter("a.b.count");
+    EXPECT_EQ(c1, c2);
+    c1->inc();
+    c2->add(4);
+    EXPECT_EQ(c1->value(), 5u);
+
+    obs::Gauge* g = registry.gauge("a.b.level");
+    g->set(2.5);
+    EXPECT_DOUBLE_EQ(registry.gauge("a.b.level")->value(), 2.5);
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, KindCollisionIsFatal)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("x");
+    EXPECT_THROW(registry.gauge("x"), FatalError);
+    EXPECT_THROW(registry.histogram("x"), FatalError);
+    EXPECT_THROW(registry.polledGauge("x", []() { return 0.0; }),
+                 FatalError);
+}
+
+TEST(MetricsRegistry, FindAndInsertionOrder)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("first");
+    registry.histogram("second");
+    registry.gauge("third");
+    EXPECT_EQ(registry.find("second")->kind(),
+              obs::MetricKind::kHistogram);
+    EXPECT_EQ(registry.find("missing"), nullptr);
+    EXPECT_EQ(registry.at(0).name(), "first");
+    EXPECT_EQ(registry.at(1).name(), "second");
+    EXPECT_EQ(registry.at(2).name(), "third");
+}
+
+TEST(MetricsRegistry, PolledGaugeEvaluatesOnRead)
+{
+    obs::MetricsRegistry registry;
+    double source = 1.0;
+    obs::Gauge* g =
+        registry.polledGauge("poll", [&source]() { return source; });
+    EXPECT_TRUE(g->polled());
+    EXPECT_DOUBLE_EQ(g->value(), 1.0);
+    source = 7.0;
+    EXPECT_DOUBLE_EQ(g->value(), 7.0);
+}
+
+TEST(Histogram, AggregatesAndPercentiles)
+{
+    obs::Histogram h("lat");
+    for (std::uint64_t v : {1u, 2u, 3u, 4u, 100u}) {
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 110u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 22.0);
+    // Power-of-two buckets: percentiles are within 2x, monotone.
+    EXPECT_LE(h.percentile(50), h.percentile(99));
+    EXPECT_LE(h.percentile(99), static_cast<double>(h.max()));
+    EXPECT_GE(h.percentile(0), 0.0);
+
+    std::vector<std::pair<std::string, double>> snap;
+    h.snapshot(&snap);
+    ASSERT_EQ(snap.size(), 6u);
+    EXPECT_EQ(snap[0].first, ".count");
+    EXPECT_DOUBLE_EQ(snap[0].second, 5.0);
+}
+
+// ----- background events -----
+
+TEST(Simulator, BackgroundEventsDoNotExtendRun)
+{
+    Simulator sim;
+    std::vector<int> order;
+    CallbackEvent bg1([&]() { order.push_back(-1); });
+    CallbackEvent bg2([&]() { order.push_back(-2); });
+    sim.schedule(&bg1, Time(5), /*background=*/true);
+    sim.schedule(&bg2, Time(50), /*background=*/true);
+    sim.schedule(Time(10), [&]() { order.push_back(1); });
+    sim.run();
+    // The background event at tick 5 runs (a foreground event is still
+    // pending); the one at tick 50 is past the last foreground event and
+    // never executes.
+    EXPECT_EQ(order, (std::vector<int>{-1, 1}));
+    EXPECT_EQ(sim.now().tick, 10u);
+    EXPECT_EQ(sim.eventsExecuted(), 2u);
+}
+
+TEST(Simulator, BackgroundOnlyQueueDoesNotRun)
+{
+    Simulator sim;
+    bool ran = false;
+    CallbackEvent bg([&]() { ran = true; });
+    sim.schedule(&bg, Time(1), /*background=*/true);
+    EXPECT_EQ(sim.run(), 0u);
+    EXPECT_FALSE(ran);
+}
+
+// ----- trace writer -----
+
+TEST(TraceWriter, EmitsWellFormedChromeTraceJson)
+{
+    std::string path = testing::TempDir() + "obs_trace_unit.json";
+    {
+        obs::TraceWriter trace(path, true, true, true, 0);
+        trace.processName(obs::TraceWriter::kPidEngine, "engine");
+        trace.threadName(obs::TraceWriter::kPidRouters, 3, "router_3");
+        trace.completeEvent(obs::TraceWriter::kPidRouters, 3, "pkt m1.0",
+                            "hop", 100, 7, "{\"in_port\":2}");
+        trace.counterEvent(obs::TraceWriter::kPidEngine, "queue_depth",
+                           100, 42.0);
+        trace.close();
+        EXPECT_EQ(trace.eventCount(), 4u);
+    }
+    json::Value doc = json::parseFile(path);
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_EQ(doc.size(), 4u);
+    EXPECT_EQ(doc.at(2).at("ph").asString(), "X");
+    EXPECT_EQ(doc.at(2).at("ts").asUint(), 100u);
+    EXPECT_EQ(doc.at(2).at("dur").asUint(), 7u);
+    EXPECT_EQ(doc.at(2).at("args").at("in_port").asUint(), 2u);
+    EXPECT_EQ(doc.at(3).at("ph").asString(), "C");
+}
+
+TEST(TraceWriter, MaxEventsTruncates)
+{
+    std::string path = testing::TempDir() + "obs_trace_trunc.json";
+    obs::TraceWriter trace(path, true, true, true, /*max_events=*/2);
+    for (int i = 0; i < 5; ++i) {
+        trace.completeEvent(obs::TraceWriter::kPidPackets, 0, "e", "c",
+                            i, 1);
+    }
+    trace.close();
+    EXPECT_TRUE(trace.truncated());
+    json::Value doc = json::parseFile(path);
+    EXPECT_EQ(doc.size(), 2u);
+}
+
+TEST(TraceWriter, JsonEscape)
+{
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// ----- series parser -----
+
+TEST(SeriesParser, ParsesCsvAndFilters)
+{
+    std::string text =
+        "tick,name,value\n"
+        "100,engine.queue_depth,5\n"
+        "100,router_0.sa_grants,17\n"
+        "200,engine.queue_depth,6\n";
+    auto points = SeriesParser::parseText(text);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[1].tick, 100u);
+    EXPECT_EQ(points[1].name, "router_0.sa_grants");
+    EXPECT_DOUBLE_EQ(points[1].value, 17.0);
+
+    auto by_name = SeriesParser::apply(points, {"+name=queue_depth"});
+    EXPECT_EQ(by_name.size(), 2u);
+    auto by_tick = SeriesParser::apply(points, {"+tick=150-300"});
+    ASSERT_EQ(by_tick.size(), 1u);
+    EXPECT_EQ(by_tick[0].tick, 200u);
+    auto both = SeriesParser::apply(
+        points, {"+name=queue_depth", "+tick=100"});
+    EXPECT_EQ(both.size(), 1u);
+    EXPECT_THROW(SeriesParser::apply(points, {"+bogus=1"}), FatalError);
+}
+
+TEST(SeriesParser, ParsesJsonl)
+{
+    std::string text =
+        "{\"tick\":100,\"metrics\":{\"a\":1.5,\"b\":2}}\n"
+        "{\"tick\":200,\"metrics\":{\"a\":3}}\n";
+    auto points = SeriesParser::parseText(text);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].name, "a");
+    EXPECT_DOUBLE_EQ(points[0].value, 1.5);
+    EXPECT_EQ(points[2].tick, 200u);
+}
+
+TEST(SeriesParser, LooksLikeSeries)
+{
+    EXPECT_TRUE(SeriesParser::looksLikeSeries("tick,name,value"));
+    EXPECT_TRUE(SeriesParser::looksLikeSeries("{\"tick\":0}"));
+    EXPECT_FALSE(SeriesParser::looksLikeSeries(
+        "id,app,src,dst,create,inject,deliver"));
+}
+
+// ----- end-to-end: collector + zero overhead -----
+
+json::Value
+obsConfig(const std::string& series, const std::string& trace,
+          std::uint64_t interval)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "torus", "widths": [4, 4], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}})");
+    json::Value obs = json::Value::object();
+    obs["enabled"] = true;
+    obs["sample_interval"] = interval;
+    obs["series_file"] = series;
+    obs["trace_file"] = trace;
+    config["observability"] = std::move(obs);
+    return config;
+}
+
+TEST(Observability, DisabledIsBitIdenticalToAbsent)
+{
+    json::Value plain = test::makeConfig(
+        R"({"topology": "torus", "widths": [4, 4], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}})");
+    json::Value disabled = plain;
+    json::Value obs = json::Value::object();
+    obs["enabled"] = false;
+    disabled["observability"] = std::move(obs);
+
+    RunResult a = runSimulation(plain);
+    RunResult b = runSimulation(disabled);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.sampler.count(), b.sampler.count());
+}
+
+TEST(Observability, EnabledKeepsSimulationResults)
+{
+    json::Value plain = test::makeConfig(
+        R"({"topology": "torus", "widths": [4, 4], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}})");
+    RunResult a = runSimulation(plain);
+
+    std::string series = testing::TempDir() + "obs_e2e_series.csv";
+    std::string trace = testing::TempDir() + "obs_e2e_trace.json";
+    RunResult b = runSimulation(obsConfig(series, trace, 500));
+    // Background sampling must not perturb the simulation itself.
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.sampler.count(), b.sampler.count());
+    EXPECT_DOUBLE_EQ(a.throughput(), b.throughput());
+}
+
+TEST(Observability, SeriesHasManyInstrumentsAtInterval)
+{
+    std::string series = testing::TempDir() + "obs_series.csv";
+    std::string trace = testing::TempDir() + "obs_series_trace.json";
+    RunResult result = runSimulation(obsConfig(series, trace, 250));
+    ASSERT_GT(result.endTick, 250u);
+
+    auto points = SeriesParser::parseFile(series);
+    ASSERT_FALSE(points.empty());
+    std::set<std::string> names;
+    std::set<std::uint64_t> ticks;
+    for (const auto& p : points) {
+        names.insert(p.name);
+        ticks.insert(p.tick);
+        EXPECT_EQ(p.tick % 250u, 0u) << p.name;
+    }
+    EXPECT_GE(names.size(), 3u);
+    EXPECT_GE(ticks.size(), 2u);
+    // Engine + network + router + interface layers all report.
+    EXPECT_TRUE(names.count("engine.events_executed"));
+    EXPECT_TRUE(names.count("network.messages_in_flight"));
+    EXPECT_TRUE(names.count("network.router_0.sa_grants"));
+    EXPECT_TRUE(names.count("network.interface_0.flits_injected"));
+}
+
+TEST(Observability, IdenticalSeedsGiveIdenticalSeriesFiles)
+{
+    std::string s1 = testing::TempDir() + "obs_det_1.csv";
+    std::string s2 = testing::TempDir() + "obs_det_2.csv";
+    std::string t1 = testing::TempDir() + "obs_det_1.json";
+    std::string t2 = testing::TempDir() + "obs_det_2.json";
+    runSimulation(obsConfig(s1, t1, 500));
+    runSimulation(obsConfig(s2, t2, 500));
+    EXPECT_EQ(slurp(s1), slurp(s2));
+}
+
+TEST(Observability, TraceFileIsLoadableJson)
+{
+    std::string series = testing::TempDir() + "obs_trace_series.csv";
+    std::string trace = testing::TempDir() + "obs_trace_full.json";
+    runSimulation(obsConfig(series, trace, 500));
+
+    json::Value doc = json::parseFile(trace);
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_GT(doc.size(), 0u);
+    bool sawPacket = false, sawHop = false, sawCounter = false;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const json::Value& e = doc.at(i);
+        std::string ph = e.at("ph").asString();
+        if (ph == "X" && e.at("cat").asString() == "packet") {
+            sawPacket = true;
+        } else if (ph == "X" && e.at("cat").asString() == "hop") {
+            sawHop = true;
+        } else if (ph == "C") {
+            sawCounter = true;
+        }
+    }
+    EXPECT_TRUE(sawPacket);
+    EXPECT_TRUE(sawHop);
+    EXPECT_TRUE(sawCounter);
+}
+
+TEST(Observability, JsonlSeriesFormat)
+{
+    std::string series = testing::TempDir() + "obs_series.jsonl";
+    std::string trace = testing::TempDir() + "obs_jsonl_trace.json";
+    runSimulation(obsConfig(series, trace, 500));
+    auto points = SeriesParser::parseFile(series);
+    ASSERT_FALSE(points.empty());
+    std::set<std::string> names;
+    for (const auto& p : points) {
+        names.insert(p.name);
+    }
+    EXPECT_GE(names.size(), 3u);
+}
+
+TEST(RunResult, ToJsonCarriesEngineAndLatency)
+{
+    json::Value config = test::makeConfig(
+        R"({"topology": "torus", "widths": [2, 2], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 5,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}})");
+    RunResult result = runSimulation(config);
+    json::Value doc = result.toJson();
+    EXPECT_EQ(doc.at("events_executed").asUint(), result.eventsExecuted);
+    EXPECT_EQ(doc.at("end_tick").asUint(), result.endTick);
+    EXPECT_FALSE(doc.at("saturated").asBool());
+    EXPECT_GT(doc.at("engine").at("event_rate").asFloat(), 0.0);
+    EXPECT_GT(doc.at("engine").at("peak_queue_depth").asUint(), 0u);
+    EXPECT_EQ(doc.at("latency").at("sampled_messages").asUint(),
+              result.sampler.count());
+    EXPECT_GT(doc.at("latency").at("total").at("mean").asFloat(), 0.0);
+    // Round-trips through the serializer.
+    json::Value reparsed = json::parse(doc.toString(2));
+    EXPECT_EQ(reparsed.at("end_tick").asUint(), result.endTick);
+}
+
+}  // namespace
+}  // namespace ss
