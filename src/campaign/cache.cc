@@ -1,0 +1,89 @@
+#include "campaign/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/logging.h"
+#include "core/version.h"
+
+namespace ss::campaign {
+
+std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+cacheKey(const json::Value& resolved_config)
+{
+    json::Value keyed = json::Value::object();
+    keyed["config"] = resolved_config;
+    keyed["version"] = std::string(buildVersion());
+    std::uint64_t hash = fnv1a64(keyed.toCanonicalString());
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return std::string(buf);
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    checkUser(!ec, "cannot create cache directory ", dir_, ": ",
+              ec.message());
+}
+
+std::string
+ResultCache::pathFor(const std::string& key) const
+{
+    return (std::filesystem::path(dir_) / (key + ".json")).string();
+}
+
+std::optional<json::Value>
+ResultCache::load(const std::string& key) const
+{
+    std::string path = pathFor(key);
+    std::ifstream file(path);
+    if (!file.good()) {
+        return std::nullopt;
+    }
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    try {
+        return json::parse(text);
+    } catch (const FatalError&) {
+        warn("ignoring corrupt cache artifact ", path);
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const std::string& key, const json::Value& artifact)
+    const
+{
+    std::string path = pathFor(key);
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        checkUser(out.good(), "cannot write cache artifact ", tmp);
+        out << artifact.toString(2) << '\n';
+        out.flush();
+        checkUser(out.good(), "failed writing cache artifact ", tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    checkUser(!ec, "cannot publish cache artifact ", path, ": ",
+              ec.message());
+}
+
+}  // namespace ss::campaign

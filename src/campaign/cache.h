@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Content-addressed result cache for campaign points.
+ *
+ * The cache key is a 64-bit FNV-1a hash (hex) of the canonical JSON form
+ * (json::Value::toCanonicalString) of
+ *
+ *   {"config": <fully resolved config with every override and the seed
+ *               applied>, "version": <build version>}
+ *
+ * so any change to an effective setting, the seed, or the simulator build
+ * produces a new key, while cosmetic spec differences (key order,
+ * whitespace, 1 vs 1.0) do not. Artifacts are single JSON files named
+ * <key>.json under the cache directory, written atomically
+ * (temp file + rename) so an interrupted campaign never leaves a torn
+ * artifact that a resume would mistake for a hit.
+ */
+#ifndef SS_CAMPAIGN_CACHE_H_
+#define SS_CAMPAIGN_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "json/json.h"
+
+namespace ss::campaign {
+
+/** 64-bit FNV-1a over @p data. */
+std::uint64_t fnv1a64(std::string_view data);
+
+/** The cache key for a fully-resolved per-point config (binds the build
+ *  version; see file comment). 16 lowercase hex characters. */
+std::string cacheKey(const json::Value& resolved_config);
+
+/** A directory of content-addressed result artifacts. */
+class ResultCache {
+  public:
+    /** Creates the directory if needed. */
+    explicit ResultCache(std::string dir);
+
+    const std::string& dir() const { return dir_; }
+
+    /** Artifact path for a key (whether or not it exists). */
+    std::string pathFor(const std::string& key) const;
+
+    /** Loads an artifact; nullopt on miss or an unparseable (torn,
+     *  hand-edited) file — a corrupt entry is just a miss. */
+    std::optional<json::Value> load(const std::string& key) const;
+
+    /** Atomically stores an artifact for @p key. */
+    void store(const std::string& key, const json::Value& artifact) const;
+
+  private:
+    std::string dir_;
+};
+
+}  // namespace ss::campaign
+
+#endif  // SS_CAMPAIGN_CACHE_H_

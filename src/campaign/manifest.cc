@@ -1,0 +1,72 @@
+#include "campaign/manifest.h"
+
+#include <filesystem>
+
+#include "core/logging.h"
+
+namespace ss::campaign {
+
+ManifestWriter::ManifestWriter(const std::string& path) : path_(path)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        checkUser(!ec, "cannot create manifest directory ",
+                  parent.string(), ": ", ec.message());
+    }
+    // A hard kill mid-append can leave a torn trailing line with no
+    // newline; terminate it now so the next record starts a fresh line
+    // instead of being glued to the fragment.
+    bool needs_newline = false;
+    {
+        std::ifstream existing(path, std::ios::binary | std::ios::ate);
+        if (existing.good() && existing.tellg() > 0) {
+            existing.seekg(-1, std::ios::end);
+            needs_newline = existing.get() != '\n';
+        }
+    }
+    out_.open(path, std::ios::app);
+    checkUser(out_.good(), "cannot open manifest for append: ", path);
+    if (needs_newline) {
+        out_ << '\n';
+        out_.flush();
+    }
+}
+
+void
+ManifestWriter::append(const json::Value& record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << record.toString(0) << '\n';
+    out_.flush();
+    checkUser(out_.good(), "failed appending to manifest ", path_);
+}
+
+std::vector<json::Value>
+readManifest(const std::string& path)
+{
+    std::vector<json::Value> records;
+    std::ifstream file(path);
+    if (!file.good()) {
+        return records;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(file, line)) {
+        ++lineno;
+        if (line.empty()) {
+            continue;
+        }
+        try {
+            records.push_back(json::parse(line));
+        } catch (const FatalError&) {
+            warn("manifest ", path, ": skipping unparseable line ",
+                 lineno);
+        }
+    }
+    return records;
+}
+
+}  // namespace ss::campaign

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The campaign manifest: an append-only JSONL journal, one JSON record
+ * per line, flushed after every append — the durable source of truth for
+ * what a campaign did. Because it is append-only, a campaign killed at
+ * any instant loses at most one torn trailing line, which the reader
+ * skips.
+ *
+ * Record vocabulary (all records carry "campaign" and "ts"):
+ *   {"event":"start", "version":..., "total_points":N, "resumed":bool}
+ *   {"event":"point", "id":..., "hash":..., "state":"completed"|"cached"|
+ *    "quarantined"|"bad_spec"|"interrupted", "attempts":N,
+ *    "wall_seconds":S, "exit_code":E, "metrics":{...}}
+ *   {"event":"attempt", "id":..., "hash":..., "attempt":N,
+ *    "exit_code":E, "timed_out":bool, "signal":S, "wall_seconds":S}
+ *   {"event":"end", "completed":N, "cached":N, "quarantined":N,
+ *    "bad_spec":N, "interrupted":N}
+ */
+#ifndef SS_CAMPAIGN_MANIFEST_H_
+#define SS_CAMPAIGN_MANIFEST_H_
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace ss::campaign {
+
+/** Appends single-line JSON records to a manifest file, thread-safely,
+ *  flushing each line so records survive a hard kill. */
+class ManifestWriter {
+  public:
+    /** Opens @p path for append, creating parent directories. */
+    explicit ManifestWriter(const std::string& path);
+
+    const std::string& path() const { return path_; }
+
+    /** Appends one record as a single line and flushes. */
+    void append(const json::Value& record);
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::mutex mutex_;
+};
+
+/** Reads every parseable record of a manifest; a missing file yields an
+ *  empty vector and a torn trailing line (hard kill mid-write) is
+ *  skipped with a warning. */
+std::vector<json::Value> readManifest(const std::string& path);
+
+}  // namespace ss::campaign
+
+#endif  // SS_CAMPAIGN_MANIFEST_H_

@@ -1,0 +1,98 @@
+#include "campaign/process.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/logging.h"
+
+namespace ss::campaign {
+
+namespace {
+
+/** Exit code the forked child reports when execvp itself fails; chosen
+ *  to match the shell's "command not found" convention. */
+constexpr int kExecFailure = 127;
+
+}  // namespace
+
+ProcessResult
+runProcess(const std::vector<std::string>& argv, double timeout_seconds,
+           const std::string& output_path)
+{
+    checkUser(!argv.empty(), "runProcess needs a non-empty argv");
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& arg : argv) {
+        cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+
+    auto start = std::chrono::steady_clock::now();
+    pid_t pid = ::fork();
+    checkUser(pid >= 0, "fork failed: ", std::strerror(errno));
+
+    if (pid == 0) {
+        // Child: own process group so a timeout kill reaps grandchildren
+        // too, and a terminal Ctrl-C does not reach in-flight points.
+        ::setpgid(0, 0);
+        const char* target =
+            output_path.empty() ? "/dev/null" : output_path.c_str();
+        int fd = ::open(target, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            if (fd > STDERR_FILENO) {
+                ::close(fd);
+            }
+        }
+        ::execvp(cargv[0], cargv.data());
+        _exit(kExecFailure);
+    }
+
+    // Parent: poll for exit; SIGKILL the group at the deadline. Polling
+    // (vs. SIGCHLD machinery) keeps this usable from any thread of the
+    // multi-threaded campaign driver.
+    ProcessResult result;
+    bool killed = false;
+    for (;;) {
+        int status = 0;
+        pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid) {
+            result.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (WIFEXITED(status)) {
+                result.exitCode = WEXITSTATUS(status);
+                result.startFailed = result.exitCode == kExecFailure;
+            } else if (WIFSIGNALED(status)) {
+                result.signaled = true;
+                result.termSignal = WTERMSIG(status);
+            }
+            result.timedOut = killed;
+            return result;
+        }
+        checkUser(r == 0, "waitpid failed: ", std::strerror(errno));
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        if (!killed && timeout_seconds > 0.0 &&
+            elapsed >= timeout_seconds) {
+            // Negative pid: the whole process group.
+            ::kill(-pid, SIGKILL);
+            ::kill(pid, SIGKILL);  // in case setpgid had not run yet
+            killed = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+}  // namespace ss::campaign

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Child-process execution with a hard wall-clock timeout — the isolation
+ * primitive of the campaign engine. Each simulation point runs as its own
+ * process (own process group), so a crash, hang, or abort in one point
+ * can never take down the campaign driver: a hang is killed at the
+ * deadline with SIGKILL to the whole group, a crash is reported as the
+ * terminating signal, and an exec failure is distinguished from the
+ * child's own exit codes.
+ */
+#ifndef SS_CAMPAIGN_PROCESS_H_
+#define SS_CAMPAIGN_PROCESS_H_
+
+#include <string>
+#include <vector>
+
+namespace ss::campaign {
+
+/** Outcome of one child process run. */
+struct ProcessResult {
+    /** Exit status when the child exited normally; -1 otherwise. */
+    int exitCode = -1;
+    /** True if the deadline elapsed and the child was SIGKILLed. */
+    bool timedOut = false;
+    /** True if the child died from a signal (crash or timeout kill). */
+    bool signaled = false;
+    /** The terminating signal when signaled. */
+    int termSignal = 0;
+    /** True if the binary could not be executed at all. */
+    bool startFailed = false;
+    /** Wall-clock duration of the child. */
+    double wallSeconds = 0.0;
+
+    bool succeeded() const
+    {
+        return !timedOut && !signaled && !startFailed && exitCode == 0;
+    }
+};
+
+/**
+ * Runs @p argv (argv[0] is the binary, resolved via PATH) as a child in
+ * its own process group, with stdout+stderr redirected to
+ * @p output_path (empty = /dev/null).
+ * @param timeout_seconds hard wall-clock budget; 0 = unlimited. On
+ *        expiry the child's whole process group receives SIGKILL.
+ * fatal() only on driver-side failures (fork, redirect target).
+ */
+ProcessResult runProcess(const std::vector<std::string>& argv,
+                         double timeout_seconds,
+                         const std::string& output_path);
+
+}  // namespace ss::campaign
+
+#endif  // SS_CAMPAIGN_PROCESS_H_

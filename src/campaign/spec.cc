@@ -1,0 +1,193 @@
+#include "campaign/spec.h"
+
+#include <filesystem>
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss::campaign {
+
+namespace {
+
+/** Replaces every "{}" in @p tmpl with @p value. */
+std::string
+substitute(const std::string& tmpl, const std::string& value)
+{
+    std::string out;
+    out.reserve(tmpl.size() + value.size());
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t hole = tmpl.find("{}", pos);
+        if (hole == std::string::npos) {
+            out += tmpl.substr(pos);
+            return out;
+        }
+        out += tmpl.substr(pos, hole - pos);
+        out += value;
+        pos = hole + 2;
+    }
+}
+
+/** Stringifies a scalar spec value ("0.1", 4, true, ...) for sweeping. */
+std::string
+valueToString(const json::Value& v)
+{
+    if (v.isString()) {
+        return v.asString();
+    }
+    checkUser(v.isNumber() || v.isBool(),
+              "campaign variable values must be strings, numbers, or "
+              "bools, got ", json::typeName(v.type()));
+    return v.toCanonicalString();
+}
+
+std::string
+resolvePath(const std::string& path, const std::string& base_dir)
+{
+    std::filesystem::path p(path);
+    if (p.is_absolute() || base_dir.empty()) {
+        return path;
+    }
+    return (std::filesystem::path(base_dir) / p).string();
+}
+
+}  // namespace
+
+CampaignSpec
+CampaignSpec::load(const std::string& path)
+{
+    json::Value root = json::loadSettings(path);
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    return fromJson(root, dir);
+}
+
+CampaignSpec
+CampaignSpec::fromJson(const json::Value& root, const std::string& base_dir)
+{
+    checkUser(root.isObject(), "campaign spec must be a JSON object");
+    CampaignSpec spec;
+    spec.name = json::getString(root, "name");
+    checkUser(!spec.name.empty(), "campaign name must not be empty");
+    spec.configPath =
+        resolvePath(json::getString(root, "config"), base_dir);
+
+    if (root.has("overrides")) {
+        const json::Value& list = root.at("overrides");
+        checkUser(list.isArray(), "campaign overrides must be an array");
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            spec.overrides.push_back(list.at(i).asString());
+        }
+    }
+
+    checkUser(root.has("variables"),
+              "campaign spec needs a variables array");
+    const json::Value& vars = root.at("variables");
+    checkUser(vars.isArray() && vars.size() > 0,
+              "campaign variables must be a non-empty array");
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        const json::Value& v = vars.at(i);
+        SpecVariable var;
+        var.name = json::getString(v, "name");
+        var.shortName = json::getString(v, "short_name");
+        const json::Value& values = v.at("values");
+        checkUser(values.isArray() && values.size() > 0, "variable '",
+                  var.name, "' needs a non-empty values array");
+        for (std::size_t j = 0; j < values.size(); ++j) {
+            var.values.push_back(valueToString(values.at(j)));
+        }
+        const json::Value& ovr = v.at("overrides");
+        checkUser(ovr.isArray() && ovr.size() > 0, "variable '", var.name,
+                  "' needs a non-empty overrides array");
+        for (std::size_t j = 0; j < ovr.size(); ++j) {
+            std::string tmpl = ovr.at(j).asString();
+            checkUser(tmpl.find("{}") != std::string::npos, "variable '",
+                      var.name, "' override template '", tmpl,
+                      "' has no {} placeholder");
+            var.overrideTemplates.push_back(std::move(tmpl));
+        }
+        spec.variables.push_back(std::move(var));
+    }
+
+    if (root.has("seeds")) {
+        const json::Value& seeds = root.at("seeds");
+        checkUser(seeds.isArray(), "campaign seeds must be an array");
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            spec.seeds.push_back(seeds.at(i).asUint());
+        }
+    }
+    spec.seedPath = json::getString(root, "seed_path", "simulator.seed");
+
+    if (root.has("execution")) {
+        const json::Value& exec = root.at("execution");
+        spec.execution.workers = static_cast<std::uint32_t>(
+            json::getUint(exec, "workers", spec.execution.workers));
+        checkUser(spec.execution.workers >= 1,
+                  "execution.workers must be >= 1");
+        spec.execution.timeoutSeconds = json::getFloat(
+            exec, "timeout_seconds", spec.execution.timeoutSeconds);
+        checkUser(spec.execution.timeoutSeconds >= 0.0,
+                  "execution.timeout_seconds must be >= 0");
+        spec.execution.maxAttempts = static_cast<std::uint32_t>(
+            json::getUint(exec, "max_attempts",
+                          spec.execution.maxAttempts));
+        checkUser(spec.execution.maxAttempts >= 1,
+                  "execution.max_attempts must be >= 1");
+        spec.execution.backoffSeconds = json::getFloat(
+            exec, "backoff_seconds", spec.execution.backoffSeconds);
+        checkUser(spec.execution.backoffSeconds >= 0.0,
+                  "execution.backoff_seconds must be >= 0");
+    }
+
+    std::string out_dir = spec.name + "_campaign";
+    std::string cache_dir;
+    if (root.has("output")) {
+        const json::Value& output = root.at("output");
+        out_dir = json::getString(output, "dir", out_dir);
+        cache_dir = json::getString(output, "cache_dir", "");
+    }
+    spec.outputDir = resolvePath(out_dir, base_dir);
+    spec.cacheDir = cache_dir.empty()
+                        ? (std::filesystem::path(spec.outputDir) / "cache")
+                              .string()
+                        : resolvePath(cache_dir, base_dir);
+    return spec;
+}
+
+Sweeper
+CampaignSpec::sweeper() const
+{
+    Sweeper sweeper;
+    for (const auto& var : variables) {
+        sweeper.addVariable(
+            var.name, var.shortName, var.values,
+            [templates = var.overrideTemplates](const std::string& value) {
+                std::vector<std::string> out;
+                out.reserve(templates.size());
+                for (const auto& tmpl : templates) {
+                    out.push_back(substitute(tmpl, value));
+                }
+                return out;
+            });
+    }
+    if (!seeds.empty()) {
+        std::vector<std::string> seed_values;
+        seed_values.reserve(seeds.size());
+        for (std::uint64_t s : seeds) {
+            seed_values.push_back(std::to_string(s));
+        }
+        sweeper.addVariable(
+            "Seed", "s", seed_values,
+            [path = seedPath](const std::string& value) {
+                return std::vector<std::string>{path + "=uint=" + value};
+            });
+    }
+    return sweeper;
+}
+
+std::vector<SweepPoint>
+CampaignSpec::points() const
+{
+    return sweeper().generate();
+}
+
+}  // namespace ss::campaign

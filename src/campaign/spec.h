@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Campaign specification: a JSON description of a batch simulation run —
+ * base config, sweep variables, seeds, and execution policy — expanded
+ * into concrete sweep points through the Sweeper (paper §V).
+ *
+ * Spec format (JSON, comments/trailing commas allowed like all configs):
+ *
+ *   {
+ *     "name": "load_sweep",
+ *     "config": "torus_quickstart.json",        // relative to the spec
+ *     "overrides": ["simulator.time_limit=uint=1000000"],
+ *     "variables": [
+ *       {"name": "InjectionRate", "short_name": "IR",
+ *        "values": ["0.1", "0.2", "0.4"],
+ *        "overrides": ["workload.applications.0.injection_rate=float={}"]}
+ *     ],
+ *     "seeds": [1, 2, 3],                        // optional
+ *     "seed_path": "simulator.seed",             // optional (default shown)
+ *     "execution": {                             // optional
+ *       "workers": 4,
+ *       "timeout_seconds": 300,
+ *       "max_attempts": 3,
+ *       "backoff_seconds": 1.0
+ *     },
+ *     "output": {"dir": "load_sweep_out", "cache_dir": ""}  // optional
+ *   }
+ *
+ * Every "{}" inside a variable's override templates is replaced by the
+ * variable's value for that point. Seeds become a final sweep variable
+ * ("Seed" / "s") overriding seed_path, so each (point, seed) pair is one
+ * campaign point.
+ */
+#ifndef SS_CAMPAIGN_SPEC_H_
+#define SS_CAMPAIGN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "tools/sweeper.h"
+
+namespace ss::campaign {
+
+/** Execution policy for the point fleet. */
+struct ExecutionPolicy {
+    /** Concurrent child processes. */
+    std::uint32_t workers = 1;
+    /** Per-point wall-clock budget in seconds; 0 = unlimited. */
+    double timeoutSeconds = 0.0;
+    /** Attempts per point before quarantine (>= 1). */
+    std::uint32_t maxAttempts = 2;
+    /** Base retry backoff (exponential per attempt). */
+    double backoffSeconds = 1.0;
+};
+
+/** One sweep variable as declared in the spec. */
+struct SpecVariable {
+    std::string name;
+    std::string shortName;
+    std::vector<std::string> values;
+    /** Override templates with "{}" placeholders. */
+    std::vector<std::string> overrideTemplates;
+};
+
+/** A parsed, path-resolved campaign specification. */
+struct CampaignSpec {
+    std::string name;
+    /** Base simulation config path (resolved against the spec's dir). */
+    std::string configPath;
+    /** Global overrides applied to every point, before point overrides. */
+    std::vector<std::string> overrides;
+    std::vector<SpecVariable> variables;
+    std::vector<std::uint64_t> seeds;
+    std::string seedPath = "simulator.seed";
+    ExecutionPolicy execution;
+    /** Campaign output directory (manifest, logs, table). */
+    std::string outputDir;
+    /** Result cache directory (default: outputDir + "/cache"). */
+    std::string cacheDir;
+
+    /** Loads and validates a spec file. fatal() on malformed specs. */
+    static CampaignSpec load(const std::string& path);
+
+    /** Parses from a JSON value; relative paths resolve against
+     *  @p base_dir. fatal() on malformed specs. */
+    static CampaignSpec fromJson(const json::Value& root,
+                                 const std::string& base_dir);
+
+    /** Builds the Sweeper for this spec (variables, then seeds). */
+    Sweeper sweeper() const;
+
+    /** The expanded campaign points, in deterministic sweep order. */
+    std::vector<SweepPoint> points() const;
+};
+
+}  // namespace ss::campaign
+
+#endif  // SS_CAMPAIGN_SPEC_H_

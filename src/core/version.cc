@@ -1,0 +1,17 @@
+#include "core/version.h"
+
+// SS_BUILD_VERSION is defined on this translation unit only (see
+// src/CMakeLists.txt) so a version bump recompiles one file.
+#ifndef SS_BUILD_VERSION
+#define SS_BUILD_VERSION "0.0.0-unknown"
+#endif
+
+namespace ss {
+
+const char*
+buildVersion()
+{
+    return SS_BUILD_VERSION;
+}
+
+}  // namespace ss

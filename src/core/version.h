@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Build-version identification, plus the CLI exit-code contract shared by
+ * every binary in the suite.
+ *
+ * The version string is injected by CMake (project version, extended with
+ * the git commit when available) and flows into `supersim --version`,
+ * `RunResult::toJson()`, and the campaign result-cache key — so cached
+ * simulation artifacts are never reused across simulator builds.
+ */
+#ifndef SS_CORE_VERSION_H_
+#define SS_CORE_VERSION_H_
+
+namespace ss {
+
+/** The build version, e.g. "0.2.0+git.1a2b3c4" or "0.2.0". */
+const char* buildVersion();
+
+// ----- process exit codes (supersim / ssparse / sscampaign) -----
+/** Success. */
+inline constexpr int kExitOk = 0;
+/** Runtime failure (I/O errors, internal errors surfaced as exceptions). */
+inline constexpr int kExitRuntimeError = 1;
+/** User error: bad configuration, unparseable input, invalid usage.
+ *  Batch drivers treat this as a permanent bad-spec failure (no retry),
+ *  unlike kExitRuntimeError or death-by-signal, which are retryable. */
+inline constexpr int kExitBadConfig = 2;
+
+}  // namespace ss
+
+#endif  // SS_CORE_VERSION_H_

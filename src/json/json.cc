@@ -1,9 +1,12 @@
 #include "json/json.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "core/logging.h"
@@ -267,9 +270,25 @@ Value::operator==(const Value& other) const
       case Type::kBool: return bool_ == other.bool_;
       case Type::kString: return string_ == other.string_;
       case Type::kArray: return array_ == other.array_;
-      case Type::kObject:
-        return objectKeys_ == other.objectKeys_ &&
-               objectValues_ == other.objectValues_;
+      case Type::kObject: {
+        // Insertion order is a presentation detail, not content.
+        if (objectKeys_.size() != other.objectKeys_.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < objectKeys_.size(); ++i) {
+            auto it = std::find(other.objectKeys_.begin(),
+                                other.objectKeys_.end(), objectKeys_[i]);
+            if (it == other.objectKeys_.end()) {
+                return false;
+            }
+            std::size_t j = static_cast<std::size_t>(
+                it - other.objectKeys_.begin());
+            if (!(objectValues_[i] == other.objectValues_[j])) {
+                return false;
+            }
+        }
+        return true;
+      }
       default: return false;  // numbers handled above
     }
 }
@@ -383,6 +402,97 @@ Value::toString(int indent) const
 {
     std::string out;
     writeTo(&out, indent, 0);
+    return out;
+}
+
+void
+Value::writeCanonicalTo(std::string* out) const
+{
+    switch (type_) {
+      case Type::kNull:
+        *out += "null";
+        break;
+      case Type::kBool:
+        *out += bool_ ? "true" : "false";
+        break;
+      case Type::kInt:
+        *out += std::to_string(int_);
+        break;
+      case Type::kUint:
+        *out += std::to_string(uint_);
+        break;
+      case Type::kFloat: {
+        if (!std::isfinite(float_)) {
+            *out += "null";  // JSON has no inf/nan
+            break;
+        }
+        // Integral floats print as integers so that 1, 1u, and 1.0 —
+        // equal under operator== — share one canonical spelling.
+        if (float_ >= 0.0 &&
+            float_ <= 18446744073709549568.0 /* largest double < 2^64 */ &&
+            static_cast<double>(static_cast<std::uint64_t>(float_)) ==
+                float_) {
+            *out += std::to_string(static_cast<std::uint64_t>(float_));
+            break;
+        }
+        if (float_ < 0.0 &&
+            float_ >= -9223372036854775808.0 &&
+            static_cast<double>(static_cast<std::int64_t>(float_)) ==
+                float_) {
+            *out += std::to_string(static_cast<std::int64_t>(float_));
+            break;
+        }
+        // Shortest round-trip representation.
+        char buf[32];
+        auto res = std::to_chars(buf, buf + sizeof buf, float_);
+        out->append(buf, res.ptr);
+        break;
+      }
+      case Type::kString:
+        writeEscaped(out, string_);
+        break;
+      case Type::kArray: {
+        out->push_back('[');
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0) {
+                out->push_back(',');
+            }
+            array_[i].writeCanonicalTo(out);
+        }
+        out->push_back(']');
+        break;
+      }
+      case Type::kObject: {
+        std::vector<std::size_t> order(objectKeys_.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            order[i] = i;
+        }
+        std::sort(order.begin(), order.end(),
+                  [this](std::size_t a, std::size_t b) {
+                      return objectKeys_[a] < objectKeys_[b];
+                  });
+        out->push_back('{');
+        bool first = true;
+        for (std::size_t i : order) {
+            if (!first) {
+                out->push_back(',');
+            }
+            first = false;
+            writeEscaped(out, objectKeys_[i]);
+            out->push_back(':');
+            objectValues_[i].writeCanonicalTo(out);
+        }
+        out->push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Value::toCanonicalString() const
+{
+    std::string out;
+    writeCanonicalTo(&out);
     return out;
 }
 

@@ -89,13 +89,26 @@ class Value {
     bool erase(const std::string& key);
     const std::vector<std::string>& keys() const;
 
+    /** Semantic equality: numbers compare across representations
+     *  (3 == 3.0) and object key order is ignored. */
     bool operator==(const Value& other) const;
 
     /** Serializes; @p indent > 0 pretty-prints. */
     std::string toString(int indent = 0) const;
 
+    /**
+     * Serializes to the canonical form used for content hashing: object
+     * keys sorted lexicographically, no whitespace, and normalized number
+     * formatting (a float holding an integral value prints as that
+     * integer; other floats print with the shortest round-trip
+     * representation). Two values that compare equal with operator==
+     * produce identical canonical strings.
+     */
+    std::string toCanonicalString() const;
+
   private:
     void writeTo(std::string* out, int indent, int depth) const;
+    void writeCanonicalTo(std::string* out) const;
     void requireType(Type type) const;
 
     Type type_;

@@ -8,6 +8,10 @@
  *
  * `--json[=path]` additionally emits the structured RunResult: to stdout
  * (after the summary) with no path, or to the given file.
+ *
+ * Exit codes (relied on by batch drivers such as sscampaign to separate
+ * bad-spec from crashed-run): 0 success, 1 runtime error, 2 invalid
+ * configuration or usage.
  */
 #include <cstdio>
 #include <fstream>
@@ -15,18 +19,25 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/version.h"
 #include "json/settings.h"
 #include "sim/builder.h"
 
 int
 main(int argc, char** argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--version") {
+            std::printf("supersim %s\n", ss::buildVersion());
+            return ss::kExitOk;
+        }
+    }
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <config.json> [--json[=path]] "
+                     "usage: %s <config.json> [--json[=path]] [--version] "
                      "[path=type=value ...]\n",
                      argv[0]);
-        return 1;
+        return ss::kExitBadConfig;
     }
     try {
         ss::json::Value config = ss::json::loadSettings(argv[1]);
@@ -59,8 +70,16 @@ main(int argc, char** argv)
                 out << text << '\n';
             }
         }
-        return 0;
+        return ss::kExitOk;
     } catch (const ss::FatalError&) {
-        return 1;
+        // fatal() already printed the diagnostic; the distinct exit code
+        // tells callers this run can never succeed unchanged.
+        std::fprintf(stderr,
+                     "supersim: invalid configuration or usage (exit %d)\n",
+                     ss::kExitBadConfig);
+        return ss::kExitBadConfig;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "supersim: error: %s\n", e.what());
+        return ss::kExitRuntimeError;
     }
 }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/version.h"
+
 namespace ss {
 
 double
@@ -41,6 +43,7 @@ json::Value
 RunResult::toJson() const
 {
     json::Value root = json::Value::object();
+    root["version"] = std::string(buildVersion());
     root["saturated"] = saturated;
     root["events_executed"] = eventsExecuted;
     root["end_tick"] = endTick;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/version.h"
 #include "stats/distribution.h"
 #include "tools/log_parser.h"
 
@@ -50,11 +51,18 @@ seriesMode(const std::string& path, const std::vector<std::string>& filters)
 int
 main(int argc, char** argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--version") {
+            std::printf("ssparse %s\n", ss::buildVersion());
+            return ss::kExitOk;
+        }
+    }
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <log.csv|series.csv> [+field=value ...]\n",
+                     "usage: %s <log.csv|series.csv> [--version] "
+                     "[+field=value ...]\n",
                      argv[0]);
-        return 1;
+        return ss::kExitBadConfig;
     }
     try {
         std::vector<std::string> filters;
@@ -97,8 +105,15 @@ main(int argc, char** argv)
                     hops.max());
         std::printf("nonminimal:      %.4f\n",
                     sampler.nonminimalFraction());
-        return 0;
+        return ss::kExitOk;
     } catch (const ss::FatalError&) {
-        return 1;
+        // fatal() already printed the diagnostic.
+        std::fprintf(stderr,
+                     "ssparse: invalid input or usage (exit %d)\n",
+                     ss::kExitBadConfig);
+        return ss::kExitBadConfig;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ssparse: error: %s\n", e.what());
+        return ss::kExitRuntimeError;
     }
 }

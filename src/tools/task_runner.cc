@@ -12,14 +12,31 @@ TaskGraph::addTask(const std::string& name, TaskFn fn,
                    const std::vector<std::string>& dependencies,
                    std::uint32_t resources)
 {
+    TaskOptions options;
+    options.resources = resources;
+    addTask(
+        name, [fn = std::move(fn)](TaskContext&) { return fn(); },
+        options, dependencies);
+}
+
+void
+TaskGraph::addTask(const std::string& name, TaskFnCtx fn,
+                   const TaskOptions& options,
+                   const std::vector<std::string>& dependencies)
+{
     checkUser(!name.empty(), "task name must not be empty");
     checkUser(byName_.count(name) == 0, "duplicate task name: ", name);
-    checkUser(resources >= 1, "task resources must be >= 1");
+    checkUser(options.resources >= 1, "task resources must be >= 1");
+    checkUser(options.maxAttempts >= 1, "task maxAttempts must be >= 1");
+    checkUser(options.backoffSeconds >= 0.0,
+              "task backoffSeconds must be >= 0");
+    checkUser(options.timeoutSeconds >= 0.0,
+              "task timeoutSeconds must be >= 0");
     std::size_t index = tasks_.size();
     Task task;
     task.name = name;
     task.fn = std::move(fn);
-    task.resources = resources;
+    task.options = options;
     task.unmetDependencies = dependencies.size();
     tasks_.push_back(std::move(task));
     byName_[name] = index;
@@ -56,8 +73,11 @@ TaskGraph::run(std::uint32_t num_threads, std::uint32_t resource_capacity)
     finished_ = 0;
     resourcesInUse_ = 0;
     ready_.clear();
+    delayed_.clear();
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
         tasks_[i].state = TaskState::kPending;
+        tasks_[i].attemptsUsed = 0;
+        tasks_[i].timedOut = false;
         if (tasks_[i].unmetDependencies == 0) {
             ready_.push_back(i);
         }
@@ -66,11 +86,22 @@ TaskGraph::run(std::uint32_t num_threads, std::uint32_t resource_capacity)
     auto worker = [this]() {
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
+            // Promote retries whose backoff delay has elapsed.
+            Clock::time_point now = Clock::now();
+            for (std::size_t i = 0; i < delayed_.size();) {
+                if (delayed_[i].readyAt <= now) {
+                    ready_.push_back(delayed_[i].index);
+                    delayed_[i] = delayed_.back();
+                    delayed_.pop_back();
+                } else {
+                    ++i;
+                }
+            }
             // Find a ready task whose resources fit.
             auto it = std::find_if(
                 ready_.begin(), ready_.end(), [this](std::size_t i) {
                     return resourcesInUse_ +
-                               std::min(tasks_[i].resources,
+                               std::min(tasks_[i].options.resources,
                                         resourceCapacity_) <=
                            resourceCapacity_;
                 });
@@ -79,38 +110,86 @@ TaskGraph::run(std::uint32_t num_threads, std::uint32_t resource_capacity)
                     cv_.notify_all();
                     return;
                 }
-                cv_.wait(lock);
+                if (!delayed_.empty()) {
+                    // Sleep at most until the earliest retry is due.
+                    auto earliest = std::min_element(
+                        delayed_.begin(), delayed_.end(),
+                        [](const Delayed& a, const Delayed& b) {
+                            return a.readyAt < b.readyAt;
+                        });
+                    cv_.wait_until(lock, earliest->readyAt);
+                } else {
+                    cv_.wait(lock);
+                }
                 continue;
             }
             std::size_t index = *it;
             ready_.erase(it);
             Task& task = tasks_[index];
             std::uint32_t cost =
-                std::min(task.resources, resourceCapacity_);
+                std::min(task.options.resources, resourceCapacity_);
             resourcesInUse_ += cost;
+            ++task.attemptsUsed;
+            TaskContext ctx;
+            ctx.attempt_ = task.attemptsUsed;
+            ctx.timeoutSeconds_ = task.options.timeoutSeconds;
 
             lock.unlock();
+            Clock::time_point start = Clock::now();
             bool ok = false;
             try {
-                ok = task.fn();
+                ok = task.fn(ctx);
             } catch (const std::exception& e) {
                 warn("task '", task.name, "' threw: ", e.what());
+                ok = false;
+            }
+            double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            // Deadline backstop: an attempt that returns after its budget
+            // counts as timed out even if the body reported success.
+            bool overDeadline = task.options.timeoutSeconds > 0.0 &&
+                                elapsed > task.options.timeoutSeconds;
+            if (ok && overDeadline) {
+                warn("task '", task.name, "' exceeded its ",
+                     task.options.timeoutSeconds, "s deadline (took ",
+                     elapsed, "s)");
                 ok = false;
             }
             lock.lock();
 
             resourcesInUse_ -= cost;
-            task.state = ok ? TaskState::kSucceeded : TaskState::kFailed;
-            ++finished_;
-            if (ok) {
-                for (std::size_t dep : task.dependents) {
-                    if (--tasks_[dep].unmetDependencies == 0 &&
-                        tasks_[dep].state == TaskState::kPending) {
-                        ready_.push_back(dep);
-                    }
+            task.timedOut = overDeadline;  // reflects the latest attempt
+            bool retry = !ok && !ctx.cancelRetries_ &&
+                         task.attemptsUsed < task.options.maxAttempts;
+            if (retry) {
+                // Exponential backoff: backoff * 2^(attempt-1), capped.
+                double delay = task.options.backoffSeconds;
+                for (std::uint32_t a = 1; a < task.attemptsUsed &&
+                                          delay < TaskOptions::kMaxBackoffSeconds;
+                     ++a) {
+                    delay *= 2.0;
                 }
+                delay = std::min(delay, TaskOptions::kMaxBackoffSeconds);
+                delayed_.push_back(Delayed{
+                    index, Clock::now() + std::chrono::duration_cast<
+                                              Clock::duration>(
+                                              std::chrono::duration<double>(
+                                                  delay))});
             } else {
-                skipTransitively(index);
+                task.state =
+                    ok ? TaskState::kSucceeded : TaskState::kFailed;
+                ++finished_;
+                if (ok) {
+                    for (std::size_t dep : task.dependents) {
+                        if (--tasks_[dep].unmetDependencies == 0 &&
+                            tasks_[dep].state == TaskState::kPending) {
+                            ready_.push_back(dep);
+                        }
+                    }
+                } else {
+                    skipTransitively(index);
+                }
             }
             cv_.notify_all();
             if (finished_ == tasks_.size()) {
@@ -150,12 +229,30 @@ TaskGraph::run(std::uint32_t num_threads, std::uint32_t resource_capacity)
     return all_ok;
 }
 
-TaskState
-TaskGraph::state(const std::string& name) const
+std::size_t
+TaskGraph::lookup(const std::string& name) const
 {
     auto it = byName_.find(name);
     checkUser(it != byName_.end(), "unknown task: ", name);
-    return tasks_[it->second].state;
+    return it->second;
+}
+
+TaskState
+TaskGraph::state(const std::string& name) const
+{
+    return tasks_[lookup(name)].state;
+}
+
+std::uint32_t
+TaskGraph::attempts(const std::string& name) const
+{
+    return tasks_[lookup(name)].attemptsUsed;
+}
+
+bool
+TaskGraph::timedOut(const std::string& name) const
+{
+    return tasks_[lookup(name)].timedOut;
 }
 
 std::vector<std::string>

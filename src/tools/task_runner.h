@@ -10,10 +10,22 @@
  * dependencies succeeded and resources are available. A failing task
  * (function returns false or throws) skips all transitive dependents —
  * TaskRun's conditional execution.
+ *
+ * Batch-runner semantics (used by the campaign engine, src/campaign):
+ *  - retries: a failing attempt is re-queued up to maxAttempts times,
+ *    with exponential backoff that never occupies a worker thread;
+ *  - timeouts: each attempt carries a wall-clock budget. The executor
+ *    cannot preempt an arbitrary std::function, so enforcement is
+ *    two-level: the task body receives the budget through TaskContext
+ *    (a process-spawning body kills its child at the deadline), and the
+ *    executor additionally fails any attempt that returns after its
+ *    deadline — so a body that ignores the budget still counts as
+ *    timed out.
  */
 #ifndef SS_TOOLS_TASK_RUNNER_H_
 #define SS_TOOLS_TASK_RUNNER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -32,12 +44,50 @@ enum class TaskState : std::uint8_t {
     kSkipped,  ///< a dependency failed or was skipped
 };
 
+/** Per-task execution policy. */
+struct TaskOptions {
+    /** Abstract resource units occupied while running (clamped to the
+     *  runner capacity). */
+    std::uint32_t resources = 1;
+    /** Total attempts before the task is declared failed (>= 1). */
+    std::uint32_t maxAttempts = 1;
+    /** Delay before retry k is backoffSeconds * 2^(k-1), capped at
+     *  kMaxBackoffSeconds. 0 retries immediately. */
+    double backoffSeconds = 0.0;
+    /** Wall-clock budget per attempt; 0 = unlimited. */
+    double timeoutSeconds = 0.0;
+
+    static constexpr double kMaxBackoffSeconds = 60.0;
+};
+
+/** Attempt-scoped information handed to a task body. */
+class TaskContext {
+  public:
+    /** 1-based attempt number. */
+    std::uint32_t attempt() const { return attempt_; }
+    /** The attempt's wall-clock budget (0 = unlimited). Bodies that can
+     *  enforce it (e.g. by killing a child process) should do so. */
+    double timeoutSeconds() const { return timeoutSeconds_; }
+    /** Declares the failure permanent: no further attempts are made even
+     *  if maxAttempts is not exhausted (e.g. a config error that can
+     *  never succeed). */
+    void cancelRetries() { cancelRetries_ = true; }
+
+  private:
+    friend class TaskGraph;
+    std::uint32_t attempt_ = 1;
+    double timeoutSeconds_ = 0.0;
+    bool cancelRetries_ = false;
+};
+
 /** A dependency-ordered task graph with a thread-pool executor. */
 class TaskGraph {
   public:
     /** A task body; returns success. Must be thread-safe with respect to
      *  other tasks that may run concurrently. */
     using TaskFn = std::function<bool()>;
+    /** A task body that observes its attempt context. */
+    using TaskFnCtx = std::function<bool(TaskContext&)>;
 
     /**
      * Adds a task. fatal() on duplicate names or unknown dependencies
@@ -49,6 +99,11 @@ class TaskGraph {
     void addTask(const std::string& name, TaskFn fn,
                  const std::vector<std::string>& dependencies = {},
                  std::uint32_t resources = 1);
+
+    /** Adds a task with a full execution policy (timeout/retry). */
+    void addTask(const std::string& name, TaskFnCtx fn,
+                 const TaskOptions& options,
+                 const std::vector<std::string>& dependencies = {});
 
     std::size_t numTasks() const { return tasks_.size(); }
 
@@ -64,20 +119,37 @@ class TaskGraph {
     /** State of a task after run(). */
     TaskState state(const std::string& name) const;
 
+    /** Attempts consumed by a task during the last run(). */
+    std::uint32_t attempts(const std::string& name) const;
+
+    /** True if the task's final failure was a deadline overrun. */
+    bool timedOut(const std::string& name) const;
+
     /** Names of tasks in each terminal state. */
     std::vector<std::string> tasksInState(TaskState state) const;
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Task {
         std::string name;
-        TaskFn fn;
+        TaskFnCtx fn;
+        TaskOptions options;
         std::vector<std::size_t> dependents;
         std::size_t unmetDependencies = 0;
-        std::uint32_t resources = 1;
         TaskState state = TaskState::kPending;
+        std::uint32_t attemptsUsed = 0;
+        bool timedOut = false;
+    };
+
+    /** A retry waiting for its backoff delay to elapse. */
+    struct Delayed {
+        std::size_t index;
+        Clock::time_point readyAt;
     };
 
     void skipTransitively(std::size_t index);
+    std::size_t lookup(const std::string& name) const;
 
     std::vector<Task> tasks_;
     std::map<std::string, std::size_t> byName_;
@@ -86,6 +158,7 @@ class TaskGraph {
     std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<std::size_t> ready_;
+    std::vector<Delayed> delayed_;
     std::size_t finished_ = 0;
     std::uint32_t resourcesInUse_ = 0;
     std::uint32_t resourceCapacity_ = 0;

@@ -1,0 +1,120 @@
+#!/bin/sh
+# End-to-end campaign test: run a tiny 2x2 sweep through sscampaign,
+# SIGKILL it mid-flight, resume, and assert that previously-finished
+# points are served from the cache (state=cached, attempts 0) with no
+# recomputation, while the rest complete.
+set -e
+
+SSCAMPAIGN="$1"
+SUPERSIM="$2"
+CONFIG="$3"
+WORK="${TMPDIR:-/tmp}/supersim_campaign_cli_$$"
+SPEC="$WORK/campaign.json"
+OUT="$WORK/out"
+MANIFEST="$OUT/manifest.jsonl"
+
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$SPEC" <<EOF
+{
+  "name": "killresume",
+  "config": "$CONFIG",
+  "overrides": [
+    "workload.applications.0.num_samples=uint=3000",
+    "simulator.time_limit=uint=0"
+  ],
+  "variables": [
+    {"name": "InjectionRate", "short_name": "IR",
+     "values": ["0.05", "0.1"],
+     "overrides": ["workload.applications.0.injection_rate=float={}"]},
+    {"name": "NumVcs", "short_name": "VC",
+     "values": ["2", "4"],
+     "overrides": ["network.num_vcs=uint={}"]}
+  ],
+  "seeds": [42],
+  "execution": {"workers": 1, "timeout_seconds": 120,
+                "max_attempts": 2, "backoff_seconds": 0.1},
+  "output": {"dir": "$OUT"}
+}
+EOF
+
+# A malformed spec is a bad-spec error: exit 2.
+set +e
+"$SSCAMPAIGN" /nonexistent/campaign.json 2>/dev/null
+[ $? -eq 2 ] || { echo "missing spec should exit 2"; exit 1; }
+echo '{"name": "x"}' > "$WORK/bad.json"
+"$SSCAMPAIGN" "$WORK/bad.json" 2>/dev/null
+[ $? -eq 2 ] || { echo "invalid spec should exit 2"; exit 1; }
+set -e
+
+# Start the campaign, then SIGKILL it as soon as the manifest journals
+# the first completed point — simulating a mid-flight crash.
+"$SSCAMPAIGN" "$SPEC" --supersim="$SUPERSIM" \
+    > "$WORK/run1.log" 2>&1 &
+PID=$!
+TRIES=0
+while [ $TRIES -lt 600 ]; do
+    if grep -q '"state":"completed"' "$MANIFEST" 2>/dev/null; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || break  # finished before we could kill
+    TRIES=$((TRIES + 1))
+    sleep 0.1
+done
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+sleep 0.5  # let any orphaned child drain
+
+grep -q '"state":"completed"' "$MANIFEST" || {
+    echo "no point completed before the kill:"; cat "$WORK/run1.log";
+    exit 1;
+}
+
+# Resume: the second invocation must finish every point, serving the
+# already-completed ones from the cache.
+"$SSCAMPAIGN" "$SPEC" --supersim="$SUPERSIM" > "$WORK/run2.log" 2>&1 || {
+    echo "resume run failed:"; cat "$WORK/run2.log"; exit 1;
+}
+grep -q '"resumed":true' "$MANIFEST" || {
+    echo "resume run did not mark itself resumed"; exit 1;
+}
+
+CACHED=$(grep -c '"event":"point".*"state":"cached"' "$MANIFEST" || true)
+[ "$CACHED" -ge 1 ] || {
+    echo "expected >= 1 cached point after resume, got $CACHED"; exit 1;
+}
+# Cached points are served without running anything: attempts 0.
+if grep '"state":"cached"' "$MANIFEST" | grep -qv '"attempts":0'; then
+    echo "cached point with nonzero attempts:"; cat "$MANIFEST"; exit 1;
+fi
+# Nothing was recomputed: each point hash completes at most once.
+DUPES=$(grep '"state":"completed"' "$MANIFEST" |
+    sed 's/.*"hash":"\([0-9a-f]*\)".*/\1/' | sort | uniq -d)
+[ -z "$DUPES" ] || {
+    echo "points recomputed after resume: $DUPES"; exit 1;
+}
+# Across both runs, every one of the 4 points ended completed or cached.
+COMPLETED=$(grep -c '"event":"point".*"state":"completed"' "$MANIFEST" \
+    || true)
+[ $((COMPLETED + CACHED)) -ge 4 ] || {
+    echo "expected 4 points done, completed=$COMPLETED cached=$CACHED";
+    cat "$MANIFEST"; exit 1;
+}
+grep -q '"event":"end"' "$MANIFEST" || {
+    echo "manifest missing end record"; exit 1;
+}
+
+# The aggregated metrics table has one row per point.
+ROWS=$(tail -n +2 "$OUT/table.csv" | wc -l)
+[ "$ROWS" -eq 4 ] || {
+    echo "expected 4 table rows, got $ROWS"; cat "$OUT/table.csv"; exit 1;
+}
+
+# A third run is a pure cache replay: all 4 points cached.
+"$SSCAMPAIGN" "$SPEC" --supersim="$SUPERSIM" > "$WORK/run3.log" 2>&1
+grep -q "cached: *4" "$WORK/run3.log" || {
+    echo "warm rerun not fully cached:"; cat "$WORK/run3.log"; exit 1;
+}
+
+echo "campaign cli test ok"

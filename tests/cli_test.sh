@@ -62,10 +62,46 @@ echo "$SOUT" | grep -q "instruments:" || {
     echo "unexpected ssparse series output:"; echo "$SOUT"; exit 1;
 }
 
-# Bad config must fail with a nonzero exit.
-if "$SUPERSIM" /nonexistent/config.json 2>/dev/null; then
-    echo "supersim should fail on a missing config"; exit 1
-fi
+# --version prints the build version and exits 0.
+VOUT=$("$SUPERSIM" --version)
+echo "$VOUT" | grep -q "^supersim [0-9]" || {
+    echo "unexpected supersim --version output: $VOUT"; exit 1;
+}
+VOUT=$("$SSPARSE" --version)
+echo "$VOUT" | grep -q "^ssparse [0-9]" || {
+    echo "unexpected ssparse --version output: $VOUT"; exit 1;
+}
+# The JSON result embeds the same version (ties artifacts to the build).
+grep -q '"version"' "$RESULT" || {
+    echo "JSON result missing version"; exit 1;
+}
 
-rm -f "$LOG" "$SERIES" "$TRACE" "$RESULT"
+# Configuration/usage errors exit 2 (permanent bad-spec, distinguishable
+# from a crashed run) with a clear message on stderr.
+BADCFG="${TMPDIR:-/tmp}/supersim_cli_bad_$$.json"
+echo '{"unterminated": ' > "$BADCFG"
+for CASE in "/nonexistent/config.json" "$BADCFG"; do
+    set +e
+    ERR=$("$SUPERSIM" "$CASE" 2>&1 >/dev/null)
+    CODE=$?
+    set -e
+    [ "$CODE" -eq 2 ] || {
+        echo "supersim $CASE: expected exit 2, got $CODE"; exit 1;
+    }
+    echo "$ERR" | grep -q "invalid configuration" || {
+        echo "supersim $CASE: missing bad-config message:"; echo "$ERR";
+        exit 1;
+    }
+done
+set +e
+"$SUPERSIM" 2>/dev/null; [ $? -eq 2 ] || {
+    echo "supersim usage error should exit 2"; exit 1;
+}
+"$SSPARSE" /nonexistent/log.csv 2>/dev/null; CODE=$?
+set -e
+[ "$CODE" -eq 2 ] || {
+    echo "ssparse missing input: expected exit 2, got $CODE"; exit 1;
+}
+
+rm -f "$LOG" "$SERIES" "$TRACE" "$RESULT" "$BADCFG"
 echo "cli test ok"

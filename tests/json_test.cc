@@ -122,6 +122,47 @@ TEST(Json, EqualityAcrossNumericRepresentations)
     EXPECT_FALSE(parse("-1") == parse("18446744073709551615"));
 }
 
+TEST(Json, CanonicalStringSortsKeysAndStripsWhitespace)
+{
+    Value v = parse(R"({"b": [1, 2], "a": {"d": true, "c": "x"}})");
+    EXPECT_EQ(v.toCanonicalString(), R"({"a":{"c":"x","d":true},"b":[1,2]})");
+}
+
+TEST(Json, CanonicalStringNormalizesNumbers)
+{
+    // Integral floats collapse onto the integer spelling...
+    EXPECT_EQ(parse("1.0").toCanonicalString(), "1");
+    EXPECT_EQ(parse("2e1").toCanonicalString(), "20");
+    EXPECT_EQ(parse("-4.0").toCanonicalString(), "-4");
+    EXPECT_EQ(Value(std::uint64_t{7}).toCanonicalString(), "7");
+    // ...while genuine fractions keep a shortest round-trip form.
+    EXPECT_EQ(parse("0.5").toCanonicalString(), "0.5");
+    EXPECT_EQ(parse("2.50").toCanonicalString(), "2.5");
+    Value tenth = parse(parse("0.1").toCanonicalString());
+    EXPECT_DOUBLE_EQ(tenth.asFloat(), 0.1);
+}
+
+TEST(Json, SemanticallyEqualDocumentsShareCanonicalForm)
+{
+    // Key order, whitespace, comments, and numeric spelling all differ;
+    // the canonical form (and thus any content hash of it) must not.
+    Value a = parse(R"({"net": {"vcs": 4, "rate": 0.5}, "seed": 1})");
+    Value b = parse("{ // comment\n \"seed\": 1.0,\n"
+                    " \"net\": {\"rate\": 5e-1, \"vcs\": 4.0}, }");
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.toCanonicalString(), b.toCanonicalString());
+    Value c = parse(R"({"net": {"vcs": 4, "rate": 0.5}, "seed": 2})");
+    EXPECT_NE(a.toCanonicalString(), c.toCanonicalString());
+}
+
+TEST(Json, CanonicalStringRoundTrips)
+{
+    const char* text =
+        R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-3})";
+    Value v = parse(text);
+    EXPECT_TRUE(parse(v.toCanonicalString()) == v);
+}
+
 TEST(Settings, AppliesTypedOverrides)
 {
     Value v = parse(R"({"network": {"router": {}}})");

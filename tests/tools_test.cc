@@ -194,6 +194,137 @@ TEST(TaskGraph, ResourceCapacityLimitsConcurrency)
     EXPECT_EQ(peak.load(), 1);
 }
 
+TEST(TaskGraph, SharedTransitiveDependentsSkipExactlyOnce)
+{
+    // Diamond with a shared dependent: root fails, both branches and the
+    // join (reachable twice) must end up skipped, counted once each.
+    TaskGraph graph;
+    std::atomic<int> ran{0};
+    graph.addTask("root", []() { return false; });
+    graph.addTask("left", [&]() { ++ran; return true; }, {"root"});
+    graph.addTask("right", [&]() { ++ran; return true; }, {"root"});
+    graph.addTask("join", [&]() { ++ran; return true; },
+                  {"left", "right"});
+    graph.addTask("tail", [&]() { ++ran; return true; }, {"join"});
+    EXPECT_FALSE(graph.run(4));
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(graph.state("root"), TaskState::kFailed);
+    EXPECT_EQ(graph.tasksInState(TaskState::kSkipped).size(), 4u);
+    // A second run must behave identically (dependency counters reset).
+    EXPECT_FALSE(graph.run(2));
+    EXPECT_EQ(graph.tasksInState(TaskState::kSkipped).size(), 4u);
+}
+
+TEST(TaskGraph, OversizedTaskIsClampedToCapacity)
+{
+    // A task demanding more resources than the total capacity must still
+    // run (clamped), not deadlock the executor.
+    TaskGraph graph;
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    auto body = [&]() {
+        int now = ++concurrent;
+        int old = peak.load();
+        while (now > old && !peak.compare_exchange_weak(old, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        --concurrent;
+        return true;
+    };
+    graph.addTask("huge", body, {}, 100);
+    graph.addTask("small_1", body, {}, 1);
+    graph.addTask("small_2", body, {}, 1);
+    EXPECT_TRUE(graph.run(4, 3));
+    EXPECT_EQ(graph.state("huge"), TaskState::kSucceeded);
+    // The clamped task occupies the full capacity while running.
+    EXPECT_LE(peak.load(), 3);
+}
+
+TEST(TaskGraph, RetriesWithBackoffUntilSuccess)
+{
+    TaskGraph graph;
+    std::atomic<int> calls{0};
+    TaskOptions options;
+    options.maxAttempts = 5;
+    options.backoffSeconds = 0.005;
+    graph.addTask(
+        "flaky",
+        [&](TaskContext& ctx) {
+            EXPECT_EQ(ctx.attempt(), static_cast<std::uint32_t>(calls + 1));
+            return ++calls >= 3;
+        },
+        options);
+    EXPECT_TRUE(graph.run(2));
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(graph.state("flaky"), TaskState::kSucceeded);
+    EXPECT_EQ(graph.attempts("flaky"), 3u);
+}
+
+TEST(TaskGraph, ExhaustedRetriesFailAndSkipDependents)
+{
+    TaskGraph graph;
+    std::atomic<int> calls{0};
+    TaskOptions options;
+    options.maxAttempts = 3;
+    graph.addTask(
+        "doomed", [&](TaskContext&) { ++calls; return false; }, options);
+    graph.addTask("dependent", []() { return true; }, {"doomed"});
+    EXPECT_FALSE(graph.run(2));
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(graph.state("doomed"), TaskState::kFailed);
+    EXPECT_EQ(graph.attempts("doomed"), 3u);
+    EXPECT_EQ(graph.state("dependent"), TaskState::kSkipped);
+}
+
+TEST(TaskGraph, TimeoutFailsOverrunningAttempts)
+{
+    // The executor cannot preempt a std::function, but an attempt that
+    // returns success after its deadline still counts as timed out, and
+    // is retried like any other failure.
+    TaskGraph graph;
+    std::atomic<int> calls{0};
+    TaskOptions options;
+    options.maxAttempts = 2;
+    options.timeoutSeconds = 0.02;
+    graph.addTask(
+        "slow",
+        [&](TaskContext& ctx) {
+            EXPECT_DOUBLE_EQ(ctx.timeoutSeconds(), 0.02);
+            ++calls;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return true;
+        },
+        options);
+    graph.addTask(
+        "fast", [](TaskContext&) { return true; }, TaskOptions{});
+    EXPECT_FALSE(graph.run(2));
+    EXPECT_EQ(calls.load(), 2);
+    EXPECT_EQ(graph.state("slow"), TaskState::kFailed);
+    EXPECT_TRUE(graph.timedOut("slow"));
+    EXPECT_EQ(graph.state("fast"), TaskState::kSucceeded);
+    EXPECT_FALSE(graph.timedOut("fast"));
+}
+
+TEST(TaskGraph, CancelRetriesMakesFailurePermanent)
+{
+    TaskGraph graph;
+    std::atomic<int> calls{0};
+    TaskOptions options;
+    options.maxAttempts = 5;
+    graph.addTask(
+        "permanent",
+        [&](TaskContext& ctx) {
+            ++calls;
+            ctx.cancelRetries();  // e.g. a config error: retry is futile
+            return false;
+        },
+        options);
+    EXPECT_FALSE(graph.run(1));
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(graph.attempts("permanent"), 1u);
+    EXPECT_EQ(graph.state("permanent"), TaskState::kFailed);
+}
+
 TEST(TaskGraph, UnknownDependencyIsFatal)
 {
     TaskGraph graph;
