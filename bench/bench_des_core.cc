@@ -62,6 +62,158 @@ BM_EventQueueFanout(benchmark::State& state)
 BENCHMARK(BM_EventQueueFanout)->Arg(1000)->Arg(100000);
 
 void
+BM_SteadyStateScheduling(benchmark::State& state)
+{
+    // The steady-state router/channel pattern: N delivery chains alive at
+    // once, each occurrence scheduling its successor a few ticks ahead
+    // with a small payload — via the closure API, which is what the
+    // component layer historically used per flit/credit hop.
+    const std::int64_t depth = state.range(0);
+    constexpr std::uint64_t kEventsPerIter = 100000;
+    struct Chains {
+        ss::Simulator sim;
+        std::uint64_t budget = 0;
+        std::uint64_t sink = 0;
+        void
+        hop(std::uint64_t payload)
+        {
+            sink += payload;
+            if (budget > 0) {
+                --budget;
+                // Deltas 1..8 mimic crossbar/channel latencies.
+                ss::Tick delta = 1 + (payload & 7);
+                std::uint64_t next = payload * 0x9e3779b97f4a7c15ULL + 1;
+                sim.schedule(sim.now().plusTicks(delta),
+                             [this, next]() { hop(next); });
+            }
+        }
+    };
+    for (auto _ : state) {
+        (void)_;
+        Chains c;
+        c.budget = kEventsPerIter;
+        for (std::int64_t i = 0; i < depth; ++i) {
+            std::uint64_t payload = static_cast<std::uint64_t>(i);
+            c.sim.schedule(ss::Time(1 + (i & 7)),
+                           [&c, payload]() { c.hop(payload); });
+        }
+        c.sim.run();
+        benchmark::DoNotOptimize(c.sink);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (kEventsPerIter + depth));
+}
+BENCHMARK(BM_SteadyStateScheduling)->Arg(16)->Arg(1024)->Arg(16384);
+
+void
+BM_SteadyStateInline(benchmark::State& state)
+{
+    // The same chain pattern through scheduleInline — the pooled
+    // member-function path channels and crossbars now use for
+    // per-occurrence deliveries.
+    const std::int64_t depth = state.range(0);
+    constexpr std::uint64_t kEventsPerIter = 100000;
+    struct Chains {
+        ss::Simulator sim;
+        std::uint64_t budget = 0;
+        std::uint64_t sink = 0;
+        void
+        hop(std::uint64_t payload)
+        {
+            sink += payload;
+            if (budget > 0) {
+                --budget;
+                ss::Tick delta = 1 + (payload & 7);
+                std::uint64_t next = payload * 0x9e3779b97f4a7c15ULL + 1;
+                sim.scheduleInline<&Chains::hop>(
+                    this, next, sim.now().plusTicks(delta));
+            }
+        }
+    };
+    for (auto _ : state) {
+        (void)_;
+        Chains c;
+        c.budget = kEventsPerIter;
+        for (std::int64_t i = 0; i < depth; ++i) {
+            c.sim.scheduleInline<&Chains::hop>(
+                &c, static_cast<std::uint64_t>(i),
+                ss::Time(1 + (i & 7)));
+        }
+        c.sim.run();
+        benchmark::DoNotOptimize(c.sink);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (kEventsPerIter + depth));
+}
+BENCHMARK(BM_SteadyStateInline)->Arg(16)->Arg(1024)->Arg(16384);
+
+void
+BM_HorizonSweep(benchmark::State& state)
+{
+    // Steady state with reschedule deltas spread over 1..128 ticks at
+    // varying bucket horizons: horizons below the delta spread push part
+    // of the schedule through the overflow heap, horizons above it keep
+    // everything bucketed.
+    const std::size_t horizon =
+        static_cast<std::size_t>(state.range(0));
+    constexpr std::int64_t kDepth = 1024;
+    constexpr std::uint64_t kEventsPerIter = 100000;
+    struct Chains {
+        ss::Simulator sim;
+        std::uint64_t budget = 0;
+        std::uint64_t sink = 0;
+        void
+        hop(std::uint64_t payload)
+        {
+            sink += payload;
+            if (budget > 0) {
+                --budget;
+                ss::Tick delta = 1 + (payload & 127);
+                std::uint64_t next = payload * 0x9e3779b97f4a7c15ULL + 1;
+                sim.scheduleInline<&Chains::hop>(
+                    this, next, sim.now().plusTicks(delta));
+            }
+        }
+    };
+    for (auto _ : state) {
+        (void)_;
+        Chains c;
+        c.sim.setSchedulerHorizon(horizon);
+        c.budget = kEventsPerIter;
+        for (std::int64_t i = 0; i < kDepth; ++i) {
+            c.sim.scheduleInline<&Chains::hop>(
+                &c, static_cast<std::uint64_t>(i),
+                ss::Time(1 + (i & 7)));
+        }
+        c.sim.run();
+        benchmark::DoNotOptimize(c.sink);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (kEventsPerIter + kDepth));
+}
+BENCHMARK(BM_HorizonSweep)->Arg(16)->Arg(128)->Arg(1024);
+
+void
+BM_CalibrationSpin(benchmark::State& state)
+{
+    // Fixed arithmetic spin used by CI to normalize machine speed: perf
+    // gates compare benchmark/calibration ratios, not absolute rates,
+    // so slow and fast runners agree (see bench/compare_bench.py).
+    for (auto _ : state) {
+        (void)_;
+        std::uint64_t z = 0x2545f4914f6cdd1dULL;
+        for (int i = 0; i < 4096; ++i) {
+            z += 0x9e3779b97f4a7c15ULL;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        }
+        benchmark::DoNotOptimize(z);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CalibrationSpin);
+
+void
 BM_ClockEdges(benchmark::State& state)
 {
     ss::Clock clock(3, 1);

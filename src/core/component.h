@@ -55,11 +55,29 @@ class Component {
     }
 
     /** Schedules a one-shot callable. */
+    template <typename F>
     void
-    schedule(Time time, std::function<void()> fn)
+    schedule(Time time, F&& fn)
     {
-        simulator_->schedule(time, std::move(fn));
+        simulator_->schedule(time, std::forward<F>(fn));
     }
+
+    /** Schedules `(this->*Handler)(payload)` at @p time through the
+     *  simulator's pooled inline-event path — the allocation-free way to
+     *  defer a delivery that carries a small payload. Handler must be a
+     *  member of this component's most-derived type. */
+    template <auto Handler, typename P>
+    void
+    scheduleInline(Time time, P payload)
+    {
+        using C =
+            typename detail::MemberFnTraits<decltype(Handler)>::Class;
+        simulator_->scheduleInline<Handler>(static_cast<C*>(this),
+                                            payload, time);
+    }
+
+    /** Cancels a pending caller-owned event (see Simulator::cancel()). */
+    bool cancel(Event* event) { return simulator_->cancel(event); }
 
     /** Per-component debug switch; dbg() prints when enabled. */
     void setDebug(bool on) { debug_ = on; }

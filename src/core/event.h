@@ -4,11 +4,23 @@
  *
  * An event is a simple object with a time value indicating when it is to be
  * executed and a link to the code that performs the execution. Components
- * create events and push them into the simulator's priority queue.
+ * create events and push them into the simulator's two-level event queue.
+ *
+ * Three flavors exist, from hottest to most flexible:
+ *  - InlineEvent<T[, Payload]>: embedded in the owning component and
+ *    rescheduled repeatedly — a member-function pointer, no allocation
+ *    ever (routers' pipeline/output events, interface injection).
+ *  - Simulator::scheduleInline<Handler>(): pool-managed events carrying a
+ *    small trivially-copyable payload, for per-occurrence deliveries with
+ *    several in flight at once (channel hops, crossbar transfers).
+ *  - Simulator::schedule(time, fn): arbitrary one-shot closures; the
+ *    wrapper events are pooled, but std::function may still allocate for
+ *    large captures. Control-path convenience, not for hot loops.
  */
 #ifndef SS_CORE_EVENT_H_
 #define SS_CORE_EVENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <utility>
 
@@ -40,63 +52,99 @@ class Event {
   private:
     friend class Simulator;
     Time time_ = Time::invalid();
+    /** Ordering key of the current scheduling — lets the executer
+     *  recognize stale queue slots after Simulator::cancel() without
+     *  eagerly searching the queue. */
+    std::uint64_t schedKey_ = 0;
+    bool schedBackground_ = false;
 };
 
 /** An event that invokes a bound callable. Used by Simulator::schedule()
- *  for one-shot lambdas; owned and deleted by the simulator. */
+ *  for one-shot lambdas; owned, pooled, and recycled by the simulator. */
 class CallbackEvent : public Event {
   public:
+    CallbackEvent() = default;
     explicit CallbackEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
 
     void process() override { fn_(); }
 
   private:
+    friend class Simulator;
     std::function<void()> fn_;
 };
 
-/** An event that invokes a member function on a component. Intended to be
- *  embedded in the owning object and rescheduled repeatedly, avoiding a
- *  heap allocation per occurrence. */
+/**
+ * The intrusive event: embedded as a member of the owning component and
+ * rescheduled repeatedly, it binds a member-function pointer instead of a
+ * heap-allocated std::function closure, so steady-state rescheduling
+ * performs zero allocations. With a Payload type parameter the handler
+ * receives a fixed bound value (e.g. an output port number) — one embedded
+ * instance per port replaces a closure per occurrence in pipeline paths.
+ */
+template <typename T, typename Payload = void>
+class InlineEvent;
+
 template <typename T>
-class MemberEvent : public Event {
+class InlineEvent<T, void> : public Event {
   public:
     using Handler = void (T::*)();
 
-    MemberEvent(T* object, Handler handler)
-        : object_(object), handler_(handler) {}
+    InlineEvent() = default;
+    InlineEvent(T* object, Handler handler)
+        : object_(object), handler_(handler)
+    {
+    }
+
+    void
+    bind(T* object, Handler handler)
+    {
+        object_ = object;
+        handler_ = handler;
+    }
 
     void process() override { (object_->*handler_)(); }
 
   private:
-    T* object_;
-    Handler handler_;
+    T* object_ = nullptr;
+    Handler handler_ = nullptr;
 };
 
-/** Like MemberEvent but passes a fixed index (e.g. a port number) to the
- *  handler — one embedded instance per port replaces a heap-allocated
- *  closure per occurrence in the hot pipeline paths. */
-template <typename T>
-class IndexedMemberEvent : public Event {
+template <typename T, typename Payload>
+class InlineEvent : public Event {
   public:
-    using Handler = void (T::*)(std::uint32_t);
+    using Handler = void (T::*)(Payload);
 
-    IndexedMemberEvent() = default;
+    InlineEvent() = default;
+    InlineEvent(T* object, Handler handler, Payload payload)
+        : object_(object), handler_(handler), payload_(payload)
+    {
+    }
 
     void
-    bind(T* object, Handler handler, std::uint32_t index)
+    bind(T* object, Handler handler, Payload payload)
     {
         object_ = object;
         handler_ = handler;
-        index_ = index;
+        payload_ = payload;
     }
 
-    void process() override { (object_->*handler_)(index_); }
+    const Payload& payload() const { return payload_; }
+
+    void process() override { (object_->*handler_)(payload_); }
 
   private:
     T* object_ = nullptr;
     Handler handler_ = nullptr;
-    std::uint32_t index_ = 0;
+    Payload payload_{};
 };
+
+/** Compatibility alias — prefer InlineEvent<T> in new code. */
+template <typename T>
+using MemberEvent = InlineEvent<T>;
+
+/** Compatibility alias — prefer InlineEvent<T, std::uint32_t>. */
+template <typename T>
+using IndexedMemberEvent = InlineEvent<T, std::uint32_t>;
 
 }  // namespace ss
 

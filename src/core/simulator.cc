@@ -1,25 +1,201 @@
 #include "core/simulator.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "core/component.h"
 #include "core/logging.h"
 
 namespace ss {
 
-Simulator::Simulator(std::uint64_t seed) : seed_(seed), now_(0, 0) {}
+Simulator::Simulator(std::uint64_t seed)
+    : seed_(seed),
+      now_(0, 0),
+      buckets_(kDefaultHorizon),
+      occupancy_((kDefaultHorizon + 63) / 64, 0)
+{
+}
 
 Simulator::~Simulator()
 {
-    // Drain unexecuted events, deleting any the simulator owns. Events
-    // owned by components must not be touched here: components are
+    // Drain unexecuted events, deleting the wrappers the simulator owns.
+    // Caller-owned events must not be touched here: components are
     // destroyed before the simulator when a run stops at its time limit
     // with work still queued, so those pointers may already be dead.
-    while (!queue_.empty()) {
-        QueueEntry entry = queue_.top();
-        queue_.pop();
-        if (entry.owned) {
-            delete entry.event;
+    for (Bucket& bucket : buckets_) {
+        for (std::size_t e = 0; e < kNumLanes; ++e) {
+            const std::vector<QueueEntry>& lane = bucket.lanes[e];
+            for (std::size_t i = bucket.heads[e]; i < lane.size(); ++i) {
+                if (lane[i].kind() != EntryKind::kExternal) {
+                    delete lane[i].event;
+                }
+            }
         }
     }
+    while (!overflow_.empty()) {
+        const QueueEntry& entry = overflow_.top();
+        if (entry.kind() != EntryKind::kExternal) {
+            delete entry.event;
+        }
+        overflow_.pop();
+    }
+    for (CallbackEvent* event : callbackPool_) {
+        delete event;
+    }
+    for (PooledEvent* event : pooledPool_) {
+        delete event;
+    }
+}
+
+void
+Simulator::checkNotPast(Time time) const
+{
+    if (time < now_) [[unlikely]] {
+        panic("scheduling event in the past: ", time.toString(), " < ",
+              now_.toString());
+    }
+}
+
+std::uint64_t
+Simulator::makeKey(Epsilon epsilon)
+{
+    if (epsilon >= kNumLanes) [[unlikely]] {
+        fatal("epsilon ", static_cast<unsigned>(epsilon),
+              " out of range: the engine supports epsilon 0..",
+              kNumLanes - 1);
+    }
+    return (static_cast<std::uint64_t>(epsilon) << kSeqBits) | sequence_++;
+}
+
+void
+Simulator::bucketInsert(const QueueEntry& entry)
+{
+    std::size_t b = entry.tick & bucketMask_;
+    Bucket& bucket = buckets_[b];
+    std::size_t lane_index =
+        static_cast<std::size_t>(entry.key >> kSeqBits);
+    std::vector<QueueEntry>& lane = bucket.lanes[lane_index];
+    if (!lane.empty() && lane.back().key > entry.key) [[unlikely]] {
+        // Only overflow migration appends behind newer sequences (a
+        // same-tick entry was scheduled directly into the bucket while
+        // this one still sat in the overflow heap); restore sequence
+        // order within the lane's unconsumed suffix.
+        auto pos = std::upper_bound(
+            lane.begin() +
+                static_cast<std::ptrdiff_t>(bucket.heads[lane_index]),
+            lane.end(), entry,
+            [](const QueueEntry& a, const QueueEntry& b2) {
+                return a.key < b2.key;
+            });
+        lane.insert(pos, entry);
+    } else {
+        lane.push_back(entry);
+    }
+    occupancy_[b >> 6] |= 1ULL << (b & 63);
+    ++bucket.live;
+    ++bucketedCount_;
+}
+
+void
+Simulator::pushEntry(const QueueEntry& entry)
+{
+    // The window invariant (windowBase_ <= now_ <= entry.tick) makes the
+    // subtraction safe and gives each bucket at most one distinct tick.
+    if (entry.tick - windowBase_ < numBuckets_) [[likely]] {
+        bucketInsert(entry);
+    } else {
+        overflow_.push(entry);
+    }
+    ++liveCount_;
+    foregroundPending_ += static_cast<std::uint64_t>(!entry.background());
+    if (liveCount_ > peakQueueDepth_) {
+        peakQueueDepth_ = liveCount_;
+    }
+}
+
+Tick
+Simulator::nextBucketTick() const
+{
+    // Circular scan of the occupancy bitmap starting at windowBase_'s
+    // slot; bucketedCount_ > 0 guarantees a set bit. Bits at or past the
+    // start resolve to windowBase_ + offset directly, wrapped bits to the
+    // following ticks, via the modular offset.
+    const std::size_t start = windowBase_ & bucketMask_;
+    const std::size_t words = occupancy_.size();
+    std::size_t w = start >> 6;
+    std::uint64_t bits = occupancy_[w] & (~0ULL << (start & 63));
+    for (std::size_t scanned = 0;; ++scanned) {
+        if (bits != 0) {
+            std::size_t slot =
+                (w << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            return windowBase_ + ((slot - start) & bucketMask_);
+        }
+        checkSim(scanned <= words, "event queue occupancy bitmap corrupt");
+        w = (w + 1 == words) ? 0 : w + 1;
+        bits = occupancy_[w];
+    }
+}
+
+Simulator::Bucket&
+Simulator::materialize()
+{
+    // Positions windowBase_ on the earliest pending tick and returns its
+    // (non-empty) bucket. Precondition: at least one event is queued.
+    constexpr Tick kNone = std::numeric_limits<Tick>::max();
+    Tick bucket_tick = bucketedCount_ > 0 ? nextBucketTick() : kNone;
+    if (!overflow_.empty() && overflow_.top().tick <= bucket_tick)
+        [[unlikely]] {
+        // The earliest pending work sits in the overflow heap: slide the
+        // window forward to it and pull every overflow event that now
+        // fits the horizon into the buckets. Entries keep their original
+        // keys, so migrated and directly-bucketed events interleave in
+        // exact (tick, epsilon, sequence) order.
+        windowBase_ = overflow_.top().tick;
+        while (!overflow_.empty() &&
+               overflow_.top().tick - windowBase_ < numBuckets_) {
+            bucketInsert(overflow_.top());
+            overflow_.pop();
+        }
+        bucket_tick = nextBucketTick();
+    }
+    windowBase_ = bucket_tick;
+    return buckets_[bucket_tick & bucketMask_];
+}
+
+CallbackEvent*
+Simulator::acquireCallback()
+{
+    if (callbackPool_.empty()) {
+        ++callbackAllocated_;
+        return new CallbackEvent;
+    }
+    CallbackEvent* event = callbackPool_.back();
+    callbackPool_.pop_back();
+    return event;
+}
+
+PooledEvent*
+Simulator::acquirePooled()
+{
+    if (pooledPool_.empty()) {
+        ++pooledAllocated_;
+        return new PooledEvent;
+    }
+    PooledEvent* event = pooledPool_.back();
+    pooledPool_.pop_back();
+    return event;
+}
+
+void
+Simulator::enqueueOwned(Event* event, Time time, EntryKind kind)
+{
+    event->time_ = time;
+    std::uint64_t key = makeKey(time.epsilon);
+    event->schedKey_ = key;
+    event->schedBackground_ = false;
+    pushEntry(QueueEntry{time.tick, key, event,
+                         static_cast<std::uint8_t>(kind)});
 }
 
 void
@@ -36,27 +212,39 @@ Simulator::schedule(Event* event, Time time, bool background)
               now_.toString());
     }
     event->time_ = time;
-    queue_.push(QueueEntry{time, sequence_++, event, false, background});
-    foregroundPending_ += !background;
-    if (queue_.size() > peakQueueDepth_) {
-        peakQueueDepth_ = queue_.size();
+    std::uint64_t key = makeKey(time.epsilon);
+    event->schedKey_ = key;
+    event->schedBackground_ = background;
+    std::uint8_t flags = static_cast<std::uint8_t>(EntryKind::kExternal);
+    if (background) {
+        flags |= kBackgroundFlag;
     }
+    pushEntry(QueueEntry{time.tick, key, event, flags});
 }
 
 void
-Simulator::schedule(Time time, std::function<void()> fn)
+Simulator::scheduleCallback(Time time, std::function<void()> fn)
 {
-    if (time < now_) [[unlikely]] {
-        panic("scheduling event in the past: ", time.toString(), " < ",
-              now_.toString());
+    checkNotPast(time);
+    CallbackEvent* event = acquireCallback();
+    event->fn_ = std::move(fn);
+    enqueueOwned(event, time, EntryKind::kCallback);
+}
+
+bool
+Simulator::cancel(Event* event)
+{
+    if (event == nullptr || !event->pending()) {
+        return false;
     }
-    auto* event = new CallbackEvent(std::move(fn));
-    event->time_ = time;
-    queue_.push(QueueEntry{time, sequence_++, event, true, false});
-    ++foregroundPending_;
-    if (queue_.size() > peakQueueDepth_) {
-        peakQueueDepth_ = queue_.size();
-    }
+    // Lazy removal: invalidate the event; its queue slot becomes a
+    // tombstone (recognized by key/time mismatch) that the executer
+    // skips when its time comes around.
+    event->time_ = Time::invalid();
+    --liveCount_;
+    foregroundPending_ -=
+        static_cast<std::uint64_t>(!event->schedBackground_);
+    return true;
 }
 
 std::uint64_t
@@ -72,24 +260,59 @@ Simulator::run()
     // observability samples) execute in time order alongside but never
     // keep the simulation alive on their own.
     while (foregroundPending_ > 0) {
-        QueueEntry entry = queue_.top();
-        if (timeLimit_ > 0 && entry.time.tick > timeLimit_) {
+        Bucket& bucket = materialize();
+        // materialize() leaves windowBase_ on the bucket's (single) tick.
+        if (timeLimit_ > 0 && windowBase_ > timeLimit_) [[unlikely]] {
             timeLimitHit_ = true;
             break;
         }
-        queue_.pop();
-        foregroundPending_ -= !entry.background;
-        now_ = entry.time;
-        entry.event->time_ = Time::invalid();
-        entry.event->process();
-        if (entry.owned) {
-            delete entry.event;
-        }
-        ++eventsExecuted_;
-        if (heartbeatSeconds_ > 0 &&
-            (eventsExecuted_ & 0x3fff) == 0) [[unlikely]] {
-            maybeHeartbeat();
-        }
+        // Drain the bucket without re-scanning: events scheduled while
+        // it drains land either in this same bucket (same tick) or
+        // strictly later, so it stays the earliest until empty.
+        do {
+            // The earliest entry heads the lowest-epsilon non-empty
+            // lane.
+            std::size_t e = 0;
+            while (bucket.heads[e] >= bucket.lanes[e].size()) {
+                ++e;
+                checkSim(e < kNumLanes, "bucket live count corrupt");
+            }
+            QueueEntry entry = bucket.lanes[e][bucket.heads[e]++];
+            --bucket.live;
+            --bucketedCount_;
+            if (bucket.live == 0) {
+                for (std::size_t lane = 0; lane < kNumLanes; ++lane) {
+                    bucket.lanes[lane].clear();
+                    bucket.heads[lane] = 0;
+                }
+                std::size_t b = entry.tick & bucketMask_;
+                occupancy_[b >> 6] &= ~(1ULL << (b & 63));
+            }
+            Event* event = entry.event;
+            if (entry.kind() == EntryKind::kExternal &&
+                (event->schedKey_ != entry.key || !event->time_.valid()))
+                [[unlikely]] {
+                continue;  // cancelled tombstone — already discounted
+            }
+            --liveCount_;
+            foregroundPending_ -=
+                static_cast<std::uint64_t>(!entry.background());
+            now_ = entry.time();
+            event->time_ = Time::invalid();
+            event->process();
+            if (entry.kind() == EntryKind::kCallback) {
+                auto* callback = static_cast<CallbackEvent*>(event);
+                callback->fn_ = nullptr;  // drop captures promptly
+                callbackPool_.push_back(callback);
+            } else if (entry.kind() == EntryKind::kPooled) {
+                pooledPool_.push_back(static_cast<PooledEvent*>(event));
+            }
+            ++eventsExecuted_;
+            if (heartbeatSeconds_ > 0 &&
+                (eventsExecuted_ & 0x3fff) == 0) [[unlikely]] {
+                maybeHeartbeat();
+            }
+        } while (bucket.live > 0 && foregroundPending_ > 0);
     }
     const std::uint64_t executed = eventsExecuted_ - start_count;
     const double seconds =
@@ -101,6 +324,20 @@ Simulator::run()
         seconds > 0.0 ? static_cast<double>(executed) / seconds : 0.0;
     running_ = false;
     return executed;
+}
+
+void
+Simulator::setSchedulerHorizon(std::size_t buckets)
+{
+    checkUser(buckets > 0 && (buckets & (buckets - 1)) == 0 &&
+                  buckets <= (std::size_t{1} << 20),
+              "scheduler horizon must be a power of two in [1, 2^20]");
+    checkUser(liveCount_ == 0 && bucketedCount_ == 0 && overflow_.empty(),
+              "scheduler horizon can only change while the queue is empty");
+    numBuckets_ = buckets;
+    bucketMask_ = buckets - 1;
+    buckets_.assign(buckets, {});
+    occupancy_.assign((buckets + 63) / 64, 0);
 }
 
 void
@@ -116,7 +353,7 @@ Simulator::maybeHeartbeat()
         static_cast<double>(eventsExecuted_ - heartbeatEvents_) / elapsed;
     inform("progress: tick ", now_.tick, ", ", eventsExecuted_,
            " events (", static_cast<std::uint64_t>(rate),
-           " events/s), queue depth ", queue_.size());
+           " events/s), queue depth ", liveCount_);
     heartbeatWall_ = wall;
     heartbeatEvents_ = eventsExecuted_;
 }

@@ -2,10 +2,20 @@
  * @file
  * The discrete event simulation engine (paper §III-A, Figure 1).
  *
- * The simulator owns the global event priority queue and the executer loop.
- * Events are sorted by (tick, epsilon, insertion order); the insertion-order
+ * The simulator owns the global event queue and the executer loop. Events
+ * are ordered by (tick, epsilon, insertion order); the insertion-order
  * tiebreak makes execution fully deterministic. The simulation ends when
- * the event queue runs empty (or an optional time limit is hit).
+ * the event queue runs out of foreground events (or an optional time
+ * limit is hit).
+ *
+ * The queue is two-level (see DESIGN.md "Event core"): a circular array
+ * of per-tick buckets covers a short horizon ahead of the current tick —
+ * where virtually all flit/credit/pipeline scheduling lands — and a
+ * binary heap holds far-future overflow. Each bucket keeps one FIFO lane
+ * per epsilon: within a (tick, epsilon) lane insertion order *is*
+ * sequence order, so both insert and pop are O(1) with no comparisons.
+ * Event wrappers for closures/payload deliveries are recycled through
+ * free lists, so steady-state scheduling performs no heap allocation.
  *
  * There are no global singletons: a Simulator instance owns an entire
  * simulation, so many simulations can run concurrently in one process.
@@ -13,12 +23,16 @@
 #ifndef SS_CORE_SIMULATOR_H_
 #define SS_CORE_SIMULATOR_H_
 
+#include <array>
+#include <bit>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +49,38 @@ class TraceWriter;
 
 class Component;
 
-/** The DES engine: event queue + executer. */
+namespace detail {
+/** Extracts the class and parameter of a `void (C::*)(P)` handler. */
+template <typename F>
+struct MemberFnTraits;
+template <typename C, typename P>
+struct MemberFnTraits<void (C::*)(P)> {
+    using Class = C;
+    using Param = P;
+};
+}  // namespace detail
+
+/** Pool-managed event that invokes a member function with a small
+ *  trivially-copyable payload through a stateless trampoline. Users never
+ *  name this type: Simulator::scheduleInline() acquires instances from a
+ *  free list, so per-occurrence deliveries (channel hops, crossbar
+ *  transfers) schedule without touching the heap. */
+class PooledEvent final : public Event {
+  public:
+    static constexpr std::size_t kPayloadSize = 24;
+
+    void process() override { trampoline_(object_, payload_); }
+
+  private:
+    friend class Simulator;
+    using Trampoline = void (*)(void* object, void* payload);
+
+    Trampoline trampoline_ = nullptr;
+    void* object_ = nullptr;
+    alignas(alignof(std::max_align_t)) unsigned char payload_[kPayloadSize];
+};
+
+/** The DES engine: two-level event queue + executer. */
 class Simulator {
   public:
     /** @param seed root seed from which all component streams derive. */
@@ -58,8 +103,69 @@ class Simulator {
     void schedule(Event* event, Time time, bool background = false);
 
     /** Schedules a one-shot callable at @p time. The simulator owns the
-     *  wrapper event. */
-    void schedule(Time time, std::function<void()> fn);
+     *  wrapper event (recycled through a free list). Small
+     *  trivially-copyable callables are stored inline in a pooled event;
+     *  anything else falls back to a pooled std::function wrapper. */
+    template <typename F>
+    std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>
+    schedule(Time time, F&& fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn> &&
+                      sizeof(Fn) <= PooledEvent::kPayloadSize &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            checkNotPast(time);
+            PooledEvent* event = acquirePooled();
+            event->object_ = nullptr;
+            event->trampoline_ = [](void*, void* p) {
+                (*static_cast<Fn*>(p))();
+            };
+            ::new (static_cast<void*>(event->payload_))
+                Fn(std::forward<F>(fn));
+            enqueueOwned(event, time, EntryKind::kPooled);
+        } else {
+            scheduleCallback(time,
+                             std::function<void()>(std::forward<F>(fn)));
+        }
+    }
+
+    /** Schedules a pooled event that calls `(object->*Handler)(payload)`
+     *  at @p time — the allocation-free fast path for per-occurrence
+     *  deliveries. The payload must be trivially copyable and at most
+     *  PooledEvent::kPayloadSize bytes. */
+    template <auto Handler>
+    void
+    scheduleInline(
+        typename detail::MemberFnTraits<decltype(Handler)>::Class* object,
+        typename detail::MemberFnTraits<decltype(Handler)>::Param payload,
+        Time time)
+    {
+        using Traits = detail::MemberFnTraits<decltype(Handler)>;
+        using C = typename Traits::Class;
+        using P = typename Traits::Param;
+        static_assert(std::is_trivially_copyable_v<P>,
+                      "inline event payloads must be trivially copyable");
+        static_assert(sizeof(P) <= PooledEvent::kPayloadSize,
+                      "inline event payload too large");
+        checkNotPast(time);
+        PooledEvent* event = acquirePooled();
+        event->object_ = object;
+        event->trampoline_ = [](void* o, void* p) {
+            (static_cast<C*>(o)->*Handler)(
+                *reinterpret_cast<P*>(p));
+        };
+        ::new (static_cast<void*>(event->payload_)) P(payload);
+        enqueueOwned(event, time, EntryKind::kPooled);
+    }
+
+    /** Removes a pending caller-owned event from the queue before it
+     *  fires; returns false if the event was not pending. Cancellation is
+     *  lazy: the queue slot becomes a tombstone that the executer skips,
+     *  so the Event object must stay alive until its scheduled time has
+     *  been drained (or the simulator destroyed). The event may be
+     *  rescheduled immediately. */
+    bool cancel(Event* event);
 
     /** Runs the executer until the event queue is empty or the time limit
      *  is exceeded. Returns the number of events executed by this call. */
@@ -71,11 +177,28 @@ class Simulator {
     void setTimeLimit(Tick limit) { timeLimit_ = limit; }
     bool timeLimitHit() const { return timeLimitHit_; }
 
+    /** Resizes the bucketed short-horizon queue to @p buckets per-tick
+     *  slots (power of two). Larger horizons keep more of the schedule
+     *  out of the overflow heap; the default (64) comfortably covers
+     *  channel/crossbar latencies and clock periods. Only legal while the
+     *  event queue is empty. */
+    void setSchedulerHorizon(std::size_t buckets);
+    std::size_t schedulerHorizon() const { return numBuckets_; }
+
     /** Total events executed over the simulator's lifetime. */
     std::uint64_t eventsExecuted() const { return eventsExecuted_; }
 
-    /** Number of events currently queued. */
-    std::size_t eventsPending() const { return queue_.size(); }
+    /** Number of events currently queued (excluding cancelled
+     *  tombstones). */
+    std::size_t eventsPending() const { return liveCount_; }
+
+    /** Wrapper events ever heap-allocated by the pools — flat in steady
+     *  state, since executed wrappers recycle through free lists. */
+    std::size_t pooledEventsAllocated() const { return pooledAllocated_; }
+    std::size_t callbackEventsAllocated() const
+    {
+        return callbackAllocated_;
+    }
 
     /** Root seed for this simulation. */
     std::uint64_t seed() const { return seed_; }
@@ -130,24 +253,76 @@ class Simulator {
     std::size_t peakQueueDepth() const { return peakQueueDepth_; }
 
   private:
-    void maybeHeartbeat();
+    /** Who owns/recycles the event behind a queue slot. */
+    enum class EntryKind : std::uint8_t {
+        kExternal = 0,  ///< caller-owned; supports cancel()
+        kCallback = 1,  ///< pooled CallbackEvent (closure)
+        kPooled = 2,    ///< pooled PooledEvent (inline payload)
+    };
 
+    static constexpr std::uint8_t kKindMask = 0x3;
+    static constexpr std::uint8_t kBackgroundFlag = 0x4;
+    /** Bits of `key` below the epsilon field — the insertion sequence. */
+    static constexpr unsigned kSeqBits = 56;
+    static constexpr std::size_t kDefaultHorizon = 64;
+    /** FIFO lanes per bucket, one per epsilon. Epsilon is a small
+     *  scheduling class (eps::kDelivery .. eps::kStats plus headroom),
+     *  so the engine supports epsilon values 0..kNumLanes-1. */
+    static constexpr std::size_t kNumLanes = 8;
+
+    /** One queue slot. Ordering is (tick, key) where key packs
+     *  (epsilon << 56 | sequence) — exactly the deterministic
+     *  (tick, epsilon, insertion order) total order in two compares. */
     struct QueueEntry {
-        Time time;
-        std::uint64_t sequence;
+        Tick tick;
+        std::uint64_t key;
         Event* event;
-        bool owned;
-        bool background;
+        std::uint8_t flags;
 
-        bool
-        operator>(const QueueEntry& other) const
+        EntryKind kind() const
         {
-            if (time != other.time) {
-                return time > other.time;
-            }
-            return sequence > other.sequence;
+            return static_cast<EntryKind>(flags & kKindMask);
+        }
+        bool background() const { return (flags & kBackgroundFlag) != 0; }
+        Time
+        time() const
+        {
+            return Time(tick, static_cast<Epsilon>(key >> kSeqBits));
         }
     };
+
+    struct EntryGreater {
+        bool
+        operator()(const QueueEntry& a, const QueueEntry& b) const
+        {
+            return a.tick != b.tick ? a.tick > b.tick : a.key > b.key;
+        }
+    };
+
+    /** One per-tick bucket: a FIFO lane per epsilon. Within a (tick,
+     *  epsilon) lane, insertion order is sequence order — the global
+     *  sequence counter is monotone — so draining lanes in epsilon order
+     *  yields the exact (tick, epsilon, sequence) total order with no
+     *  comparisons or heap maintenance. `heads` tracks the consumed
+     *  prefix of each lane; lanes reset (keeping capacity) when the
+     *  bucket empties. */
+    struct Bucket {
+        std::array<std::vector<QueueEntry>, kNumLanes> lanes;
+        std::array<std::size_t, kNumLanes> heads{};
+        std::size_t live = 0;
+    };
+
+    void checkNotPast(Time time) const;
+    std::uint64_t makeKey(Epsilon epsilon);
+    void enqueueOwned(Event* event, Time time, EntryKind kind);
+    void scheduleCallback(Time time, std::function<void()> fn);
+    void pushEntry(const QueueEntry& entry);
+    void bucketInsert(const QueueEntry& entry);
+    Tick nextBucketTick() const;
+    Bucket& materialize();
+    CallbackEvent* acquireCallback();
+    PooledEvent* acquirePooled();
+    void maybeHeartbeat();
 
     std::uint64_t seed_;
     Time now_;
@@ -159,8 +334,26 @@ class Simulator {
     bool running_ = false;
     bool debug_ = false;
     bool obsEnabled_ = false;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>> queue_;
+
+    // Two-level queue: per-tick buckets over [windowBase_,
+    // windowBase_ + numBuckets_) with a non-empty-slot bitmap, plus a
+    // far-future overflow heap.
+    std::size_t numBuckets_ = kDefaultHorizon;
+    std::size_t bucketMask_ = kDefaultHorizon - 1;
+    Tick windowBase_ = 0;
+    std::vector<Bucket> buckets_;
+    std::vector<std::uint64_t> occupancy_;
+    std::size_t bucketedCount_ = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryGreater>
+        overflow_;
+    std::size_t liveCount_ = 0;
+
+    // Free lists for simulator-owned wrapper events.
+    std::vector<CallbackEvent*> callbackPool_;
+    std::vector<PooledEvent*> pooledPool_;
+    std::size_t callbackAllocated_ = 0;
+    std::size_t pooledAllocated_ = 0;
+
     std::unordered_map<std::string, Component*> components_;
 
     obs::MetricsRegistry metrics_;

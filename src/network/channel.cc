@@ -30,8 +30,14 @@ Channel::inject(Flit* flit, Tick depart_tick)
              " < next free ", nextFree_);
     nextFree_ = depart_tick + period_;
     ++flitCount_;
-    schedule(Time(depart_tick + latency_, eps::kDelivery),
-             [this, flit]() { sink_->receiveFlit(sinkPort_, flit); });
+    scheduleInline<&Channel::deliver>(
+        Time(depart_tick + latency_, eps::kDelivery), flit);
+}
+
+void
+Channel::deliver(Flit* flit)
+{
+    sink_->receiveFlit(sinkPort_, flit);
 }
 
 double

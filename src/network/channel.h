@@ -60,6 +60,10 @@ class Channel : public Component {
     double utilization() const;
 
   private:
+    /** Delivery at depart + latency — runs on the pooled inline-event
+     *  path, so each hop costs no allocation. */
+    void deliver(Flit* flit);
+
     Tick latency_;
     Tick period_;
     Tick nextFree_ = 0;

@@ -24,8 +24,14 @@ CreditChannel::inject(Credit credit, Tick depart_tick)
     checkSim(depart_tick >= now().tick,
              "credit channel departure in the past");
     ++creditCount_;
-    schedule(Time(depart_tick + latency_, eps::kDelivery),
-             [this, credit]() { sink_->receiveCredit(sinkPort_, credit); });
+    scheduleInline<&CreditChannel::deliver>(
+        Time(depart_tick + latency_, eps::kDelivery), credit);
+}
+
+void
+CreditChannel::deliver(Credit credit)
+{
+    sink_->receiveCredit(sinkPort_, credit);
 }
 
 }  // namespace ss

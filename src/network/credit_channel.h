@@ -42,6 +42,9 @@ class CreditChannel : public Component {
     std::uint64_t creditCount() const { return creditCount_; }
 
   private:
+    /** Delivery at depart + latency (pooled inline-event path). */
+    void deliver(Credit credit);
+
     Tick latency_;
     std::uint64_t creditCount_ = 0;
     CreditReceiver* sink_ = nullptr;

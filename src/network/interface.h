@@ -102,7 +102,7 @@ class Interface : public Component,
     std::uint32_t currentFlitIndex_ = 0;  // within injectionQueue_.front()
     std::uint32_t currentVc_ = 0;         // VC of the streaming packet
     std::uint32_t nextVc_ = 0;            // round-robin VC pointer
-    MemberEvent<Interface> injectionEvent_;
+    InlineEvent<Interface> injectionEvent_;
 
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsEjected_ = 0;

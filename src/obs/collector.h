@@ -77,7 +77,7 @@ class MetricsCollector : public Component {
     std::chrono::steady_clock::time_point lastWall_;
     std::uint64_t lastEvents_ = 0;
 
-    MemberEvent<MetricsCollector> sampleEvent_;
+    InlineEvent<MetricsCollector> sampleEvent_;
 };
 
 SeriesFormat seriesFormatFromString(const std::string& name);

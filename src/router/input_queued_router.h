@@ -112,7 +112,7 @@ class InputQueuedRouter : public Router {
     std::vector<OutputPortState> outputState_;  // [port]
     std::vector<std::unique_ptr<Arbiter>> vcaArbiters_;  // per (o,v)
     std::vector<std::unique_ptr<Arbiter>> saArbiters_;   // per output port
-    MemberEvent<InputQueuedRouter> pipelineEvent_;
+    InlineEvent<InputQueuedRouter> pipelineEvent_;
 
     // Observability. All pointers are nullptr when observability is
     // disabled, so every hot-path hook is a single branch on a cached

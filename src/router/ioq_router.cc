@@ -100,12 +100,17 @@ IoqRouter::dispatch(Flit* flit, std::uint32_t port, std::uint32_t vc,
     // The sensor sees the occupancy at reservation time — the moment the
     // scheduling decision is made.
     sensor()->creditEvent(port, vc, CreditPool::kOutputQueue, +1);
-    schedule(Time(tick + crossbarLatency_, eps::kDelivery),
-             [this, flit, port, i]() {
-                 --reserved_[i];
-                 outputQueues_[i].push_back(flit);
-                 activateOutput(port);
-             });
+    scheduleInline<&IoqRouter::completeTransfer>(
+        Time(tick + crossbarLatency_, eps::kDelivery),
+        Transfer{flit, port, static_cast<std::uint32_t>(i)});
+}
+
+void
+IoqRouter::completeTransfer(Transfer transfer)
+{
+    --reserved_[transfer.index];
+    outputQueues_[transfer.index].push_back(transfer.flit);
+    activateOutput(transfer.port);
 }
 
 void

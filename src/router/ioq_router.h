@@ -52,6 +52,14 @@ class IoqRouter : public InputQueuedRouter {
                   Tick tick) override;
 
   private:
+    /** An in-crossbar flit heading for output queue slot `index`. */
+    struct Transfer {
+        Flit* flit;
+        std::uint32_t port;
+        std::uint32_t index;
+    };
+
+    void completeTransfer(Transfer transfer);
     void activateOutput(std::uint32_t port);
     void processOutput(std::uint32_t port);
 
@@ -61,7 +69,7 @@ class IoqRouter : public InputQueuedRouter {
     std::vector<std::deque<Flit*>> outputQueues_;
     std::vector<std::uint32_t> reserved_;
     std::vector<std::unique_ptr<Arbiter>> drainArbiters_;  // per port
-    std::deque<IndexedMemberEvent<IoqRouter>> outputEvents_;
+    std::deque<InlineEvent<IoqRouter, std::uint32_t>> outputEvents_;
 };
 
 }  // namespace ss

@@ -168,13 +168,10 @@ OutputQueuedRouter::processInputs()
                 state.routed = false;
             }
             flit->setVc(state.outVc);
-            std::uint32_t out_port = state.outPort;
-            schedule(Time(tick + coreLatency_, eps::kDelivery),
-                     [this, flit, out_port, oi]() {
-                         --reserved_[oi];
-                         outputQueues_[oi].push_back(flit);
-                         activateOutput(out_port);
-                     });
+            scheduleInline<&OutputQueuedRouter::completeTransfer>(
+                Time(tick + coreLatency_, eps::kDelivery),
+                Transfer{flit, state.outPort,
+                         static_cast<std::uint32_t>(oi)});
             if (!state.buffer.empty()) {
                 pending = true;
             }
@@ -183,6 +180,14 @@ OutputQueuedRouter::processInputs()
     if (pending) {
         activate();
     }
+}
+
+void
+OutputQueuedRouter::completeTransfer(Transfer transfer)
+{
+    --reserved_[transfer.index];
+    outputQueues_[transfer.index].push_back(transfer.flit);
+    activateOutput(transfer.port);
 }
 
 void

@@ -51,7 +51,15 @@ class OutputQueuedRouter : public Router {
     void activate() override;
 
   private:
+    /** A flit crossing the router core toward output queue `index`. */
+    struct Transfer {
+        Flit* flit;
+        std::uint32_t port;
+        std::uint32_t index;
+    };
+
     void processInputs();
+    void completeTransfer(Transfer transfer);
     void activateOutput(std::uint32_t port);
     void processOutput(std::uint32_t port);
 
@@ -81,8 +89,9 @@ class OutputQueuedRouter : public Router {
     std::vector<std::deque<Flit*>> outputQueues_;  // [port*numVcs+vc]
     std::vector<std::uint32_t> reserved_;          // in-transit slots
     std::vector<std::unique_ptr<Arbiter>> drainArbiters_;  // per port
-    MemberEvent<OutputQueuedRouter> pipelineEvent_;
-    std::deque<IndexedMemberEvent<OutputQueuedRouter>> outputEvents_;
+    InlineEvent<OutputQueuedRouter> pipelineEvent_;
+    std::deque<InlineEvent<OutputQueuedRouter, std::uint32_t>>
+        outputEvents_;
 };
 
 }  // namespace ss

@@ -68,7 +68,7 @@ TEST(CreditSensor, DelayedUpdatesInterleaveCorrectly)
             raw->creditEvent(1, 1, CreditPool::kDownstream, +1);
         });
     }
-    sim.schedule(Time(7, 200), [raw]() {
+    sim.schedule(Time(7, 7), [raw]() {
         // Events from ticks 0..3 are visible by tick 7 (epsilon after
         // the sensor updates at eps::kSensor).
         EXPECT_DOUBLE_EQ(raw->status(1, 1), 4.0);

@@ -1,12 +1,15 @@
 /** @file DES core tests: time, clocks, event queue, components. */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/clock.h"
 #include "core/component.h"
 #include "core/simulator.h"
 #include "core/time.h"
+#include "rng/random.h"
 
 namespace ss {
 namespace {
@@ -178,6 +181,204 @@ TEST(Simulator, MemberEventDispatches)
     sim.schedule(&ev, Time(3));
     sim.run();
     EXPECT_EQ(obj.hits, 1);
+}
+
+TEST(Simulator, CrossEpsilonOrderAcrossOverflowBoundary)
+{
+    Simulator sim;
+    sim.setSchedulerHorizon(4);  // tick 100 starts beyond the window
+    std::vector<int> order;
+    // Scheduled first (lowest sequence numbers) but far beyond the
+    // horizon: these land in the overflow heap.
+    sim.schedule(Time(100, 1), [&]() { order.push_back(10); });
+    sim.schedule(Time(100, 0), [&]() { order.push_back(0); });
+    // By tick 98 the window has advanced enough that tick 100 is
+    // bucketable, so these same-tick schedules go directly into the
+    // bucket — with higher sequence numbers than the overflow entries
+    // that migrate in afterwards.
+    sim.schedule(Time(98), [&]() {
+        sim.schedule(Time(100, 1), [&]() { order.push_back(11); });
+        sim.schedule(Time(100, 0), [&]() { order.push_back(1); });
+    });
+    sim.run();
+    // Exact (tick, epsilon, sequence) order despite the two populations
+    // merging at migration time.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(Simulator, MatchesReferenceTotalOrderUnderStress)
+{
+    Simulator sim;
+    sim.setSchedulerHorizon(8);  // force heavy overflow traffic
+    Random rng(123);
+    struct Ref {
+        Tick tick;
+        Epsilon eps;
+        std::size_t seq;
+    };
+    std::vector<Ref> refs;
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        Tick tick = 1 + rng.nextU64(300);
+        Epsilon e = static_cast<Epsilon>(rng.nextU64(8));
+        refs.push_back({tick, e, i});
+        sim.schedule(Time(tick, e),
+                     [&order, i]() { order.push_back(i); });
+    }
+    sim.run();
+    std::vector<Ref> expected = refs;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Ref& a, const Ref& b) {
+                         return a.tick != b.tick ? a.tick < b.tick
+                                                 : a.eps < b.eps;
+                     });
+    ASSERT_EQ(order.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(order[i], expected[i].seq) << "at position " << i;
+    }
+}
+
+TEST(Simulator, PooledWrappersAreRecycled)
+{
+    Simulator sim;
+    int runs = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            sim.schedule(Time(round * 10 + 1), [&]() { ++runs; });
+        }
+        sim.run();
+    }
+    EXPECT_EQ(runs, 300);
+    // Rounds two and three reuse round one's wrapper events.
+    EXPECT_LE(sim.pooledEventsAllocated() + sim.callbackEventsAllocated(),
+              100u);
+}
+
+TEST(Simulator, NonTrivialClosuresFallBackToCallbackPool)
+{
+    Simulator sim;
+    std::string tag = "payload with a non-trivially-copyable capture";
+    std::string got;
+    sim.schedule(Time(1), [&got, tag]() { got = tag; });
+    sim.run();
+    EXPECT_EQ(got, tag);
+    EXPECT_EQ(sim.callbackEventsAllocated(), 1u);
+    EXPECT_EQ(sim.pooledEventsAllocated(), 0u);
+}
+
+TEST(Simulator, CancelledEventDoesNotFireAndCanReschedule)
+{
+    Simulator sim;
+    struct Obj {
+        int hits = 0;
+        void fire() { ++hits; }
+    } obj;
+    InlineEvent<Obj> ev(&obj, &Obj::fire);
+    sim.schedule(&ev, Time(5));
+    EXPECT_TRUE(ev.pending());
+    EXPECT_TRUE(sim.cancel(&ev));
+    EXPECT_FALSE(ev.pending());
+    EXPECT_FALSE(sim.cancel(&ev));  // already cancelled
+    // Reschedule into the same tick: the stale queue slot must neither
+    // fire nor block the new occurrence.
+    sim.schedule(&ev, Time(5));
+    sim.schedule(Time(9), []() {});
+    sim.run();
+    EXPECT_EQ(obj.hits, 1);
+    EXPECT_EQ(sim.eventsPending(), 0u);
+}
+
+TEST(Simulator, BackgroundEventsDoNotKeepRunAlive)
+{
+    Simulator sim;
+    struct Sampler {
+        Simulator* sim;
+        int samples = 0;
+        InlineEvent<Sampler> ev;
+        explicit Sampler(Simulator* s)
+            : sim(s), ev(this, &Sampler::sample)
+        {
+        }
+        void
+        sample()
+        {
+            ++samples;
+            sim->schedule(&ev, sim->now().plusTicks(10),
+                          /*background=*/true);
+        }
+    } sampler(&sim);
+    sim.schedule(&sampler.ev, Time(0), /*background=*/true);
+    int fg = 0;
+    sim.schedule(Time(25), [&]() { ++fg; });
+    sim.run();
+    // Samples at ticks 0, 10, 20 interleave with foreground work, but
+    // the tick-30 sample stays queued: background events never keep the
+    // simulation alive on their own.
+    EXPECT_EQ(fg, 1);
+    EXPECT_EQ(sampler.samples, 3);
+    EXPECT_EQ(sim.eventsPending(), 1u);
+    // New foreground work revives the run and drains past it.
+    sim.schedule(Time(35), [&]() { ++fg; });
+    sim.run();
+    EXPECT_EQ(sampler.samples, 4);
+    EXPECT_EQ(fg, 2);
+}
+
+TEST(Simulator, ScheduleInlineDeliversPayloads)
+{
+    struct Obj {
+        Simulator* sim = nullptr;
+        std::vector<int> got;
+        void
+        take(int v)
+        {
+            got.push_back(v);
+            if (v < 3) {
+                sim->scheduleInline<&Obj::take>(
+                    this, v + 1, sim->now().plusTicks(1));
+            }
+        }
+    } obj;
+    Simulator sim;
+    obj.sim = &sim;
+    sim.scheduleInline<&Obj::take>(&obj, 0, Time(1));
+    sim.run();
+    EXPECT_EQ(obj.got, (std::vector<int>{0, 1, 2, 3}));
+    // The chain reuses one pooled wrapper (plus at most one in flight).
+    EXPECT_LE(sim.pooledEventsAllocated(), 2u);
+}
+
+TEST(Simulator, InlineEventCarriesPayload)
+{
+    struct Obj {
+        std::vector<std::uint32_t> got;
+        void take(std::uint32_t v) { got.push_back(v); }
+    } obj;
+    Simulator sim;
+    InlineEvent<Obj, std::uint32_t> ev;
+    ev.bind(&obj, &Obj::take, 7);
+    sim.schedule(&ev, Time(1));
+    sim.run();
+    EXPECT_EQ(obj.got, (std::vector<std::uint32_t>{7}));
+}
+
+TEST(Simulator, HorizonValidation)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.setSchedulerHorizon(3), FatalError);  // not a pow2
+    sim.setSchedulerHorizon(8);
+    EXPECT_EQ(sim.schedulerHorizon(), 8u);
+    sim.schedule(Time(1), []() {});
+    EXPECT_THROW(sim.setSchedulerHorizon(16), FatalError);  // queue busy
+    sim.run();
+    sim.setSchedulerHorizon(16);
+    EXPECT_EQ(sim.schedulerHorizon(), 16u);
+}
+
+TEST(Simulator, EpsilonBeyondSupportedRangeIsFatal)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(Time(1, 8), []() {}), FatalError);
 }
 
 TEST(Component, HierarchicalNames)
