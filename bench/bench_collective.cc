@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Collective-engine validation bench: ring all-reduce payload sweep on a
+ * contention-free ring, measured against the analytic alpha-beta
+ * (latency-bandwidth) model
+ *
+ *   T(n) = 2(p-1) * alpha  +  2(p-1)/p * n * beta
+ *
+ * On a 1-D torus with dimension-order routing, every ring all-reduce
+ * step moves one payload chunk (ceil(n/p) flits) strictly to the right
+ * neighbor over a dedicated link, so the simulated time should match
+ * the model: beta is the channel's serialization rate (1 tick/flit at
+ * clock_period 1) and alpha is the fixed per-step message latency
+ * (injection + per-hop pipeline), fitted here with a one-flit-chunk
+ * calibration run. Deviation beyond a few percent means the engine's
+ * dependency handling or the network's flow control added overhead the
+ * model does not predict.
+ *
+ * Prints one CSV row per payload size plus a PASS/FAIL verdict column
+ * (10% tolerance); exits nonzero if any point fails.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "collective/collective.h"
+#include "json/settings.h"
+
+namespace {
+
+constexpr std::uint32_t kRanks = 8;
+constexpr std::uint32_t kFlitBytes = 16;
+constexpr std::uint32_t kIterations = 3;
+
+ss::json::Value
+makeConfig(std::uint64_t payload_bytes)
+{
+    return ss::json::parse(ss::strf(R"({
+      "simulator": {"seed": 1, "time_limit": 500000000},
+      "network": {
+        "topology": "torus",
+        "widths": [)", kRanks, R"(],
+        "concentration": 1,
+        "num_vcs": 2,
+        "clock_period": 1,
+        "channel_latency": 4,
+        "terminal_latency": 1,
+        "router": {
+          "architecture": "input_queued",
+          "input_buffer_size": 64,
+          "crossbar_latency": 2,
+          "crossbar_scheduler": {
+            "flow_control": "flit_buffer",
+            "arbiter": {"type": "round_robin"}
+          }
+        },
+        "interface": {"ejection_buffer_size": 1024},
+        "routing": {"algorithm": "torus_dimension_order"}
+      },
+      "workload": {
+        "applications": [{
+          "type": "collective",
+          "iterations": )", kIterations, R"(,
+          "flit_bytes": )", kFlitBytes, R"(,
+          "max_packet_size": 16384,
+          "schedule": [{"op": "all_reduce", "algorithm": "ring",
+                        "payload_bytes": )", payload_bytes, R"(}]
+        }]
+      }
+    })"));
+}
+
+/** Mean measured all-reduce completion time over the iterations. */
+double
+measureAllReduce(std::uint64_t payload_bytes)
+{
+    ss::Simulation simulation(makeConfig(payload_bytes));
+    simulation.run();
+    auto* app = dynamic_cast<ss::CollectiveApplication*>(
+        simulation.workload()->application(0));
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const ss::CollectiveRecord& record : app->records()) {
+        if (record.opIndex == 0) {
+            sum += static_cast<double>(record.duration());
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::uint32_t
+chunkFlits(std::uint64_t payload_bytes)
+{
+    std::uint64_t flits =
+        (payload_bytes + kFlitBytes - 1) / kFlitBytes;
+    return static_cast<std::uint32_t>((flits + kRanks - 1) / kRanks);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool full = ss::bench::fullMode(argc, argv);
+    std::uint32_t steps = 2 * (kRanks - 1);
+
+    // Calibrate alpha with a one-flit-chunk all-reduce:
+    //   T = 2(p-1) * (alpha + 1*beta),  beta = 1 tick/flit.
+    double t1 = measureAllReduce(kFlitBytes * kRanks);
+    double alpha = t1 / steps - 1.0;
+    std::printf("# ring all-reduce, p=%u ranks, %u-byte flits, "
+                "alpha=%.2f ticks, beta=1 tick/flit\n",
+                kRanks, kFlitBytes, alpha);
+
+    std::vector<std::uint64_t> payloads = {1024, 8192, 65536};
+    if (full) {
+        payloads.push_back(262144);
+        payloads.push_back(1048576);
+    }
+
+    std::printf("payload_bytes,chunk_flits,measured_ticks,model_ticks,"
+                "error_pct,verdict\n");
+    bool all_ok = true;
+    for (std::uint64_t payload : payloads) {
+        double measured = measureAllReduce(payload);
+        std::uint32_t chunk = chunkFlits(payload);
+        double model = steps * (alpha + static_cast<double>(chunk));
+        double err = (measured - model) / model * 100.0;
+        bool ok = err < 10.0 && err > -10.0;
+        all_ok = all_ok && ok;
+        std::printf("%llu,%u,%.1f,%.1f,%+.2f,%s\n",
+                    static_cast<unsigned long long>(payload), chunk,
+                    measured, model, err, ok ? "PASS" : "FAIL");
+    }
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "bench_collective: measured time deviates from the "
+                     "alpha-beta model by more than 10%%\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,372 @@
+#include "collective/algorithms.h"
+
+#include <bit>
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss {
+
+namespace {
+
+constexpr std::uint32_t kNone = ~0u;
+
+std::uint32_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return static_cast<std::uint32_t>((a + b - 1) / b);
+}
+
+/** Chains @p after onto @p before when before is a real node. */
+void
+dep(CollectiveDag* dag, std::uint32_t before, std::uint32_t after)
+{
+    if (before != kNone) {
+        dag->addDependency(before, after);
+    }
+}
+
+/** Adds a zero-cost join node depending on all of @p preds. */
+std::uint32_t
+join(CollectiveDag* dag, std::initializer_list<std::uint32_t> preds)
+{
+    std::uint32_t j = dag->addCompute(0);
+    for (std::uint32_t p : preds) {
+        dep(dag, p, j);
+    }
+    return j;
+}
+
+/**
+ * Ring reduce-scatter: p-1 steps; every step sends one payload chunk to
+ * the right neighbor, receives one from the left, and reduces it before
+ * forwarding. Returns the join node of the phase (kNone if empty).
+ */
+std::uint32_t
+appendRingReduceScatter(CollectiveDag* dag, std::uint32_t rank,
+                        std::uint32_t p, std::uint32_t chunk_flits,
+                        Tick compute_per_flit, std::uint32_t entry)
+{
+    std::uint32_t right = (rank + 1) % p;
+    std::uint32_t left = (rank + p - 1) % p;
+    std::uint32_t prev_send = entry;
+    std::uint32_t prev_recv = entry;
+    std::uint32_t prev_comp = entry;
+    for (std::uint32_t s = 0; s + 1 < p; ++s) {
+        std::uint32_t send = dag->addSend(right, chunk_flits);
+        std::uint32_t recv = dag->addRecv(left, chunk_flits);
+        std::uint32_t comp = dag->addCompute(
+            compute_per_flit * static_cast<Tick>(chunk_flits));
+        // Forward only after the previous chunk arrived and was reduced.
+        dep(dag, prev_send, send);
+        dep(dag, prev_comp, send);
+        dep(dag, prev_recv, recv);  // receives match in step order
+        dag->addDependency(recv, comp);
+        prev_send = send;
+        prev_recv = recv;
+        prev_comp = comp;
+    }
+    return join(dag, {prev_send, prev_comp});
+}
+
+/** Ring all-gather: p-1 steps forwarding the chunk received in the
+ *  previous step. Returns the join node of the phase. */
+std::uint32_t
+appendRingAllGather(CollectiveDag* dag, std::uint32_t rank,
+                    std::uint32_t p, std::uint32_t chunk_flits,
+                    std::uint32_t entry)
+{
+    std::uint32_t right = (rank + 1) % p;
+    std::uint32_t left = (rank + p - 1) % p;
+    std::uint32_t prev_send = entry;
+    std::uint32_t prev_recv = entry;
+    for (std::uint32_t s = 0; s + 1 < p; ++s) {
+        std::uint32_t send = dag->addSend(right, chunk_flits);
+        std::uint32_t recv = dag->addRecv(left, chunk_flits);
+        dep(dag, prev_send, send);
+        dep(dag, prev_recv, send);  // forward what just arrived
+        dep(dag, prev_recv, recv);
+        prev_send = send;
+        prev_recv = recv;
+    }
+    return join(dag, {prev_send, prev_recv});
+}
+
+/** Recursive doubling all-reduce: log2(p) full-payload exchanges with
+ *  partners at doubling distance. */
+std::uint32_t
+appendRecursiveDoublingAllReduce(CollectiveDag* dag, std::uint32_t rank,
+                                 std::uint32_t p,
+                                 std::uint32_t payload_flits,
+                                 Tick compute_per_flit,
+                                 std::uint32_t entry)
+{
+    std::uint32_t prev = entry;
+    for (std::uint32_t mask = 1; mask < p; mask <<= 1) {
+        std::uint32_t partner = rank ^ mask;
+        std::uint32_t send = dag->addSend(partner, payload_flits);
+        std::uint32_t recv = dag->addRecv(partner, payload_flits);
+        std::uint32_t comp = dag->addCompute(
+            compute_per_flit * static_cast<Tick>(payload_flits));
+        dep(dag, prev, send);
+        dep(dag, prev, recv);
+        dag->addDependency(recv, comp);
+        prev = join(dag, {send, comp});
+    }
+    return prev;
+}
+
+/** Recursive halving reduce-scatter: exchanged size halves each step. */
+std::uint32_t
+appendRecursiveHalvingReduceScatter(CollectiveDag* dag,
+                                    std::uint32_t rank, std::uint32_t p,
+                                    std::uint32_t payload_flits,
+                                    Tick compute_per_flit,
+                                    std::uint32_t entry)
+{
+    std::uint32_t prev = entry;
+    std::uint32_t size = payload_flits;
+    for (std::uint32_t mask = p >> 1; mask >= 1; mask >>= 1) {
+        std::uint32_t partner = rank ^ mask;
+        std::uint32_t half = size > 1 ? size / 2 : 1;
+        std::uint32_t send = dag->addSend(partner, half);
+        std::uint32_t recv = dag->addRecv(partner, half);
+        std::uint32_t comp = dag->addCompute(
+            compute_per_flit * static_cast<Tick>(half));
+        dep(dag, prev, send);
+        dep(dag, prev, recv);
+        dag->addDependency(recv, comp);
+        prev = join(dag, {send, comp});
+        size = half;
+    }
+    return prev;
+}
+
+/** Recursive doubling all-gather: exchanged size doubles each step. */
+std::uint32_t
+appendRecursiveDoublingAllGather(CollectiveDag* dag, std::uint32_t rank,
+                                 std::uint32_t p,
+                                 std::uint32_t chunk_flits,
+                                 std::uint32_t entry)
+{
+    std::uint32_t prev = entry;
+    std::uint32_t size = chunk_flits;
+    for (std::uint32_t mask = 1; mask < p; mask <<= 1) {
+        std::uint32_t partner = rank ^ mask;
+        std::uint32_t send = dag->addSend(partner, size);
+        std::uint32_t recv = dag->addRecv(partner, size);
+        dep(dag, prev, send);
+        dep(dag, prev, recv);
+        prev = join(dag, {send, recv});
+        size *= 2;
+    }
+    return prev;
+}
+
+/** Pairwise all-to-all: p-1 synchronized exchange steps. */
+std::uint32_t
+appendPairwiseAllToAll(CollectiveDag* dag, std::uint32_t rank,
+                       std::uint32_t p, std::uint32_t block_flits,
+                       std::uint32_t entry)
+{
+    std::uint32_t prev = entry;
+    for (std::uint32_t s = 1; s < p; ++s) {
+        std::uint32_t to = (rank + s) % p;
+        std::uint32_t from = (rank + p - s) % p;
+        std::uint32_t send = dag->addSend(to, block_flits);
+        std::uint32_t recv = dag->addRecv(from, block_flits);
+        dep(dag, prev, send);
+        dep(dag, prev, recv);
+        prev = join(dag, {send, recv});
+    }
+    return prev;
+}
+
+/** Binomial-tree broadcast rooted at @p root. */
+std::uint32_t
+appendBinomialBroadcast(CollectiveDag* dag, std::uint32_t rank,
+                        std::uint32_t p, std::uint32_t root,
+                        std::uint32_t payload_flits, std::uint32_t entry)
+{
+    std::uint32_t vrank = (rank + p - root) % p;
+    std::uint32_t prev = entry;
+    // Non-roots receive once from their tree parent.
+    std::uint32_t mask = 1;
+    while (mask < p) {
+        if (vrank & mask) {
+            std::uint32_t parent = (vrank - mask + root) % p;
+            std::uint32_t recv = dag->addRecv(parent, payload_flits);
+            dep(dag, prev, recv);
+            prev = recv;
+            break;
+        }
+        mask <<= 1;
+    }
+    // Then forward to children at decreasing distances.
+    std::uint32_t last = prev;
+    mask >>= 1;
+    while (mask > 0) {
+        if (vrank + mask < p) {
+            std::uint32_t child = (vrank + mask + root) % p;
+            std::uint32_t send = dag->addSend(child, payload_flits);
+            dep(dag, prev, send);
+            prev = send;
+            last = send;
+        }
+        mask >>= 1;
+    }
+    if (last == entry || last == kNone) {
+        return join(dag, {entry});
+    }
+    return join(dag, {last});
+}
+
+/** Dissemination barrier: ceil(log2 p) one-flit exchange rounds. */
+std::uint32_t
+appendDisseminationBarrier(CollectiveDag* dag, std::uint32_t rank,
+                           std::uint32_t p, std::uint32_t entry)
+{
+    std::uint32_t prev = entry;
+    for (std::uint32_t dist = 1; dist < p; dist *= 2) {
+        std::uint32_t send = dag->addSend((rank + dist) % p, 1);
+        std::uint32_t recv = dag->addRecv((rank + p - dist) % p, 1);
+        dep(dag, prev, send);
+        dep(dag, prev, recv);
+        prev = join(dag, {send, recv});
+    }
+    return prev;
+}
+
+}  // namespace
+
+CollectiveSpec
+parseCollectiveSpec(const json::Value& settings)
+{
+    CollectiveSpec spec;
+    spec.op = json::getString(settings, "op");
+    bool known =
+        spec.op == "all_reduce" || spec.op == "reduce_scatter" ||
+        spec.op == "all_gather" || spec.op == "all_to_all" ||
+        spec.op == "broadcast" || spec.op == "barrier";
+    checkUser(known, "unknown collective op: ", spec.op);
+
+    std::string def;
+    if (spec.op == "all_reduce" || spec.op == "reduce_scatter" ||
+        spec.op == "all_gather") {
+        def = "ring";
+    } else if (spec.op == "all_to_all") {
+        def = "pairwise";
+    } else if (spec.op == "broadcast") {
+        def = "binomial";
+    } else {
+        def = "dissemination";
+    }
+    spec.algorithm = json::getString(settings, "algorithm", def);
+
+    bool algo_ok = false;
+    if (spec.op == "all_reduce") {
+        algo_ok = spec.algorithm == "ring" ||
+                  spec.algorithm == "recursive_doubling" ||
+                  spec.algorithm == "halving_doubling";
+    } else if (spec.op == "reduce_scatter") {
+        algo_ok = spec.algorithm == "ring" ||
+                  spec.algorithm == "recursive_halving";
+    } else if (spec.op == "all_gather") {
+        algo_ok = spec.algorithm == "ring" ||
+                  spec.algorithm == "recursive_doubling";
+    } else {
+        algo_ok = spec.algorithm == def;
+    }
+    checkUser(algo_ok, "collective op '", spec.op,
+              "' does not support algorithm '", spec.algorithm, "'");
+
+    if (spec.op == "barrier") {
+        spec.payloadBytes = json::getUint(settings, "payload_bytes", 0);
+    } else {
+        spec.payloadBytes = json::getUint(settings, "payload_bytes");
+        checkUser(spec.payloadBytes >= 1,
+                  "collective payload_bytes must be >= 1");
+    }
+    spec.root = static_cast<std::uint32_t>(
+        json::getUint(settings, "root", 0));
+    spec.name = json::getString(settings, "name", spec.op);
+    checkUser(!spec.name.empty(), "collective name must not be empty");
+    return spec;
+}
+
+std::uint32_t
+bytesToFlits(std::uint64_t bytes, std::uint32_t flit_bytes)
+{
+    checkUser(flit_bytes >= 1, "flit_bytes must be >= 1");
+    if (bytes == 0) {
+        return 1;
+    }
+    return ceilDiv(bytes, flit_bytes);
+}
+
+CollectiveDag
+buildCollectiveDag(const CollectiveSpec& spec, std::uint32_t rank,
+                   std::uint32_t num_ranks, std::uint32_t flit_bytes,
+                   Tick compute_per_flit)
+{
+    CollectiveDag dag;
+    std::uint32_t p = num_ranks;
+    checkUser(rank < p, "collective rank out of range");
+    if (p < 2) {
+        return dag;  // single endpoint: nothing to exchange
+    }
+    bool pow2 = std::has_single_bit(p);
+    std::uint32_t payload = bytesToFlits(spec.payloadBytes, flit_bytes);
+    std::uint32_t chunk = ceilDiv(payload, p);
+
+    if (spec.op == "all_reduce") {
+        if (spec.algorithm == "ring") {
+            std::uint32_t rs = appendRingReduceScatter(
+                &dag, rank, p, chunk, compute_per_flit, kNone);
+            appendRingAllGather(&dag, rank, p, chunk, rs);
+        } else if (spec.algorithm == "recursive_doubling") {
+            checkUser(pow2, "recursive_doubling all_reduce needs a "
+                            "power-of-two rank count, got ", p);
+            appendRecursiveDoublingAllReduce(&dag, rank, p, payload,
+                                             compute_per_flit, kNone);
+        } else {  // halving_doubling
+            checkUser(pow2, "halving_doubling all_reduce needs a "
+                            "power-of-two rank count, got ", p);
+            std::uint32_t rs = appendRecursiveHalvingReduceScatter(
+                &dag, rank, p, payload, compute_per_flit, kNone);
+            appendRecursiveDoublingAllGather(&dag, rank, p, chunk, rs);
+        }
+    } else if (spec.op == "reduce_scatter") {
+        if (spec.algorithm == "ring") {
+            appendRingReduceScatter(&dag, rank, p, chunk,
+                                    compute_per_flit, kNone);
+        } else {
+            checkUser(pow2, "recursive_halving reduce_scatter needs a "
+                            "power-of-two rank count, got ", p);
+            appendRecursiveHalvingReduceScatter(
+                &dag, rank, p, payload, compute_per_flit, kNone);
+        }
+    } else if (spec.op == "all_gather") {
+        if (spec.algorithm == "ring") {
+            appendRingAllGather(&dag, rank, p, chunk, kNone);
+        } else {
+            checkUser(pow2, "recursive_doubling all_gather needs a "
+                            "power-of-two rank count, got ", p);
+            appendRecursiveDoublingAllGather(&dag, rank, p, chunk, kNone);
+        }
+    } else if (spec.op == "all_to_all") {
+        appendPairwiseAllToAll(&dag, rank, p, payload, kNone);
+    } else if (spec.op == "broadcast") {
+        checkUser(spec.root < p, "broadcast root ", spec.root,
+                  " out of range for ", p, " ranks");
+        appendBinomialBroadcast(&dag, rank, p, spec.root, payload,
+                                kNone);
+    } else if (spec.op == "barrier") {
+        appendDisseminationBarrier(&dag, rank, p, kNone);
+    } else {
+        panic("unhandled collective op ", spec.op);
+    }
+    return dag;
+}
+
+}  // namespace ss

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Collective algorithm generators: given one collective operation spec
+ * and a (rank, size) pair, emit that rank's dependency DAG of
+ * send/recv/compute nodes (collective/dag.h).
+ *
+ * Supported operations and algorithms:
+ *
+ *   op             algorithms (first is the default)
+ *   -------------  ------------------------------------------
+ *   all_reduce     ring, recursive_doubling, halving_doubling
+ *   reduce_scatter ring, recursive_halving
+ *   all_gather     ring, recursive_doubling
+ *   all_to_all     pairwise
+ *   broadcast      binomial
+ *   barrier        dissemination
+ *
+ * The recursive_* algorithms require a power-of-two number of ranks;
+ * everything else works for any size. Payload bytes are converted to
+ * flits with ceil(bytes / flit_bytes), minimum one flit per message.
+ * Reduction work is modeled as `compute_per_flit` ticks per reduced
+ * flit, inserted between a receive and the send that forwards its
+ * result.
+ */
+#ifndef SS_COLLECTIVE_ALGORITHMS_H_
+#define SS_COLLECTIVE_ALGORITHMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "collective/dag.h"
+#include "json/json.h"
+
+namespace ss {
+
+/** One parsed entry of a collective schedule. */
+struct CollectiveSpec {
+    /** Display name for stats/traces (defaults to the op). */
+    std::string name;
+    /** Operation: all_reduce, reduce_scatter, all_gather, all_to_all,
+     *  broadcast, barrier. */
+    std::string op;
+    /** Algorithm; empty selects the op's default. */
+    std::string algorithm;
+    /** Payload per endpoint in bytes (per-peer block for all_to_all). */
+    std::uint64_t payloadBytes = 0;
+    /** Root rank (broadcast only). */
+    std::uint32_t root = 0;
+};
+
+/** Parses one schedule entry ({"op": ..., "payload_bytes": ..., ...});
+ *  fatal() on unknown ops/algorithms or missing keys. */
+CollectiveSpec parseCollectiveSpec(const json::Value& settings);
+
+/** ceil(bytes / flit_bytes), at least one flit. */
+std::uint32_t bytesToFlits(std::uint64_t bytes, std::uint32_t flit_bytes);
+
+/**
+ * Builds rank @p rank's DAG for @p spec over @p num_ranks endpoints.
+ * @param flit_bytes       flit capacity used for byte->flit conversion
+ * @param compute_per_flit reduction cost in ticks per flit
+ * fatal() when the algorithm's rank-count requirement is unmet.
+ */
+CollectiveDag buildCollectiveDag(const CollectiveSpec& spec,
+                                 std::uint32_t rank,
+                                 std::uint32_t num_ranks,
+                                 std::uint32_t flit_bytes,
+                                 Tick compute_per_flit);
+
+}  // namespace ss
+
+#endif  // SS_COLLECTIVE_ALGORITHMS_H_

@@ -1,0 +1,370 @@
+#include "collective/collective.h"
+
+#include <fstream>
+#include <limits>
+
+#include "json/settings.h"
+#include "obs/trace_writer.h"
+
+namespace ss {
+
+CollectiveTerminal::CollectiveTerminal(Simulator* simulator,
+                                       const std::string& name,
+                                       const Component* parent,
+                                       CollectiveApplication* app,
+                                       std::uint32_t id)
+    : Terminal(simulator, name, parent, app, id), coll_(app)
+{
+}
+
+void
+CollectiveTerminal::startSchedule()
+{
+    active_ = true;
+    setupOp();
+    step();
+}
+
+void
+CollectiveTerminal::setupOp()
+{
+    dag_ = coll_->makeDag(id(), opIndex_);
+    coll_->terminalOpStarted(iteration_, opIndex_, now().tick);
+    dag_.start(&worklist_);
+}
+
+void
+CollectiveTerminal::peerMessageArrived(std::uint32_t source)
+{
+    if (coll_->killed()) {
+        return;
+    }
+    auto posted = postedRecvs_.find(source);
+    if (posted != postedRecvs_.end() && !posted->second.empty()) {
+        std::uint32_t node = posted->second.front();
+        posted->second.pop_front();
+        dag_.retire(node, &worklist_);
+        step();
+    } else {
+        // Early arrival: the matching receive is not posted yet (its
+        // dependencies have not retired). Bank it as a credit.
+        ++credits_[source];
+    }
+}
+
+void
+CollectiveTerminal::drain()
+{
+    // execute() may retire nodes, appending newly eligible ones — index
+    // iteration keeps this a FIFO worklist, not recursion.
+    for (std::size_t i = 0; i < worklist_.size(); ++i) {
+        execute(worklist_[i]);
+    }
+    worklist_.clear();
+}
+
+void
+CollectiveTerminal::execute(std::uint32_t node)
+{
+    const DagNode& n = dag_.node(node);
+    switch (n.kind) {
+      case DagNodeKind::kSend:
+        sendMessage(n.peer, n.flits, coll_->maxPacketSize(),
+                    /*sampled=*/true);
+        coll_->collectiveSent();
+        dag_.retire(node, &worklist_);
+        break;
+      case DagNodeKind::kRecv: {
+        auto credit = credits_.find(n.peer);
+        if (credit != credits_.end() && credit->second > 0) {
+            --credit->second;
+            dag_.retire(node, &worklist_);
+        } else {
+            postedRecvs_[n.peer].push_back(node);
+        }
+        break;
+      }
+      case DagNodeKind::kCompute:
+        if (n.duration == 0) {
+            dag_.retire(node, &worklist_);
+        } else {
+            schedule(Time(now().tick + n.duration, eps::kControl),
+                     [this, node]() {
+                         if (coll_->killed()) {
+                             return;
+                         }
+                         dag_.retire(node, &worklist_);
+                         step();
+                     });
+        }
+        break;
+    }
+}
+
+void
+CollectiveTerminal::step()
+{
+    drain();
+    while (active_ && dag_.done()) {
+        coll_->terminalOpFinished(iteration_, opIndex_, now().tick);
+        ++opIndex_;
+        if (opIndex_ == coll_->numOps()) {
+            opIndex_ = 0;
+            ++iteration_;
+            if (iteration_ == coll_->iterations()) {
+                active_ = false;
+                coll_->terminalFinishedSchedule();
+                return;
+            }
+        }
+        if (coll_->killed()) {
+            active_ = false;
+            return;
+        }
+        setupOp();
+        drain();
+    }
+}
+
+CollectiveApplication::CollectiveApplication(Simulator* simulator,
+                                             const std::string& name,
+                                             const Component* parent,
+                                             Workload* workload,
+                                             std::uint32_t id,
+                                             const json::Value& settings)
+    : Application(simulator, name, parent, workload, id, settings),
+      iterations_(static_cast<std::uint32_t>(
+          json::getUint(settings, "iterations", 1))),
+      flitBytes_(static_cast<std::uint32_t>(
+          json::getUint(settings, "flit_bytes", 16))),
+      maxPacketSize_(static_cast<std::uint32_t>(
+          json::getUint(settings, "max_packet_size", 64))),
+      computePerFlit_(json::getUint(settings, "compute_per_flit", 0)),
+      statsFile_(json::getString(settings, "stats_file", ""))
+{
+    checkUser(iterations_ >= 1, "collective needs iterations >= 1");
+    checkUser(flitBytes_ >= 1, "flit_bytes must be >= 1");
+    checkUser(settings.has("schedule"),
+              "collective application needs a 'schedule' array");
+    const json::Value& schedule_json = settings.at("schedule");
+    checkUser(schedule_json.isArray() && schedule_json.size() > 0,
+              "'schedule' must be a non-empty array");
+    for (std::size_t i = 0; i < schedule_json.size(); ++i) {
+        schedule_.push_back(parseCollectiveSpec(schedule_json.at(i)));
+    }
+
+    std::uint32_t endpoints = workload->network()->numInterfaces();
+    for (std::uint32_t t = 0; t < endpoints; ++t) {
+        adoptTerminal(new CollectiveTerminal(
+            simulator, strf("terminal_", t), this, this, t));
+    }
+    // Validate every rank's DAG up front (power-of-two requirements,
+    // roots in range) so bad configs fail at build time, not mid-run.
+    for (std::uint32_t op = 0; op < numOps(); ++op) {
+        makeDag(0, op);
+    }
+
+    progress_.resize(static_cast<std::size_t>(iterations_) * numOps());
+
+    if (simulator->observabilityEnabled()) {
+        for (const CollectiveSpec& spec : schedule_) {
+            opHistograms_.push_back(simulator->metrics().histogram(
+                strf("workload.app_", id, ".collective.", spec.name)));
+        }
+        iterationHistogram_ = simulator->metrics().histogram(
+            strf("workload.app_", id, ".collective.iteration"));
+    } else {
+        opHistograms_.assign(schedule_.size(), nullptr);
+    }
+    if (obs::TraceWriter* trace = simulator->traceWriter()) {
+        trace->processName(obs::TraceWriter::kPidCollectives,
+                           "collectives");
+        for (std::uint32_t op = 0; op < numOps(); ++op) {
+            trace->threadName(obs::TraceWriter::kPidCollectives,
+                              id * 1000 + op,
+                              strf("app_", id, "/", schedule_[op].name));
+        }
+    }
+
+    // Closed-loop: no warmup needed, Ready immediately.
+    schedule(Time(0, eps::kControl), [this]() { signalReady(); });
+}
+
+CollectiveApplication::~CollectiveApplication()
+{
+    writeStatsIfNeeded();
+}
+
+CollectiveDag
+CollectiveApplication::makeDag(std::uint32_t rank, std::uint32_t op) const
+{
+    return buildCollectiveDag(schedule_[op], rank, numTerminals(),
+                              flitBytes_, computePerFlit_);
+}
+
+void
+CollectiveApplication::start()
+{
+    for (std::uint32_t t = 0; t < numTerminals(); ++t) {
+        static_cast<CollectiveTerminal*>(terminal(t))->startSchedule();
+    }
+}
+
+void
+CollectiveApplication::stop()
+{
+    finishing_ = true;
+    writeStatsIfNeeded();
+    maybeDone();
+}
+
+void
+CollectiveApplication::kill()
+{
+    killed_ = true;
+}
+
+void
+CollectiveApplication::collectiveSent()
+{
+    ++sent_;
+}
+
+void
+CollectiveApplication::terminalOpStarted(std::uint32_t iteration,
+                                         std::uint32_t op, Tick tick)
+{
+    OpProgress& cell = progress_[cellIndex(iteration, op)];
+    if (cell.started == 0 || tick < cell.minStart) {
+        cell.minStart = tick;
+    }
+    ++cell.started;
+}
+
+void
+CollectiveApplication::terminalOpFinished(std::uint32_t iteration,
+                                          std::uint32_t op, Tick tick)
+{
+    OpProgress& cell = progress_[cellIndex(iteration, op)];
+    if (tick > cell.maxEnd) {
+        cell.maxEnd = tick;
+    }
+    ++cell.finished;
+    checkSim(cell.finished <= numTerminals(),
+             "too many finishes for one collective");
+    if (cell.finished == numTerminals()) {
+        recordOp(iteration, op);
+    }
+}
+
+void
+CollectiveApplication::recordOp(std::uint32_t iteration, std::uint32_t op)
+{
+    const OpProgress& cell = progress_[cellIndex(iteration, op)];
+    const CollectiveSpec& spec = schedule_[op];
+    CollectiveRecord record;
+    record.iteration = iteration;
+    record.opIndex = op;
+    record.name = spec.name;
+    record.algorithm = spec.algorithm;
+    record.payloadBytes = spec.payloadBytes;
+    record.start = cell.minStart;
+    record.end = cell.maxEnd;
+    records_.push_back(record);
+    dbg("collective ", spec.name, " iter ", iteration, " done in ",
+        record.duration(), " ticks");
+
+    if (opHistograms_[op] != nullptr) {
+        opHistograms_[op]->record(record.duration());
+    }
+    obs::TraceWriter* trace = simulator()->traceWriter();
+    if (trace != nullptr) {
+        trace->completeEvent(
+            obs::TraceWriter::kPidCollectives, id_ * 1000 + op,
+            spec.name, "collective", record.start, record.duration(),
+            strf("{\"iteration\":", iteration, ",\"payload_bytes\":",
+                 spec.payloadBytes, "}"));
+    }
+
+    if (op + 1 == numOps()) {
+        // The whole iteration completed: one summary record spanning
+        // the first op's earliest start to the last op's latest end.
+        const OpProgress& first = progress_[cellIndex(iteration, 0)];
+        CollectiveRecord iter_record;
+        iter_record.iteration = iteration;
+        iter_record.opIndex = numOps();
+        iter_record.name = "iteration";
+        iter_record.algorithm = "schedule";
+        for (const CollectiveSpec& s : schedule_) {
+            iter_record.payloadBytes += s.payloadBytes;
+        }
+        iter_record.start = first.minStart;
+        iter_record.end = cell.maxEnd;
+        records_.push_back(iter_record);
+        if (iterationHistogram_ != nullptr) {
+            iterationHistogram_->record(iter_record.duration());
+        }
+        if (trace != nullptr) {
+            trace->completeEvent(
+                obs::TraceWriter::kPidCollectives, id_ * 1000 + numOps(),
+                "iteration", "collective", iter_record.start,
+                iter_record.duration(),
+                strf("{\"iteration\":", iteration, "}"));
+        }
+    }
+}
+
+void
+CollectiveApplication::terminalFinishedSchedule()
+{
+    ++finishedTerminals_;
+    if (finishedTerminals_ == numTerminals()) {
+        signalComplete();
+    }
+}
+
+void
+CollectiveApplication::messageDelivered(const Message* message)
+{
+    ++delivered_;
+    static_cast<CollectiveTerminal*>(terminal(message->destination()))
+        ->peerMessageArrived(message->source());
+    maybeDone();
+}
+
+void
+CollectiveApplication::maybeDone()
+{
+    if (finishing_ && !doneSignaled_ && delivered_ == sent_) {
+        doneSignaled_ = true;
+        signalDone();
+    }
+}
+
+const char*
+CollectiveApplication::statsHeader()
+{
+    return "iter,op,name,algorithm,payload_bytes,start,end";
+}
+
+void
+CollectiveApplication::writeStatsIfNeeded()
+{
+    if (statsFile_.empty() || statsWritten_) {
+        return;
+    }
+    statsWritten_ = true;
+    std::ofstream out(statsFile_);
+    checkUser(out.good(), "cannot open collective stats file: ",
+              statsFile_);
+    out << statsHeader() << '\n';
+    for (const CollectiveRecord& r : records_) {
+        out << r.iteration << ',' << r.opIndex << ',' << r.name << ','
+            << r.algorithm << ',' << r.payloadBytes << ',' << r.start
+            << ',' << r.end << '\n';
+    }
+}
+
+SS_REGISTER(ApplicationFactory, "collective", CollectiveApplication);
+
+}  // namespace ss

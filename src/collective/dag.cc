@@ -1,0 +1,122 @@
+#include "collective/dag.h"
+
+#include "core/logging.h"
+
+namespace ss {
+
+const char*
+dagNodeKindName(DagNodeKind kind)
+{
+    switch (kind) {
+      case DagNodeKind::kSend: return "send";
+      case DagNodeKind::kRecv: return "recv";
+      case DagNodeKind::kCompute: return "compute";
+    }
+    return "?";
+}
+
+std::uint32_t
+CollectiveDag::addSend(std::uint32_t peer, std::uint32_t flits)
+{
+    checkSim(flits >= 1, "send node needs >= 1 flit");
+    DagNode node;
+    node.kind = DagNodeKind::kSend;
+    node.peer = peer;
+    node.flits = flits;
+    return addNode(std::move(node));
+}
+
+std::uint32_t
+CollectiveDag::addRecv(std::uint32_t peer, std::uint32_t flits)
+{
+    checkSim(flits >= 1, "recv node needs >= 1 flit");
+    DagNode node;
+    node.kind = DagNodeKind::kRecv;
+    node.peer = peer;
+    node.flits = flits;
+    return addNode(std::move(node));
+}
+
+std::uint32_t
+CollectiveDag::addCompute(Tick duration)
+{
+    DagNode node;
+    node.kind = DagNodeKind::kCompute;
+    node.duration = duration;
+    return addNode(std::move(node));
+}
+
+std::uint32_t
+CollectiveDag::addNode(DagNode node)
+{
+    checkSim(!started_, "cannot grow a DAG after start()");
+    nodes_.push_back(std::move(node));
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void
+CollectiveDag::addDependency(std::uint32_t before, std::uint32_t after)
+{
+    checkSim(before < after && after < nodes_.size(),
+             "DAG edges must go from a lower to a higher node index");
+    checkSim(!started_, "cannot grow a DAG after start()");
+    nodes_[before].successors.push_back(after);
+    ++nodes_[after].pendingDeps;
+}
+
+void
+CollectiveDag::start(std::vector<std::uint32_t>* eligible)
+{
+    checkSim(!started_, "DAG already started");
+    started_ = true;
+    retiredFlags_.assign(nodes_.size(), false);
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(nodes_.size()); ++i) {
+        if (nodes_[i].pendingDeps == 0) {
+            eligible->push_back(i);
+        }
+    }
+}
+
+void
+CollectiveDag::retire(std::uint32_t i, std::vector<std::uint32_t>* eligible)
+{
+    checkSim(started_, "retire() before start()");
+    checkSim(i < nodes_.size(), "retire: node index out of range");
+    checkSim(!retiredFlags_[i], "node ", i, " retired twice");
+    retiredFlags_[i] = true;
+    ++retired_;
+    for (std::uint32_t successor : nodes_[i].successors) {
+        checkSim(nodes_[successor].pendingDeps > 0,
+                 "dependency counter underflow");
+        if (--nodes_[successor].pendingDeps == 0) {
+            eligible->push_back(successor);
+        }
+    }
+}
+
+std::size_t
+CollectiveDag::count(DagNodeKind kind) const
+{
+    std::size_t n = 0;
+    for (const DagNode& node : nodes_) {
+        if (node.kind == kind) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+CollectiveDag::totalSendFlits() const
+{
+    std::uint64_t total = 0;
+    for (const DagNode& node : nodes_) {
+        if (node.kind == DagNodeKind::kSend) {
+            total += node.flits;
+        }
+    }
+    return total;
+}
+
+}  // namespace ss

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The per-endpoint dependency DAG of one collective operation.
+ *
+ * A collective (all-reduce, all-gather, ...) is modeled, per rank, as a
+ * graph of three node kinds:
+ *
+ *   kSend     inject a message of `flits` flits toward `peer`
+ *   kRecv     wait for one message from `peer` to be delivered
+ *   kCompute  spend `duration` ticks of local work (reduction step)
+ *
+ * Edges are data dependencies: a node becomes *eligible* once every
+ * predecessor has retired. Sends retire at injection time, receives when
+ * the matching message arrives, computes after their delay elapses. The
+ * DAG itself is pure bookkeeping — the CollectiveTerminal owns the clock
+ * and the network; this class only answers "which nodes become eligible
+ * when node i retires?".
+ *
+ * Generators (collective/algorithms.h) must add nodes in a topological
+ * order: an edge may only point from a lower index to a higher index.
+ * This makes cycles unrepresentable and keeps eligibility propagation a
+ * simple counter decrement.
+ */
+#ifndef SS_COLLECTIVE_DAG_H_
+#define SS_COLLECTIVE_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+
+namespace ss {
+
+/** The role of one DAG node. */
+enum class DagNodeKind : std::uint8_t {
+    kSend,
+    kRecv,
+    kCompute,
+};
+
+const char* dagNodeKindName(DagNodeKind kind);
+
+/** One send/recv/compute node of a collective DAG. */
+struct DagNode {
+    DagNodeKind kind = DagNodeKind::kCompute;
+    /** Destination rank (kSend) or source rank (kRecv). */
+    std::uint32_t peer = 0;
+    /** Message size in flits (kSend / kRecv). */
+    std::uint32_t flits = 0;
+    /** Local work in ticks (kCompute). */
+    Tick duration = 0;
+    /** Predecessors not yet retired (runtime state). */
+    std::uint32_t pendingDeps = 0;
+    /** Nodes that depend on this one. */
+    std::vector<std::uint32_t> successors;
+};
+
+/** A topologically ordered dependency graph plus its execution state. */
+class CollectiveDag {
+  public:
+    CollectiveDag() = default;
+
+    /** Appends a send node; returns its index. */
+    std::uint32_t addSend(std::uint32_t peer, std::uint32_t flits);
+    /** Appends a receive node; returns its index. */
+    std::uint32_t addRecv(std::uint32_t peer, std::uint32_t flits);
+    /** Appends a compute node; returns its index. */
+    std::uint32_t addCompute(Tick duration);
+
+    /** Declares that @p after may not run before @p before retired.
+     *  Requires before < after (topological insertion order). */
+    void addDependency(std::uint32_t before, std::uint32_t after);
+
+    std::size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
+    const DagNode& node(std::uint32_t i) const { return nodes_[i]; }
+
+    /** True once every node has retired. */
+    bool done() const { return retired_ == nodes_.size(); }
+    std::size_t numRetired() const { return retired_; }
+
+    /** Appends the indices of all initially eligible nodes (no
+     *  predecessors) to @p eligible. Call exactly once, before any
+     *  retire(). */
+    void start(std::vector<std::uint32_t>* eligible);
+
+    /** Retires node @p i; appends successors that become eligible to
+     *  @p eligible. */
+    void retire(std::uint32_t i, std::vector<std::uint32_t>* eligible);
+
+    // ----- static structure queries (tests, generators) -----
+    /** Number of nodes of @p kind. */
+    std::size_t count(DagNodeKind kind) const;
+    /** Sum of flits over all send nodes. */
+    std::uint64_t totalSendFlits() const;
+
+  private:
+    std::uint32_t addNode(DagNode node);
+
+    std::vector<DagNode> nodes_;
+    std::vector<bool> retiredFlags_;
+    std::size_t retired_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace ss
+
+#endif  // SS_COLLECTIVE_DAG_H_

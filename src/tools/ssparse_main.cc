@@ -9,6 +9,12 @@
  * detected automatically and summarized per instrument instead:
  *
  *   ssparse series.csv +name=router_0 +tick=1000-5000
+ *
+ * Collective stats files written by the Collective application
+ * ("iter,op,name,..." header) are detected automatically too and
+ * aggregated per collective:
+ *
+ *   ssparse collectives.csv +name=grads +iter=1-3
  */
 #include <cstdio>
 #include <fstream>
@@ -19,9 +25,40 @@
 #include "core/logging.h"
 #include "core/version.h"
 #include "stats/distribution.h"
+#include "tools/collective_parser.h"
 #include "tools/log_parser.h"
 
 namespace {
+
+int
+collectiveMode(const std::string& path,
+               const std::vector<std::string>& filters)
+{
+    auto records = ss::CollectiveParser::parseFile(path);
+    auto filtered = ss::CollectiveParser::apply(records, filters);
+    std::printf("collectives: %zu of %zu\n", filtered.size(),
+                records.size());
+    // Group durations per collective name, names sorted.
+    std::map<std::string, std::vector<double>> byName;
+    std::map<std::string, std::uint64_t> payload;
+    std::map<std::string, std::string> algorithm;
+    for (const auto& r : filtered) {
+        byName[r.name].push_back(static_cast<double>(r.duration()));
+        payload[r.name] = r.payloadBytes;
+        algorithm[r.name] = r.algorithm;
+    }
+    for (const auto& [name, durations] : byName) {
+        ss::Distribution dist(durations);
+        std::printf("%-24s %-18s bytes %-8llu n %zu mean %.1f min %.0f "
+                    "p50 %.0f p99 %.0f max %.0f\n",
+                    name.c_str(), algorithm[name].c_str(),
+                    static_cast<unsigned long long>(payload[name]),
+                    dist.count(), dist.mean(), dist.min(),
+                    dist.percentile(50), dist.percentile(99),
+                    dist.max());
+    }
+    return 0;
+}
 
 int
 seriesMode(const std::string& path, const std::vector<std::string>& filters)
@@ -75,6 +112,9 @@ main(int argc, char** argv)
         std::string first_line;
         std::getline(probe, first_line);
         probe.close();
+        if (ss::CollectiveParser::looksLikeCollectiveLog(first_line)) {
+            return collectiveMode(argv[1], filters);
+        }
         if (ss::SeriesParser::looksLikeSeries(first_line)) {
             return seriesMode(argv[1], filters);
         }

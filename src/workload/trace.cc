@@ -16,14 +16,21 @@ parseTraceText(const std::string& text)
     std::istringstream stream(text);
     std::string line;
     bool first = true;
+    std::size_t lineno = 0;
     while (std::getline(stream, line)) {
+        ++lineno;
+        // Tolerate CRLF line endings and blank (or comment) lines,
+        // including trailing blank lines at end of file.
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
         if (line.empty() || line[0] == '#') {
             continue;
         }
         if (first) {
             checkUser(line == "time,src,dst,size",
-                      "trace header must be 'time,src,dst,size', got: ",
-                      line);
+                      "trace header must be 'time,src,dst,size' (line ",
+                      lineno, "), got: ", line);
             first = false;
             continue;
         }
@@ -31,20 +38,30 @@ parseTraceText(const std::string& text)
         char* end = nullptr;
         const char* p = line.c_str();
         record.time = std::strtoull(p, &end, 10);
-        checkUser(end != p && *end == ',', "bad trace row: ", line);
+        checkUser(end != p && *end == ',',
+                  "bad trace row (line ", lineno, "): ", line);
         p = end + 1;
         record.source =
             static_cast<std::uint32_t>(std::strtoul(p, &end, 10));
-        checkUser(end != p && *end == ',', "bad trace row: ", line);
+        checkUser(end != p && *end == ',',
+                  "bad trace row (line ", lineno, "): ", line);
         p = end + 1;
         record.destination =
             static_cast<std::uint32_t>(std::strtoul(p, &end, 10));
-        checkUser(end != p && *end == ',', "bad trace row: ", line);
+        checkUser(end != p && *end == ',',
+                  "bad trace row (line ", lineno, "): ", line);
         p = end + 1;
         record.flits =
             static_cast<std::uint32_t>(std::strtoul(p, &end, 10));
         checkUser(end != p && *end == '\0' && record.flits >= 1,
-                  "bad trace row: ", line);
+                  "bad trace row (line ", lineno, "): ", line);
+        if (!records.empty()) {
+            checkUser(records.back().time <= record.time,
+                      "trace timestamps must be non-decreasing: line ",
+                      lineno, " (time ", record.time,
+                      ") is earlier than the previous row (time ",
+                      records.back().time, ")");
+        }
         records.push_back(record);
     }
     checkUser(!first, "trace has no header");

@@ -1,0 +1,433 @@
+/** @file Collective engine tests: DAG mechanics, algorithm-generator
+ *  structure, end-to-end runs, determinism, and composition. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "collective/algorithms.h"
+#include "collective/collective.h"
+#include "collective/dag.h"
+#include "json/settings.h"
+#include "sim/builder.h"
+#include "test_util.h"
+#include "tools/collective_parser.h"
+
+namespace ss {
+namespace {
+
+const char* kNet =
+    R"({"topology": "torus", "widths": [4], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 3,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 8},
+        "routing": {"algorithm": "torus_dimension_order"}})";
+
+const char* kNet6 =
+    R"({"topology": "torus", "widths": [6], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 3,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 8},
+        "routing": {"algorithm": "torus_dimension_order"}})";
+
+CollectiveSpec
+makeSpec(const std::string& op, const std::string& algorithm,
+         std::uint64_t payload_bytes, std::uint32_t root = 0)
+{
+    CollectiveSpec spec;
+    spec.name = op;
+    spec.op = op;
+    spec.algorithm = algorithm;
+    spec.payloadBytes = payload_bytes;
+    spec.root = root;
+    return spec;
+}
+
+TEST(CollectiveDag, EligibilityPropagation)
+{
+    // Diamond: compute -> {send, recv} -> compute.
+    CollectiveDag dag;
+    std::uint32_t top = dag.addCompute(5);
+    std::uint32_t send = dag.addSend(1, 4);
+    std::uint32_t recv = dag.addRecv(2, 4);
+    std::uint32_t bottom = dag.addCompute(0);
+    dag.addDependency(top, send);
+    dag.addDependency(top, recv);
+    dag.addDependency(send, bottom);
+    dag.addDependency(recv, bottom);
+
+    std::vector<std::uint32_t> eligible;
+    dag.start(&eligible);
+    ASSERT_EQ(eligible, std::vector<std::uint32_t>{top});
+    eligible.clear();
+
+    dag.retire(top, &eligible);
+    ASSERT_EQ(eligible, (std::vector<std::uint32_t>{send, recv}));
+    eligible.clear();
+
+    dag.retire(send, &eligible);
+    EXPECT_TRUE(eligible.empty());
+    dag.retire(recv, &eligible);
+    ASSERT_EQ(eligible, std::vector<std::uint32_t>{bottom});
+    EXPECT_FALSE(dag.done());
+    eligible.clear();
+    dag.retire(bottom, &eligible);
+    EXPECT_TRUE(dag.done());
+    EXPECT_EQ(dag.numRetired(), 4u);
+}
+
+TEST(CollectiveDag, StructureQueries)
+{
+    CollectiveDag dag;
+    dag.addSend(1, 3);
+    dag.addSend(2, 5);
+    dag.addRecv(1, 3);
+    dag.addCompute(7);
+    EXPECT_EQ(dag.count(DagNodeKind::kSend), 2u);
+    EXPECT_EQ(dag.count(DagNodeKind::kRecv), 1u);
+    EXPECT_EQ(dag.count(DagNodeKind::kCompute), 1u);
+    EXPECT_EQ(dag.totalSendFlits(), 8u);
+    EXPECT_EQ(dag.node(1).peer, 2u);
+    EXPECT_EQ(dag.node(3).duration, 7u);
+}
+
+TEST(CollectiveAlgorithms, BytesToFlits)
+{
+    EXPECT_EQ(bytesToFlits(0, 16), 1u);
+    EXPECT_EQ(bytesToFlits(1, 16), 1u);
+    EXPECT_EQ(bytesToFlits(16, 16), 1u);
+    EXPECT_EQ(bytesToFlits(17, 16), 2u);
+    EXPECT_EQ(bytesToFlits(1024, 16), 64u);
+    EXPECT_THROW(bytesToFlits(8, 0), FatalError);
+}
+
+TEST(CollectiveAlgorithms, RingAllReduceStructure)
+{
+    const std::uint32_t p = 5;
+    for (std::uint32_t rank = 0; rank < p; ++rank) {
+        CollectiveDag dag = buildCollectiveDag(
+            makeSpec("all_reduce", "ring", 16 * p), rank, p, 16, 0);
+        // reduce-scatter + all-gather: p-1 steps each.
+        EXPECT_EQ(dag.count(DagNodeKind::kSend), 2u * (p - 1));
+        EXPECT_EQ(dag.count(DagNodeKind::kRecv), 2u * (p - 1));
+    }
+}
+
+TEST(CollectiveAlgorithms, PairwiseAllToAllStructure)
+{
+    const std::uint32_t p = 6;
+    CollectiveDag dag = buildCollectiveDag(
+        makeSpec("all_to_all", "pairwise", 64), 2, p, 16, 0);
+    EXPECT_EQ(dag.count(DagNodeKind::kSend), p - 1);
+    EXPECT_EQ(dag.count(DagNodeKind::kRecv), p - 1);
+}
+
+TEST(CollectiveAlgorithms, DisseminationBarrierStructure)
+{
+    // p=5 needs ceil(log2 5) = 3 rounds of one-flit exchanges.
+    CollectiveDag dag =
+        buildCollectiveDag(makeSpec("barrier", "dissemination", 0), 1, 5,
+                           16, 0);
+    EXPECT_EQ(dag.count(DagNodeKind::kSend), 3u);
+    EXPECT_EQ(dag.count(DagNodeKind::kRecv), 3u);
+    EXPECT_EQ(dag.totalSendFlits(), 3u);
+}
+
+TEST(CollectiveAlgorithms, BinomialBroadcastStructure)
+{
+    const std::uint32_t p = 8;
+    const std::uint32_t root = 2;
+    std::size_t total_sends = 0;
+    for (std::uint32_t rank = 0; rank < p; ++rank) {
+        CollectiveDag dag = buildCollectiveDag(
+            makeSpec("broadcast", "binomial", 256, root), rank, p, 16, 0);
+        total_sends += dag.count(DagNodeKind::kSend);
+        if (rank == root) {
+            EXPECT_EQ(dag.count(DagNodeKind::kRecv), 0u);
+            EXPECT_EQ(dag.count(DagNodeKind::kSend), 3u);
+        } else {
+            EXPECT_EQ(dag.count(DagNodeKind::kRecv), 1u);
+        }
+    }
+    // A broadcast moves exactly p-1 messages in total.
+    EXPECT_EQ(total_sends, p - 1);
+}
+
+/** Every algorithm must conserve flits: the flits rank a sends to rank b
+ *  must equal the flits rank b expects from rank a, message by message,
+ *  or the closed loop deadlocks. */
+TEST(CollectiveAlgorithms, SendsMatchReceivesAcrossRanks)
+{
+    struct Case {
+        const char* op;
+        const char* algorithm;
+        std::uint32_t p;
+    };
+    const Case cases[] = {
+        {"all_reduce", "ring", 5},
+        {"all_reduce", "ring", 8},
+        {"all_reduce", "recursive_doubling", 8},
+        {"all_reduce", "halving_doubling", 8},
+        {"reduce_scatter", "ring", 7},
+        {"reduce_scatter", "recursive_halving", 4},
+        {"all_gather", "ring", 6},
+        {"all_gather", "recursive_doubling", 4},
+        {"all_to_all", "pairwise", 5},
+        {"broadcast", "binomial", 6},
+        {"barrier", "dissemination", 5},
+    };
+    for (const Case& c : cases) {
+        // (src, dst) -> [message count, flit total]
+        std::map<std::pair<std::uint32_t, std::uint32_t>,
+                 std::pair<std::size_t, std::uint64_t>>
+            sent, expected;
+        for (std::uint32_t rank = 0; rank < c.p; ++rank) {
+            CollectiveDag dag = buildCollectiveDag(
+                makeSpec(c.op, c.algorithm, 1024, 1), rank, c.p, 16, 0);
+            for (std::uint32_t i = 0; i < dag.size(); ++i) {
+                const DagNode& node = dag.node(i);
+                if (node.kind == DagNodeKind::kSend) {
+                    auto& cell = sent[{rank, node.peer}];
+                    cell.first += 1;
+                    cell.second += node.flits;
+                } else if (node.kind == DagNodeKind::kRecv) {
+                    auto& cell = expected[{node.peer, rank}];
+                    cell.first += 1;
+                    cell.second += node.flits;
+                }
+            }
+        }
+        EXPECT_EQ(sent, expected)
+            << c.op << "/" << c.algorithm << " p=" << c.p;
+    }
+}
+
+TEST(CollectiveAlgorithms, RecursiveAlgorithmsNeedPowerOfTwo)
+{
+    EXPECT_THROW(
+        buildCollectiveDag(makeSpec("all_reduce", "recursive_doubling",
+                                    64),
+                           0, 6, 16, 0),
+        FatalError);
+    EXPECT_THROW(
+        buildCollectiveDag(makeSpec("all_gather", "recursive_doubling",
+                                    64),
+                           0, 6, 16, 0),
+        FatalError);
+}
+
+TEST(CollectiveAlgorithms, SingleRankIsEmpty)
+{
+    CollectiveDag dag = buildCollectiveDag(
+        makeSpec("all_reduce", "ring", 1024), 0, 1, 16, 0);
+    EXPECT_TRUE(dag.empty());
+}
+
+TEST(CollectiveAlgorithms, SpecParsing)
+{
+    CollectiveSpec spec = parseCollectiveSpec(json::parse(
+        R"({"op": "all_reduce", "payload_bytes": 4096})"));
+    EXPECT_EQ(spec.algorithm, "ring");  // op default
+    EXPECT_EQ(spec.name, "all_reduce");
+    EXPECT_THROW(parseCollectiveSpec(json::parse(
+                     R"({"op": "gossip", "payload_bytes": 1})")),
+                 FatalError);
+    EXPECT_THROW(
+        parseCollectiveSpec(json::parse(
+            R"({"op": "broadcast", "algorithm": "ring",
+                "payload_bytes": 1})")),
+        FatalError);
+    EXPECT_THROW(parseCollectiveSpec(json::parse(
+                     R"({"op": "all_reduce", "payload_bytes": 0})")),
+                 FatalError);
+}
+
+TEST(Collective, RingAllReduceRunsAndRecords)
+{
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [{
+            "type": "collective",
+            "iterations": 2,
+            "flit_bytes": 16,
+            "max_packet_size": 16,
+            "schedule": [{"op": "all_reduce", "algorithm": "ring",
+                          "payload_bytes": 1024, "name": "grads"}]
+        }]})");
+    Simulation simulation(config);
+    RunResult result = simulation.run();
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(simulation.workload()->phase(), Phase::kDraining);
+    // 4 ranks x 2(p-1)=6 sends x 2 iterations.
+    EXPECT_EQ(result.sampler.count(), 48u);
+
+    auto* app = dynamic_cast<CollectiveApplication*>(
+        simulation.workload()->application(0));
+    ASSERT_NE(app, nullptr);
+    // One op record plus one iteration summary row per iteration.
+    ASSERT_EQ(app->records().size(), 4u);
+    for (const CollectiveRecord& record : app->records()) {
+        EXPECT_LE(record.start, record.end);
+        if (record.opIndex == 0) {
+            EXPECT_EQ(record.name, "grads");
+            EXPECT_EQ(record.algorithm, "ring");
+            EXPECT_EQ(record.payloadBytes, 1024u);
+            EXPECT_GT(record.duration(), 0u);
+        } else {
+            EXPECT_EQ(record.name, "iteration");
+        }
+    }
+}
+
+TEST(Collective, EveryOpCompletesOnNonPowerOfTwo)
+{
+    // One schedule exercising every op on 6 ranks (non-power-of-two, so
+    // only the any-size algorithms are eligible).
+    json::Value config = test::makeConfig(kNet6, R"({
+        "applications": [{
+            "type": "collective",
+            "schedule": [
+                {"op": "barrier"},
+                {"op": "all_reduce", "payload_bytes": 512},
+                {"op": "reduce_scatter", "payload_bytes": 512},
+                {"op": "all_gather", "payload_bytes": 512},
+                {"op": "all_to_all", "payload_bytes": 128},
+                {"op": "broadcast", "payload_bytes": 512, "root": 3}
+            ]
+        }]})");
+    Simulation simulation(config);
+    RunResult result = simulation.run();
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(simulation.workload()->phase(), Phase::kDraining);
+    auto* app = dynamic_cast<CollectiveApplication*>(
+        simulation.workload()->application(0));
+    ASSERT_NE(app, nullptr);
+    ASSERT_EQ(app->records().size(), 7u);  // 6 ops + iteration summary
+}
+
+TEST(Collective, SameSeedSameRecords)
+{
+    auto run = [](std::uint64_t seed) {
+        json::Value config = test::makeConfig(kNet, R"({
+            "applications": [{
+                "type": "collective",
+                "iterations": 3,
+                "schedule": [{"op": "all_reduce",
+                              "payload_bytes": 2048}]
+            }]})", seed);
+        Simulation simulation(config);
+        simulation.run();
+        return dynamic_cast<CollectiveApplication*>(
+                   simulation.workload()->application(0))
+            ->records();
+    };
+    auto a = run(7);
+    auto b = run(7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].start, b[i].start) << i;
+        EXPECT_EQ(a[i].end, b[i].end) << i;
+        EXPECT_EQ(a[i].name, b[i].name) << i;
+    }
+}
+
+TEST(Collective, ComputePerFlitSlowsTheCollective)
+{
+    auto iterationTicks = [](unsigned compute_per_flit) {
+        json::Value config = test::makeConfig(kNet, strf(R"({
+            "applications": [{
+                "type": "collective",
+                "compute_per_flit": )", compute_per_flit, R"(,
+                "schedule": [{"op": "all_reduce",
+                              "payload_bytes": 2048}]
+            }]})"));
+        Simulation simulation(config);
+        simulation.run();
+        auto* app = dynamic_cast<CollectiveApplication*>(
+            simulation.workload()->application(0));
+        return app->records().front().duration();
+    };
+    EXPECT_GT(iterationTicks(8), iterationTicks(0));
+}
+
+TEST(Collective, ComposesWithBlastBackground)
+{
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [
+          {"type": "blast", "injection_rate": 0.1, "message_size": 1,
+           "warmup_duration": 200,
+           "traffic": {"type": "uniform_random"}},
+          {"type": "collective", "iterations": 2,
+           "schedule": [{"op": "all_reduce", "payload_bytes": 1024}]}
+        ]})");
+    Simulation simulation(config);
+    RunResult result = simulation.run();
+    EXPECT_FALSE(result.saturated);
+    EXPECT_EQ(simulation.workload()->phase(), Phase::kDraining);
+    std::size_t collective_count = 0;
+    for (const auto& s : result.sampler.samples()) {
+        if (s.app == 1) {
+            ++collective_count;
+        }
+    }
+    EXPECT_EQ(collective_count, 48u);  // 4 ranks x 6 sends x 2 iters
+    auto* app = dynamic_cast<CollectiveApplication*>(
+        simulation.workload()->application(1));
+    ASSERT_NE(app, nullptr);
+    EXPECT_EQ(app->records().size(), 4u);
+}
+
+TEST(Collective, StatsFileRoundTrip)
+{
+    std::string path = testing::TempDir() + "collective_stats.csv";
+    json::Value config = test::makeConfig(kNet, strf(R"({
+        "applications": [{
+            "type": "collective", "iterations": 2,
+            "stats_file": ")", path, R"(",
+            "schedule": [{"op": "all_gather", "payload_bytes": 512,
+                          "name": "acts"}]
+        }]})"));
+    Simulation simulation(config);
+    simulation.run();
+    auto* app = dynamic_cast<CollectiveApplication*>(
+        simulation.workload()->application(0));
+    ASSERT_NE(app, nullptr);
+
+    auto parsed = CollectiveParser::parseFile(path);
+    ASSERT_EQ(parsed.size(), app->records().size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].iteration, app->records()[i].iteration);
+        EXPECT_EQ(parsed[i].opIndex, app->records()[i].opIndex);
+        EXPECT_EQ(parsed[i].name, app->records()[i].name);
+        EXPECT_EQ(parsed[i].start, app->records()[i].start);
+        EXPECT_EQ(parsed[i].end, app->records()[i].end);
+    }
+    auto filtered = CollectiveParser::apply(parsed, {"+name=acts"});
+    EXPECT_EQ(filtered.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Collective, BadConfigsAreFatal)
+{
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet, R"({
+        "applications": [{"type": "collective", "schedule": []}]})")),
+                 FatalError);
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet, R"({
+        "applications": [{"type": "collective",
+            "schedule": [{"op": "gossip", "payload_bytes": 8}]}]})")),
+                 FatalError);
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet, R"({
+        "applications": [{"type": "collective", "iterations": 0,
+            "schedule": [{"op": "barrier"}]}]})")),
+                 FatalError);
+    // Power-of-two requirement caught at construction on 6 ranks.
+    EXPECT_THROW(runSimulation(test::makeConfig(kNet6, R"({
+        "applications": [{"type": "collective",
+            "schedule": [{"op": "all_reduce",
+                          "algorithm": "recursive_doubling",
+                          "payload_bytes": 64}]}]})")),
+                 FatalError);
+}
+
+}  // namespace
+}  // namespace ss

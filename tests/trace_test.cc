@@ -46,6 +46,51 @@ TEST(TraceParser, RejectsBadInput)
                  FatalError);
 }
 
+TEST(TraceParser, ToleratesCrlfAndTrailingBlankLines)
+{
+    auto records = parseTraceText(
+        "time,src,dst,size\r\n"
+        "0,0,1,1\r\n"
+        "50,2,3,8\r\n"
+        "\r\n"
+        "\n"
+        "\n");
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].time, 50u);
+    EXPECT_EQ(records[1].flits, 8u);
+}
+
+TEST(TraceParser, RejectsOutOfOrderTimestampsNamingLine)
+{
+    try {
+        parseTraceText(
+            "time,src,dst,size\n"
+            "100,0,1,1\n"
+            "50,1,0,1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("non-decreasing"), std::string::npos);
+        EXPECT_NE(what.find("line 3"), std::string::npos);
+    }
+}
+
+TEST(TraceParser, MalformedRowErrorNamesLine)
+{
+    try {
+        parseTraceText(
+            "time,src,dst,size\n"
+            "0,0,1,1\n"
+            "# still fine\n"
+            "10,2,bogus,1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("bad trace row"), std::string::npos);
+        EXPECT_NE(what.find("line 4"), std::string::npos);
+    }
+}
+
 TEST(Trace, ReplaysInlineMessages)
 {
     json::Value config = test::makeConfig(kNet, R"({
@@ -130,6 +175,38 @@ TEST(Trace, ComposesWithBlastBackground)
             EXPECT_EQ(s.flits, 4u);
         }
     }
+    EXPECT_EQ(trace_count, 3u);
+}
+
+TEST(Trace, CompositionFollowsFourPhaseHandshake)
+{
+    // Trace + Blast must march through the handshake together: the run
+    // ends in Draining, the sampling window is well-formed, and every
+    // sampled message was created at or after the Start command (no app
+    // generates sampled traffic while the workload is still Warming).
+    json::Value config = test::makeConfig(kNet, R"({
+        "applications": [
+          {"type": "blast", "injection_rate": 0.2, "message_size": 1,
+           "warmup_duration": 500, "num_samples": 50,
+           "traffic": {"type": "uniform_random"}},
+          {"type": "trace",
+           "messages": [[0, 0, 2, 4], [100, 1, 3, 4], [200, 2, 0, 4]]}
+        ]})");
+    Simulation simulation(config);
+    RunResult result = simulation.run();
+    EXPECT_FALSE(result.saturated);
+    Workload* workload = simulation.workload();
+    EXPECT_EQ(workload->phase(), Phase::kDraining);
+    EXPECT_LT(workload->generateStartTick(),
+              workload->generateStopTick());
+    std::size_t trace_count = 0;
+    for (const auto& s : result.sampler.samples()) {
+        EXPECT_GE(s.createTick, workload->generateStartTick());
+        if (s.app == 1) {
+            ++trace_count;
+        }
+    }
+    // The trace's replay offsets are relative to Start.
     EXPECT_EQ(trace_count, 3u);
 }
 
