@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Thread-scaling sweep of the partitioned parallel executer: the same
+ * large-torus blast workload run with 1, 2, 4, and 8 threads. The
+ * reported rate is simulation events per wall second, so the
+ * thread-count args directly give the scaling curve recorded in
+ * EXPERIMENTS.md. BM_CalibrationSpin mirrors the event-core
+ * calibration so bench/compare_bench.py can normalize out machine
+ * speed.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+
+namespace {
+
+ss::json::Value
+torusConfig(std::uint64_t threads)
+{
+    // 8x8 torus, 128 terminals: large enough that every one of the 8
+    // last-dimension slab partitions holds a full column of routers.
+    ss::json::Value config = ss::json::parse(R"({
+        "simulator": {"seed": 12345, "time_limit": 5000000,
+                      "threads": 1},
+        "network": {
+            "topology": "torus", "widths": [8, 8], "concentration": 2,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}
+        },
+        "workload": {"applications": [{
+            "type": "blast", "injection_rate": 0.2,
+            "message_size": 4, "num_samples": 30,
+            "warmup_duration": 500,
+            "traffic": {"type": "uniform_random"}
+        }]}
+    })");
+    config.at("simulator")["threads"] = threads;
+    return config;
+}
+
+void
+BM_ParallelTorusEvents(benchmark::State& state)
+{
+    const std::uint64_t threads =
+        static_cast<std::uint64_t>(state.range(0));
+    ss::json::Value config = torusConfig(threads);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        (void)_;
+        ss::RunResult result = ss::runSimulation(config);
+        events += result.eventsExecuted;
+        benchmark::DoNotOptimize(result.eventsExecuted);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelTorusEvents)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void
+BM_CalibrationSpin(benchmark::State& state)
+{
+    // Same fixed arithmetic spin as bench_des_core's BM_CalibrationSpin:
+    // compare_bench.py normalizes by this rate so runner speed cancels.
+    for (auto _ : state) {
+        (void)_;
+        std::uint64_t z = 0x2545f4914f6cdd1dULL;
+        for (int i = 0; i < 4096; ++i) {
+            z += 0x9e3779b97f4a7c15ULL;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        }
+        benchmark::DoNotOptimize(z);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CalibrationSpin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

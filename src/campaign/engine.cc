@@ -1,10 +1,12 @@
 #include "campaign/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "campaign/process.h"
 #include "core/logging.h"
@@ -170,6 +172,10 @@ CampaignEngine::runPoint(std::size_t index, TaskContext& ctx,
     std::vector<std::string> argv;
     argv.push_back(options_.supersimBinary);
     argv.push_back(spec_.configPath);
+    // Children default to one simulation thread: the campaign's worker
+    // fleet is the parallelism knob. Inserted before the spec/point
+    // overrides so either can still opt a run into more threads.
+    argv.push_back("simulator.threads=uint=1");
     argv.insert(argv.end(), spec_.overrides.begin(),
                 spec_.overrides.end());
     argv.insert(argv.end(), outcome.point.overrides.begin(),
@@ -298,7 +304,26 @@ CampaignEngine::run()
     // global override is the campaign author's error and aborts before
     // any point runs (fatal() propagates to the caller).
     json::Value base = json::loadSettings(spec_.configPath);
+    // Mirror the child argv: the threads=1 default participates in the
+    // effective config (and therefore the cache key) exactly where it
+    // sits on the child command line — before any overrides.
+    json::applyOverrides(&base, {"simulator.threads=uint=1"});
     json::applyOverrides(&base, spec_.overrides);
+
+    std::uint64_t child_threads = 1;
+    if (base.has("simulator")) {
+        child_threads = std::max<std::uint64_t>(
+            json::getUint(base.at("simulator"), "threads", 1), 1);
+    }
+    std::uint32_t hardware = std::thread::hardware_concurrency();
+    if (hardware > 0 &&
+        spec_.execution.workers * child_threads > hardware) {
+        warn("campaign oversubscription: ", spec_.execution.workers,
+             " concurrent children x ", child_threads,
+             " simulation threads each exceeds the ", hardware,
+             " hardware threads available; consider lowering "
+             "execution.workers or simulator.threads");
+    }
 
     std::vector<SweepPoint> points = spec_.points();
     outcomes_.assign(points.size(), PointOutcome{});

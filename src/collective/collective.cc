@@ -227,34 +227,38 @@ CollectiveApplication::kill()
 void
 CollectiveApplication::collectiveSent()
 {
-    ++sent_;
+    onControl([this]() { ++sent_; });
 }
 
 void
 CollectiveApplication::terminalOpStarted(std::uint32_t iteration,
                                          std::uint32_t op, Tick tick)
 {
-    OpProgress& cell = progress_[cellIndex(iteration, op)];
-    if (cell.started == 0 || tick < cell.minStart) {
-        cell.minStart = tick;
-    }
-    ++cell.started;
+    onControl([this, iteration, op, tick]() {
+        OpProgress& cell = progress_[cellIndex(iteration, op)];
+        if (cell.started == 0 || tick < cell.minStart) {
+            cell.minStart = tick;
+        }
+        ++cell.started;
+    });
 }
 
 void
 CollectiveApplication::terminalOpFinished(std::uint32_t iteration,
                                           std::uint32_t op, Tick tick)
 {
-    OpProgress& cell = progress_[cellIndex(iteration, op)];
-    if (tick > cell.maxEnd) {
-        cell.maxEnd = tick;
-    }
-    ++cell.finished;
-    checkSim(cell.finished <= numTerminals(),
-             "too many finishes for one collective");
-    if (cell.finished == numTerminals()) {
-        recordOp(iteration, op);
-    }
+    onControl([this, iteration, op, tick]() {
+        OpProgress& cell = progress_[cellIndex(iteration, op)];
+        if (tick > cell.maxEnd) {
+            cell.maxEnd = tick;
+        }
+        ++cell.finished;
+        checkSim(cell.finished <= numTerminals(),
+                 "too many finishes for one collective");
+        if (cell.finished == numTerminals()) {
+            recordOp(iteration, op);
+        }
+    });
 }
 
 void
@@ -317,19 +321,25 @@ CollectiveApplication::recordOp(std::uint32_t iteration, std::uint32_t op)
 void
 CollectiveApplication::terminalFinishedSchedule()
 {
-    ++finishedTerminals_;
-    if (finishedTerminals_ == numTerminals()) {
-        signalComplete();
-    }
+    onControl([this]() {
+        ++finishedTerminals_;
+        if (finishedTerminals_ == numTerminals()) {
+            signalComplete();
+        }
+    });
 }
 
 void
 CollectiveApplication::messageDelivered(const Message* message)
 {
-    ++delivered_;
+    // The matching receive runs here, on the destination terminal's own
+    // partition; only the app-global accounting defers to control.
     static_cast<CollectiveTerminal*>(terminal(message->destination()))
         ->peerMessageArrived(message->source());
-    maybeDone();
+    onControl([this]() {
+        ++delivered_;
+        maybeDone();
+    });
 }
 
 void

@@ -7,7 +7,8 @@ Component::Component(Simulator* simulator, const std::string& name,
     : simulator_(simulator),
       name_(name),
       fullName_(parent ? parent->fullName() + "." + name : name),
-      random_(simulator->componentSeed(fullName_))
+      random_(simulator->componentSeed(fullName_)),
+      partition_(simulator->buildPartition())
 {
     checkUser(!name.empty(), "component name must not be empty");
     simulator_->registerComponent(this);

@@ -47,19 +47,26 @@ class Component {
     /** Deterministic per-component random stream. */
     Random& random() { return random_; }
 
-    /** Schedules a caller-owned event. */
+    /** The partition this component's events execute on. Defaults to the
+     *  simulator's build-time cursor (Simulator::kAutoPartition — the
+     *  control partition — unless the network set the cursor around
+     *  construction); serial mode has a single partition. */
+    std::uint32_t partition() const { return partition_; }
+    void setPartition(std::uint32_t partition) { partition_ = partition; }
+
+    /** Schedules a caller-owned event on this component's partition. */
     void
-    schedule(Event* event, Time time)
+    schedule(Event* event, Time time, bool background = false)
     {
-        simulator_->schedule(event, time);
+        simulator_->scheduleFor(partition_, event, time, background);
     }
 
-    /** Schedules a one-shot callable. */
+    /** Schedules a one-shot callable on this component's partition. */
     template <typename F>
     void
     schedule(Time time, F&& fn)
     {
-        simulator_->schedule(time, std::forward<F>(fn));
+        simulator_->scheduleFor(partition_, time, std::forward<F>(fn));
     }
 
     /** Schedules `(this->*Handler)(payload)` at @p time through the
@@ -72,8 +79,8 @@ class Component {
     {
         using C =
             typename detail::MemberFnTraits<decltype(Handler)>::Class;
-        simulator_->scheduleInline<Handler>(static_cast<C*>(this),
-                                            payload, time);
+        simulator_->scheduleInlineFor<Handler>(
+            partition_, static_cast<C*>(this), payload, time);
     }
 
     /** Cancels a pending caller-owned event (see Simulator::cancel()). */
@@ -98,6 +105,7 @@ class Component {
     std::string name_;
     std::string fullName_;
     Random random_;
+    std::uint32_t partition_;
     bool debug_ = false;
 };
 

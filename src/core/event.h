@@ -56,6 +56,9 @@ class Event {
      *  recognize stale queue slots after Simulator::cancel() without
      *  eagerly searching the queue. */
     std::uint64_t schedKey_ = 0;
+    /** Queue (partition) of the current scheduling, or the simulator's
+     *  mailbox sentinel while the event crosses partitions. */
+    std::uint32_t schedQueue_ = 0;
     bool schedBackground_ = false;
 };
 

@@ -8,70 +8,183 @@
 
 namespace ss {
 
-Simulator::Simulator(std::uint64_t seed)
-    : seed_(seed),
-      now_(0, 0),
-      buckets_(kDefaultHorizon),
-      occupancy_((kDefaultHorizon + 63) / 64, 0)
+namespace {
+constexpr Tick kNoTick = std::numeric_limits<Tick>::max();
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed)
 {
+    queues_.push_back(std::make_unique<PartitionQueue>());
+    queues_[0]->buckets.resize(kDefaultHorizon);
+    queues_[0]->occupancy.assign((kDefaultHorizon + 63) / 64, 0);
 }
 
 Simulator::~Simulator()
 {
+    stopWorkers();
+    if (tlsCtx_.sim == this) {
+        tlsCtx_ = ExecCtx{};
+    }
     // Drain unexecuted events, deleting the wrappers the simulator owns.
     // Caller-owned events must not be touched here: components are
     // destroyed before the simulator when a run stops at its time limit
     // with work still queued, so those pointers may already be dead.
-    for (Bucket& bucket : buckets_) {
-        for (std::size_t e = 0; e < kNumLanes; ++e) {
-            const std::vector<QueueEntry>& lane = bucket.lanes[e];
-            for (std::size_t i = bucket.heads[e]; i < lane.size(); ++i) {
-                if (lane[i].kind() != EntryKind::kExternal) {
-                    delete lane[i].event;
+    for (auto& queue : queues_) {
+        PartitionQueue& q = *queue;
+        for (Bucket& bucket : q.buckets) {
+            for (std::size_t e = 0; e < kNumLanes; ++e) {
+                const std::vector<QueueEntry>& lane = bucket.lanes[e];
+                for (std::size_t i = bucket.heads[e]; i < lane.size();
+                     ++i) {
+                    if (lane[i].kind() != EntryKind::kExternal) {
+                        delete lane[i].event;
+                    }
                 }
             }
         }
-    }
-    while (!overflow_.empty()) {
-        const QueueEntry& entry = overflow_.top();
-        if (entry.kind() != EntryKind::kExternal) {
-            delete entry.event;
+        while (!q.overflow.empty()) {
+            const QueueEntry& entry = q.overflow.top();
+            if (entry.kind() != EntryKind::kExternal) {
+                delete entry.event;
+            }
+            q.overflow.pop();
         }
-        overflow_.pop();
+        for (const OutItem& item : q.outbox) {
+            if ((item.flags & kKindMask) !=
+                static_cast<std::uint8_t>(EntryKind::kExternal)) {
+                delete item.event;
+            }
+        }
+        for (const OutItem& item : q.controlOutbox) {
+            if ((item.flags & kKindMask) !=
+                static_cast<std::uint8_t>(EntryKind::kExternal)) {
+                delete item.event;
+            }
+        }
+        for (CallbackEvent* event : q.callbackPool) {
+            delete event;
+        }
+        for (PooledEvent* event : q.pooledPool) {
+            delete event;
+        }
     }
-    for (CallbackEvent* event : callbackPool_) {
-        delete event;
+}
+
+Time
+Simulator::fallbackNow() const
+{
+    // No execution context on this thread (build time, or after run()):
+    // report the most advanced queue. Serial mode has one queue.
+    Time latest = queues_[0]->now;
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        if (latest < queues_[i]->now) {
+            latest = queues_[i]->now;
+        }
     }
-    for (PooledEvent* event : pooledPool_) {
-        delete event;
+    return latest;
+}
+
+void
+Simulator::requestParallel(std::uint32_t threads, std::uint32_t partitions)
+{
+    checkUser(threads >= 1, "simulator.threads must be >= 1");
+    checkSim(!parallel_, "requestParallel after partitions were set up");
+    parallelRequested_ = true;
+    threadsRequested_ = threads;
+    partitionsRequested_ = partitions;
+}
+
+void
+Simulator::setupPartitions(std::uint32_t count)
+{
+    checkSim(parallelRequested_,
+             "setupPartitions without requestParallel");
+    checkSim(!parallel_, "setupPartitions called twice");
+    checkSim(count >= 1, "partition count must be >= 1");
+    PartitionQueue& q0 = *queues_[0];
+    checkSim(q0.liveCount == 0 && q0.overflow.empty() && q0.sequence == 0,
+             "partitions can only be set up before any event is scheduled");
+    queues_.clear();
+    for (std::uint32_t i = 0; i < count + 1; ++i) {
+        auto q = std::make_unique<PartitionQueue>();
+        q->numBuckets = horizonConfig_;
+        q->bucketMask = horizonConfig_ - 1;
+        q->buckets.resize(horizonConfig_);
+        q->occupancy.assign((horizonConfig_ + 63) / 64, 0);
+        queues_.push_back(std::move(q));
+    }
+    parallel_ = true;
+    numPartitions_ = count;
+    controlIndex_ = count;
+    numThreads_ = std::min(threadsRequested_, count);
+    if (numThreads_ < 1) {
+        numThreads_ = 1;
     }
 }
 
 void
-Simulator::checkNotPast(Time time) const
+Simulator::checkSchedulable(std::uint32_t partition, Time time)
 {
-    if (time < now_) [[unlikely]] {
+    const std::uint32_t target = resolveTarget(partition);
+    const ExecCtx& ctx = tlsCtx_;
+    if (ctx.sim == this && ctx.index == target) [[likely]] {
+        // Local schedule: the strict per-queue (tick, epsilon) past check,
+        // exactly the serial engine's behavior.
+        if (time < ctx.queue->now) [[unlikely]] {
+            panic("scheduling event in the past: ", time.toString(),
+                  " < ", ctx.queue->now.toString());
+        }
+        return;
+    }
+    if (ctx.sim == this && ctx.index != controlIndex_) {
+        // Worker-context cross-partition schedule.
+        if (target != controlIndex_ && time.tick <= barrierTick_)
+            [[unlikely]] {
+            fatal("cross-partition schedule at tick ", time.tick,
+                  " does not clear the barrier tick ", barrierTick_,
+                  ": no lookahead — partitions exchange events only "
+                  "over channels with latency >= 1 tick");
+        }
+        if (time.tick < barrierTick_) [[unlikely]] {
+            panic("scheduling event in the past: ", time.toString(),
+                  " < barrier tick ", barrierTick_);
+        }
+        return;
+    }
+    // Serial phase (control context, or no context at build time):
+    // workers are parked, direct enqueue into any queue is safe. The
+    // past check is tick-granular against the barrier: same-tick control
+    // -> worker schedules re-enter the fixpoint.
+    const Tick floor = running_ ? barrierTick_ : 0;
+    if (time.tick < floor ||
+        (!running_ && time < queues_[target]->now)) [[unlikely]] {
         panic("scheduling event in the past: ", time.toString(), " < ",
-              now_.toString());
+              queues_[target]->now.toString());
+    }
+    if (running_ && parallel_) {
+        checkSim(!(inFinalSweep_ && target != controlIndex_ &&
+                   time.tick == barrierTick_),
+                 "stats-phase event scheduled same-tick partition work");
     }
 }
 
 std::uint64_t
-Simulator::makeKey(Epsilon epsilon)
+Simulator::makeKey(PartitionQueue& q, Epsilon epsilon)
 {
     if (epsilon >= kNumLanes) [[unlikely]] {
         fatal("epsilon ", static_cast<unsigned>(epsilon),
               " out of range: the engine supports epsilon 0..",
               kNumLanes - 1);
     }
-    return (static_cast<std::uint64_t>(epsilon) << kSeqBits) | sequence_++;
+    return (static_cast<std::uint64_t>(epsilon) << kSeqBits) |
+           q.sequence++;
 }
 
 void
-Simulator::bucketInsert(const QueueEntry& entry)
+Simulator::bucketInsert(PartitionQueue& q, const QueueEntry& entry)
 {
-    std::size_t b = entry.tick & bucketMask_;
-    Bucket& bucket = buckets_[b];
+    std::size_t b = entry.tick & q.bucketMask;
+    Bucket& bucket = q.buckets[b];
     std::size_t lane_index =
         static_cast<std::size_t>(entry.key >> kSeqBits);
     std::vector<QueueEntry>& lane = bucket.lanes[lane_index];
@@ -91,144 +204,210 @@ Simulator::bucketInsert(const QueueEntry& entry)
     } else {
         lane.push_back(entry);
     }
-    occupancy_[b >> 6] |= 1ULL << (b & 63);
+    q.occupancy[b >> 6] |= 1ULL << (b & 63);
     ++bucket.live;
-    ++bucketedCount_;
+    ++q.bucketedCount;
 }
 
 void
-Simulator::pushEntry(const QueueEntry& entry)
+Simulator::pushEntry(PartitionQueue& q, const QueueEntry& entry)
 {
-    // The window invariant (windowBase_ <= now_ <= entry.tick) makes the
+    // The window invariant (windowBase <= now <= entry.tick) makes the
     // subtraction safe and gives each bucket at most one distinct tick.
-    if (entry.tick - windowBase_ < numBuckets_) [[likely]] {
-        bucketInsert(entry);
+    if (entry.tick - q.windowBase < q.numBuckets) [[likely]] {
+        bucketInsert(q, entry);
     } else {
-        overflow_.push(entry);
+        q.overflow.push(entry);
     }
-    ++liveCount_;
-    foregroundPending_ += static_cast<std::uint64_t>(!entry.background());
-    if (liveCount_ > peakQueueDepth_) {
-        peakQueueDepth_ = liveCount_;
+    ++q.liveCount;
+    q.foregroundPending +=
+        static_cast<std::uint64_t>(!entry.background());
+    if (q.liveCount > q.peakQueueDepth) {
+        q.peakQueueDepth = q.liveCount;
     }
 }
 
 Tick
-Simulator::nextBucketTick() const
+Simulator::nextBucketTick(const PartitionQueue& q) const
 {
-    // Circular scan of the occupancy bitmap starting at windowBase_'s
-    // slot; bucketedCount_ > 0 guarantees a set bit. Bits at or past the
-    // start resolve to windowBase_ + offset directly, wrapped bits to the
+    // Circular scan of the occupancy bitmap starting at windowBase's
+    // slot; bucketedCount > 0 guarantees a set bit. Bits at or past the
+    // start resolve to windowBase + offset directly, wrapped bits to the
     // following ticks, via the modular offset.
-    const std::size_t start = windowBase_ & bucketMask_;
-    const std::size_t words = occupancy_.size();
+    const std::size_t start = q.windowBase & q.bucketMask;
+    const std::size_t words = q.occupancy.size();
     std::size_t w = start >> 6;
-    std::uint64_t bits = occupancy_[w] & (~0ULL << (start & 63));
+    std::uint64_t bits = q.occupancy[w] & (~0ULL << (start & 63));
     for (std::size_t scanned = 0;; ++scanned) {
         if (bits != 0) {
             std::size_t slot =
                 (w << 6) +
                 static_cast<std::size_t>(std::countr_zero(bits));
-            return windowBase_ + ((slot - start) & bucketMask_);
+            return q.windowBase + ((slot - start) & q.bucketMask);
         }
         checkSim(scanned <= words, "event queue occupancy bitmap corrupt");
         w = (w + 1 == words) ? 0 : w + 1;
-        bits = occupancy_[w];
+        bits = q.occupancy[w];
     }
 }
 
-Simulator::Bucket&
-Simulator::materialize()
+Tick
+Simulator::nextQueueTick(const PartitionQueue& q) const
 {
-    // Positions windowBase_ on the earliest pending tick and returns its
+    Tick tick = kNoTick;
+    if (q.bucketedCount > 0) {
+        tick = nextBucketTick(q);
+    }
+    if (!q.overflow.empty() && q.overflow.top().tick < tick) {
+        tick = q.overflow.top().tick;
+    }
+    return tick;
+}
+
+Simulator::Bucket&
+Simulator::materialize(PartitionQueue& q)
+{
+    // Positions windowBase on the earliest pending tick and returns its
     // (non-empty) bucket. Precondition: at least one event is queued.
-    constexpr Tick kNone = std::numeric_limits<Tick>::max();
-    Tick bucket_tick = bucketedCount_ > 0 ? nextBucketTick() : kNone;
-    if (!overflow_.empty() && overflow_.top().tick <= bucket_tick)
+    Tick bucket_tick = q.bucketedCount > 0 ? nextBucketTick(q) : kNoTick;
+    if (!q.overflow.empty() && q.overflow.top().tick <= bucket_tick)
         [[unlikely]] {
         // The earliest pending work sits in the overflow heap: slide the
         // window forward to it and pull every overflow event that now
         // fits the horizon into the buckets. Entries keep their original
         // keys, so migrated and directly-bucketed events interleave in
         // exact (tick, epsilon, sequence) order.
-        windowBase_ = overflow_.top().tick;
-        while (!overflow_.empty() &&
-               overflow_.top().tick - windowBase_ < numBuckets_) {
-            bucketInsert(overflow_.top());
-            overflow_.pop();
+        q.windowBase = q.overflow.top().tick;
+        while (!q.overflow.empty() &&
+               q.overflow.top().tick - q.windowBase < q.numBuckets) {
+            bucketInsert(q, q.overflow.top());
+            q.overflow.pop();
         }
-        bucket_tick = nextBucketTick();
+        bucket_tick = nextBucketTick(q);
     }
-    windowBase_ = bucket_tick;
-    return buckets_[bucket_tick & bucketMask_];
+    q.windowBase = bucket_tick;
+    return q.buckets[bucket_tick & q.bucketMask];
 }
 
 CallbackEvent*
 Simulator::acquireCallback()
 {
-    if (callbackPool_.empty()) {
-        ++callbackAllocated_;
+    PartitionQueue& q = schedCtxQueue();
+    if (q.callbackPool.empty()) {
+        ++q.callbackAllocated;
         return new CallbackEvent;
     }
-    CallbackEvent* event = callbackPool_.back();
-    callbackPool_.pop_back();
+    CallbackEvent* event = q.callbackPool.back();
+    q.callbackPool.pop_back();
     return event;
 }
 
 PooledEvent*
 Simulator::acquirePooled()
 {
-    if (pooledPool_.empty()) {
-        ++pooledAllocated_;
+    PartitionQueue& q = schedCtxQueue();
+    if (q.pooledPool.empty()) {
+        ++q.pooledAllocated;
         return new PooledEvent;
     }
-    PooledEvent* event = pooledPool_.back();
-    pooledPool_.pop_back();
+    PooledEvent* event = q.pooledPool.back();
+    q.pooledPool.pop_back();
     return event;
 }
 
 void
-Simulator::enqueueOwned(Event* event, Time time, EntryKind kind)
+Simulator::recycle(PartitionQueue& q, const QueueEntry& entry)
 {
-    event->time_ = time;
-    std::uint64_t key = makeKey(time.epsilon);
-    event->schedKey_ = key;
-    event->schedBackground_ = false;
-    pushEntry(QueueEntry{time.tick, key, event,
-                         static_cast<std::uint8_t>(kind)});
+    if (entry.kind() == EntryKind::kCallback) {
+        auto* callback = static_cast<CallbackEvent*>(entry.event);
+        callback->fn_ = nullptr;  // drop captures promptly
+        q.callbackPool.push_back(callback);
+    } else if (entry.kind() == EntryKind::kPooled) {
+        q.pooledPool.push_back(static_cast<PooledEvent*>(entry.event));
+    }
 }
 
 void
-Simulator::schedule(Event* event, Time time, bool background)
+Simulator::enqueueDirect(PartitionQueue& q, std::uint32_t index,
+                         Event* event, Time time, EntryKind kind,
+                         bool background)
 {
-    // Hot path: keep the failure messages out of the fast path (string
-    // construction per call would dominate the simulation).
-    if (event == nullptr || event->pending() || time < now_)
-        [[unlikely]] {
-        checkSim(event != nullptr, "scheduling null event");
-        checkSim(!event->pending(), "event is already pending at ",
-                 event->time().toString());
-        panic("scheduling event in the past: ", time.toString(), " < ",
-              now_.toString());
-    }
     event->time_ = time;
-    std::uint64_t key = makeKey(time.epsilon);
+    std::uint64_t key = makeKey(q, time.epsilon);
     event->schedKey_ = key;
     event->schedBackground_ = background;
-    std::uint8_t flags = static_cast<std::uint8_t>(EntryKind::kExternal);
+    event->schedQueue_ = index;
+    std::uint8_t flags = static_cast<std::uint8_t>(kind);
     if (background) {
         flags |= kBackgroundFlag;
     }
-    pushEntry(QueueEntry{time.tick, key, event, flags});
+    pushEntry(q, QueueEntry{time.tick, key, event, flags});
 }
 
 void
-Simulator::scheduleCallback(Time time, std::function<void()> fn)
+Simulator::routeEntry(std::uint32_t target, Event* event, Time time,
+                      EntryKind kind, bool background)
 {
-    checkNotPast(time);
+    const ExecCtx& ctx = tlsCtx_;
+    if (ctx.sim == this && ctx.index == target) [[likely]] {
+        enqueueDirect(*ctx.queue, target, event, time, kind, background);
+        return;
+    }
+    if (ctx.sim == this && ctx.index != controlIndex_) {
+        // Worker context scheduling off-partition: park the event in the
+        // source partition's mailbox; the barrier commits mailboxes in
+        // partition order, assigning destination sequences
+        // deterministically.
+        std::uint8_t flags = static_cast<std::uint8_t>(kind);
+        if (background) {
+            flags |= kBackgroundFlag;
+        }
+        event->time_ = time;
+        event->schedQueue_ = kOutboxed;
+        if (target == controlIndex_) {
+            ctx.queue->controlOutbox.push_back(
+                OutItem{event, time, target, flags});
+        } else {
+            ctx.queue->outbox.push_back(
+                OutItem{event, time, target, flags});
+        }
+        return;
+    }
+    // Serial phase: workers are parked, enqueue straight into the target.
+    enqueueDirect(*queues_[target], target, event, time, kind, background);
+}
+
+void
+Simulator::enqueueOwned(std::uint32_t partition, Event* event, Time time,
+                        EntryKind kind)
+{
+    routeEntry(resolveTarget(partition), event, time, kind, false);
+}
+
+void
+Simulator::scheduleFor(std::uint32_t partition, Event* event, Time time,
+                       bool background)
+{
+    // Hot path: keep the failure messages out of the fast path (string
+    // construction per call would dominate the simulation).
+    if (event == nullptr || event->pending()) [[unlikely]] {
+        checkSim(event != nullptr, "scheduling null event");
+        checkSim(!event->pending(), "event is already pending at ",
+                 event->time().toString());
+    }
+    checkSchedulable(partition, time);
+    routeEntry(resolveTarget(partition), event, time,
+               EntryKind::kExternal, background);
+}
+
+void
+Simulator::scheduleCallback(std::uint32_t partition, Time time,
+                            std::function<void()> fn)
+{
+    checkSchedulable(partition, time);
     CallbackEvent* event = acquireCallback();
     event->fn_ = std::move(fn);
-    enqueueOwned(event, time, EntryKind::kCallback);
+    enqueueOwned(partition, event, time, EntryKind::kCallback);
 }
 
 bool
@@ -237,12 +416,20 @@ Simulator::cancel(Event* event)
     if (event == nullptr || !event->pending()) {
         return false;
     }
+    checkSim(event->schedQueue_ != kOutboxed,
+             "cannot cancel an event parked in a cross-partition mailbox");
+    checkSim(!parallel_ || !running_ ||
+                 tlsCtx_.sim != this ||
+                 tlsCtx_.index == event->schedQueue_ ||
+                 tlsCtx_.index == controlIndex_,
+             "cannot cancel another partition's pending event");
     // Lazy removal: invalidate the event; its queue slot becomes a
     // tombstone (recognized by key/time mismatch) that the executer
     // skips when its time comes around.
     event->time_ = Time::invalid();
-    --liveCount_;
-    foregroundPending_ -=
+    PartitionQueue& q = *queues_[event->schedQueue_];
+    --q.liveCount;
+    q.foregroundPending -=
         static_cast<std::uint64_t>(!event->schedBackground_);
     return true;
 }
@@ -251,18 +438,32 @@ std::uint64_t
 Simulator::run()
 {
     checkSim(!running_, "Simulator::run() is not reentrant");
+    if (parallelRequested_ && !parallel_) {
+        // Nothing set partitions up (no network in this simulation):
+        // fall back to one partition per requested thread.
+        setupPartitions(partitionsRequested_ > 0 ? partitionsRequested_
+                                                 : threadsRequested_);
+    }
+    return parallel_ ? runParallel() : runSerial();
+}
+
+std::uint64_t
+Simulator::runSerial()
+{
     running_ = true;
-    const std::uint64_t start_count = eventsExecuted_;
+    PartitionQueue& q = *queues_[0];
+    tlsCtx_ = ExecCtx{this, &q, 0};
+    const std::uint64_t start_count = q.eventsExecuted;
     const auto wall_start = std::chrono::steady_clock::now();
     heartbeatWall_ = wall_start;
-    heartbeatEvents_ = eventsExecuted_;
+    heartbeatEvents_ = q.eventsExecuted;
     // Run while *foreground* work remains; background events (periodic
     // observability samples) execute in time order alongside but never
     // keep the simulation alive on their own.
-    while (foregroundPending_ > 0) {
-        Bucket& bucket = materialize();
-        // materialize() leaves windowBase_ on the bucket's (single) tick.
-        if (timeLimit_ > 0 && windowBase_ > timeLimit_) [[unlikely]] {
+    while (q.foregroundPending > 0) {
+        Bucket& bucket = materialize(q);
+        // materialize() leaves windowBase on the bucket's (single) tick.
+        if (timeLimit_ > 0 && q.windowBase > timeLimit_) [[unlikely]] {
             timeLimitHit_ = true;
             break;
         }
@@ -279,14 +480,14 @@ Simulator::run()
             }
             QueueEntry entry = bucket.lanes[e][bucket.heads[e]++];
             --bucket.live;
-            --bucketedCount_;
+            --q.bucketedCount;
             if (bucket.live == 0) {
                 for (std::size_t lane = 0; lane < kNumLanes; ++lane) {
                     bucket.lanes[lane].clear();
                     bucket.heads[lane] = 0;
                 }
-                std::size_t b = entry.tick & bucketMask_;
-                occupancy_[b >> 6] &= ~(1ULL << (b & 63));
+                std::size_t b = entry.tick & q.bucketMask;
+                q.occupancy[b >> 6] &= ~(1ULL << (b & 63));
             }
             Event* event = entry.event;
             if (entry.kind() == EntryKind::kExternal &&
@@ -294,27 +495,22 @@ Simulator::run()
                 [[unlikely]] {
                 continue;  // cancelled tombstone — already discounted
             }
-            --liveCount_;
-            foregroundPending_ -=
+            --q.liveCount;
+            q.foregroundPending -=
                 static_cast<std::uint64_t>(!entry.background());
-            now_ = entry.time();
+            q.now = entry.time();
             event->time_ = Time::invalid();
             event->process();
-            if (entry.kind() == EntryKind::kCallback) {
-                auto* callback = static_cast<CallbackEvent*>(event);
-                callback->fn_ = nullptr;  // drop captures promptly
-                callbackPool_.push_back(callback);
-            } else if (entry.kind() == EntryKind::kPooled) {
-                pooledPool_.push_back(static_cast<PooledEvent*>(event));
-            }
-            ++eventsExecuted_;
+            recycle(q, entry);
+            ++q.eventsExecuted;
             if (heartbeatSeconds_ > 0 &&
-                (eventsExecuted_ & 0x3fff) == 0) [[unlikely]] {
+                (q.eventsExecuted & 0x3fff) == 0) [[unlikely]] {
                 maybeHeartbeat();
             }
-        } while (bucket.live > 0 && foregroundPending_ > 0);
+        } while (bucket.live > 0 && q.foregroundPending > 0);
     }
-    const std::uint64_t executed = eventsExecuted_ - start_count;
+    tlsCtx_ = ExecCtx{};
+    const std::uint64_t executed = q.eventsExecuted - start_count;
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
@@ -326,18 +522,420 @@ Simulator::run()
     return executed;
 }
 
+std::uint64_t
+Simulator::runParallel()
+{
+    running_ = true;
+    if (workers_.empty() && numThreads_ > 1) {
+        spawnWorkers();
+    }
+    PartitionQueue& control = *queues_[controlIndex_];
+    tlsCtx_ = ExecCtx{this, &control, controlIndex_};
+    const std::uint64_t start_count = eventsExecuted();
+    const auto wall_start = std::chrono::steady_clock::now();
+    heartbeatWall_ = wall_start;
+    heartbeatEvents_ = start_count;
+    // Barrier-synchronous loop: pick the globally earliest tick, run a
+    // fixpoint of {worker phase, control phase} over that tick, then
+    // commit the channel mailboxes for future ticks. Foreground
+    // accounting is checked only at barriers, so a tick always drains
+    // completely (unlike the serial loop's mid-bucket stop — both are
+    // deterministic, and every thread count agrees with --threads 1).
+    while (totalForegroundPending() > 0) {
+        const Tick tick = nextGlobalTick();
+        checkSim(tick != kNoTick, "foreground accounting corrupt");
+        if (timeLimit_ > 0 && tick > timeLimit_) [[unlikely]] {
+            timeLimitHit_ = true;
+            break;
+        }
+        barrierTick_ = tick;
+        // Fixpoint: control events may schedule same-tick partition work
+        // (application start commands) and workers may notify the
+        // control plane same-tick through their mailboxes, so alternate
+        // until the tick is quiet. The control phase holds back its
+        // stats lanes (epsilon > kControl) so re-entering the tick never
+        // regresses the control queue past a stats sample.
+        std::uint64_t moved = 1;
+        while (moved > 0) {
+            moved = runWorkerPhase(tick);
+            moved += commitControlOutboxes();
+            moved += drainControlTick(tick, eps::kControl);
+        }
+        // The tick is quiet below the stats lanes: take the stats
+        // samples with every partition parked at the barrier.
+        inFinalSweep_ = true;
+        drainControlTick(tick, kNumLanes - 1);
+        inFinalSweep_ = false;
+        // Commit cross-partition channel deliveries (strictly future
+        // ticks) in partition order — the deterministic merge.
+        commitOutboxes();
+        ++barrierCount_;
+        if (heartbeatSeconds_ > 0 && (barrierCount_ & 0x3ff) == 0)
+            [[unlikely]] {
+            maybeHeartbeat();
+        }
+    }
+    tlsCtx_ = ExecCtx{};
+    const std::uint64_t executed = eventsExecuted() - start_count;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    runWallSeconds_ += seconds;
+    lastRunEventRate_ =
+        seconds > 0.0 ? static_cast<double>(executed) / seconds : 0.0;
+    running_ = false;
+    return executed;
+}
+
+std::uint64_t
+Simulator::drainTick(PartitionQueue& q, Tick tick)
+{
+    if (q.bucketedCount == 0 && q.overflow.empty()) {
+        return 0;
+    }
+    const Tick queue_tick = nextQueueTick(q);
+    if (queue_tick != tick) {
+        checkSim(queue_tick > tick, "partition fell behind the barrier");
+        return 0;
+    }
+    Bucket& bucket = materialize(q);
+    std::uint64_t executed = 0;
+    do {
+        std::size_t e = 0;
+        while (bucket.heads[e] >= bucket.lanes[e].size()) {
+            ++e;
+            checkSim(e < kNumLanes, "bucket live count corrupt");
+        }
+        QueueEntry entry = bucket.lanes[e][bucket.heads[e]++];
+        --bucket.live;
+        --q.bucketedCount;
+        if (bucket.live == 0) {
+            for (std::size_t lane = 0; lane < kNumLanes; ++lane) {
+                bucket.lanes[lane].clear();
+                bucket.heads[lane] = 0;
+            }
+            std::size_t b = entry.tick & q.bucketMask;
+            q.occupancy[b >> 6] &= ~(1ULL << (b & 63));
+        }
+        Event* event = entry.event;
+        if (entry.kind() == EntryKind::kExternal &&
+            (event->schedKey_ != entry.key || !event->time_.valid()))
+            [[unlikely]] {
+            continue;  // cancelled tombstone — already discounted
+        }
+        --q.liveCount;
+        q.foregroundPending -=
+            static_cast<std::uint64_t>(!entry.background());
+        q.now = entry.time();
+        event->time_ = Time::invalid();
+        event->process();
+        recycle(q, entry);
+        ++q.eventsExecuted;
+        ++executed;
+    } while (bucket.live > 0);
+    return executed;
+}
+
+std::uint64_t
+Simulator::drainControlTick(Tick tick, std::size_t max_lane)
+{
+    PartitionQueue& q = *queues_[controlIndex_];
+    if (q.bucketedCount == 0 && q.overflow.empty()) {
+        return 0;
+    }
+    const Tick queue_tick = nextQueueTick(q);
+    if (queue_tick != tick) {
+        checkSim(queue_tick > tick,
+                 "control partition fell behind the barrier");
+        return 0;
+    }
+    Bucket& bucket = materialize(q);
+    std::uint64_t executed = 0;
+    for (;;) {
+        // Lowest non-empty lane at or below max_lane; lanes above it
+        // (stats samples) wait for the final sweep of this tick.
+        std::size_t e = 0;
+        while (e <= max_lane &&
+               bucket.heads[e] >= bucket.lanes[e].size()) {
+            ++e;
+        }
+        if (e > max_lane) {
+            break;
+        }
+        QueueEntry entry = bucket.lanes[e][bucket.heads[e]++];
+        --bucket.live;
+        --q.bucketedCount;
+        Event* event = entry.event;
+        if (entry.kind() == EntryKind::kExternal &&
+            (event->schedKey_ != entry.key || !event->time_.valid()))
+            [[unlikely]] {
+            continue;  // cancelled tombstone — already discounted
+        }
+        --q.liveCount;
+        q.foregroundPending -=
+            static_cast<std::uint64_t>(!entry.background());
+        q.now = entry.time();
+        event->time_ = Time::invalid();
+        event->process();
+        recycle(q, entry);
+        ++q.eventsExecuted;
+        ++executed;
+    }
+    if (bucket.live == 0) {
+        for (std::size_t lane = 0; lane < kNumLanes; ++lane) {
+            bucket.lanes[lane].clear();
+            bucket.heads[lane] = 0;
+        }
+        std::size_t b = tick & q.bucketMask;
+        q.occupancy[b >> 6] &= ~(1ULL << (b & 63));
+    }
+    return executed;
+}
+
+std::uint64_t
+Simulator::runWorkerPhase(Tick tick)
+{
+    if (numThreads_ == 1) {
+        // Single-threaded partitioned mode: drain partitions in order on
+        // this thread — identical results by construction, no pool.
+        std::uint64_t executed = 0;
+        for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+            tlsCtx_ = ExecCtx{this, queues_[p].get(), p};
+            executed += drainTick(*queues_[p], tick);
+        }
+        tlsCtx_ = ExecCtx{this, queues_[controlIndex_].get(),
+                          controlIndex_};
+        return executed;
+    }
+    roundExecuted_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        poolTick_ = tick;
+        poolRemaining_ = numThreads_ - 1;
+        ++poolGeneration_;
+    }
+    poolStart_.notify_all();
+    // The main thread doubles as worker 0.
+    std::uint64_t executed = 0;
+    for (std::uint32_t p = 0; p < numPartitions_; p += numThreads_) {
+        tlsCtx_ = ExecCtx{this, queues_[p].get(), p};
+        executed += drainTick(*queues_[p], tick);
+    }
+    tlsCtx_ = ExecCtx{this, queues_[controlIndex_].get(), controlIndex_};
+    roundExecuted_.fetch_add(executed, std::memory_order_relaxed);
+    {
+        std::unique_lock<std::mutex> lock(poolMutex_);
+        poolDone_.wait(lock, [this] { return poolRemaining_ == 0; });
+    }
+    rethrowWorkerError();
+    return roundExecuted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Simulator::commitControlOutboxes()
+{
+    PartitionQueue& control = *queues_[controlIndex_];
+    std::uint64_t moved = 0;
+    for (std::uint32_t src = 0; src < numPartitions_; ++src) {
+        std::vector<OutItem>& box = queues_[src]->controlOutbox;
+        for (const OutItem& item : box) {
+            item.event->time_ = Time::invalid();
+            enqueueDirect(control, controlIndex_, item.event, item.time,
+                          static_cast<EntryKind>(item.flags & kKindMask),
+                          (item.flags & kBackgroundFlag) != 0);
+            ++moved;
+        }
+        box.clear();
+    }
+    return moved;
+}
+
+void
+Simulator::commitOutboxes()
+{
+    for (std::uint32_t src = 0; src < numPartitions_; ++src) {
+        std::vector<OutItem>& box = queues_[src]->outbox;
+        for (const OutItem& item : box) {
+            item.event->time_ = Time::invalid();
+            enqueueDirect(*queues_[item.target], item.target, item.event,
+                          item.time,
+                          static_cast<EntryKind>(item.flags & kKindMask),
+                          (item.flags & kBackgroundFlag) != 0);
+        }
+        box.clear();
+    }
+}
+
+std::uint64_t
+Simulator::totalForegroundPending() const
+{
+    std::uint64_t total = 0;
+    for (const auto& q : queues_) {
+        total += q->foregroundPending;
+    }
+    return total;
+}
+
+Tick
+Simulator::nextGlobalTick() const
+{
+    Tick tick = kNoTick;
+    for (const auto& q : queues_) {
+        const Tick t = nextQueueTick(*q);
+        if (t < tick) {
+            tick = t;
+        }
+    }
+    return tick;
+}
+
+void
+Simulator::spawnWorkers()
+{
+    workerErrors_.assign(numThreads_, nullptr);
+    for (std::uint32_t w = 1; w < numThreads_; ++w) {
+        workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+}
+
+void
+Simulator::stopWorkers()
+{
+    if (workers_.empty()) {
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        poolStop_ = true;
+    }
+    poolStart_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+    workers_.clear();
+}
+
+void
+Simulator::workerLoop(std::uint32_t worker)
+{
+    std::uint64_t generation = 0;
+    for (;;) {
+        Tick tick;
+        {
+            std::unique_lock<std::mutex> lock(poolMutex_);
+            poolStart_.wait(lock, [this, generation] {
+                return poolStop_ || poolGeneration_ != generation;
+            });
+            if (poolStop_) {
+                return;
+            }
+            generation = poolGeneration_;
+            tick = poolTick_;
+        }
+        std::uint64_t executed = 0;
+        try {
+            for (std::uint32_t p = worker; p < numPartitions_;
+                 p += numThreads_) {
+                tlsCtx_ = ExecCtx{this, queues_[p].get(), p};
+                executed += drainTick(*queues_[p], tick);
+            }
+        } catch (...) {
+            workerErrors_[worker] = std::current_exception();
+        }
+        tlsCtx_ = ExecCtx{};
+        roundExecuted_.fetch_add(executed, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            if (--poolRemaining_ == 0) {
+                poolDone_.notify_one();
+            }
+        }
+    }
+}
+
+void
+Simulator::rethrowWorkerError()
+{
+    for (std::exception_ptr& error : workerErrors_) {
+        if (error) {
+            std::exception_ptr first = error;
+            for (std::exception_ptr& e : workerErrors_) {
+                e = nullptr;
+            }
+            std::rethrow_exception(first);
+        }
+    }
+}
+
+std::uint64_t
+Simulator::eventsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto& q : queues_) {
+        total += q->eventsExecuted;
+    }
+    return total;
+}
+
+std::size_t
+Simulator::eventsPending() const
+{
+    std::size_t total = 0;
+    for (const auto& q : queues_) {
+        total += q->liveCount + q->outbox.size() + q->controlOutbox.size();
+    }
+    return total;
+}
+
+std::size_t
+Simulator::pooledEventsAllocated() const
+{
+    std::size_t total = 0;
+    for (const auto& q : queues_) {
+        total += q->pooledAllocated;
+    }
+    return total;
+}
+
+std::size_t
+Simulator::callbackEventsAllocated() const
+{
+    std::size_t total = 0;
+    for (const auto& q : queues_) {
+        total += q->callbackAllocated;
+    }
+    return total;
+}
+
+std::size_t
+Simulator::peakQueueDepth() const
+{
+    std::size_t total = 0;
+    for (const auto& q : queues_) {
+        total += q->peakQueueDepth;
+    }
+    return total;
+}
+
 void
 Simulator::setSchedulerHorizon(std::size_t buckets)
 {
     checkUser(buckets > 0 && (buckets & (buckets - 1)) == 0 &&
                   buckets <= (std::size_t{1} << 20),
               "scheduler horizon must be a power of two in [1, 2^20]");
-    checkUser(liveCount_ == 0 && bucketedCount_ == 0 && overflow_.empty(),
-              "scheduler horizon can only change while the queue is empty");
-    numBuckets_ = buckets;
-    bucketMask_ = buckets - 1;
-    buckets_.assign(buckets, {});
-    occupancy_.assign((buckets + 63) / 64, 0);
+    horizonConfig_ = buckets;
+    for (auto& queue : queues_) {
+        PartitionQueue& q = *queue;
+        checkUser(q.liveCount == 0 && q.bucketedCount == 0 &&
+                      q.overflow.empty(),
+                  "scheduler horizon can only change while the queue is "
+                  "empty");
+        q.numBuckets = buckets;
+        q.bucketMask = buckets - 1;
+        q.buckets.assign(buckets, {});
+        q.occupancy.assign((buckets + 63) / 64, 0);
+    }
 }
 
 void
@@ -349,13 +947,14 @@ Simulator::maybeHeartbeat()
     if (elapsed < heartbeatSeconds_) {
         return;
     }
+    const std::uint64_t executed = eventsExecuted();
     double rate =
-        static_cast<double>(eventsExecuted_ - heartbeatEvents_) / elapsed;
-    inform("progress: tick ", now_.tick, ", ", eventsExecuted_,
-           " events (", static_cast<std::uint64_t>(rate),
-           " events/s), queue depth ", liveCount_);
+        static_cast<double>(executed - heartbeatEvents_) / elapsed;
+    inform("progress: tick ", now().tick, ", ", executed, " events (",
+           static_cast<std::uint64_t>(rate), " events/s), queue depth ",
+           eventsPending());
     heartbeatWall_ = wall;
-    heartbeatEvents_ = eventsExecuted_;
+    heartbeatEvents_ = executed;
 }
 
 std::uint64_t

@@ -2,13 +2,13 @@
  * @file
  * The discrete event simulation engine (paper §III-A, Figure 1).
  *
- * The simulator owns the global event queue and the executer loop. Events
- * are ordered by (tick, epsilon, insertion order); the insertion-order
+ * The simulator owns the event queues and the executer loop. Events are
+ * ordered by (tick, epsilon, insertion order); the insertion-order
  * tiebreak makes execution fully deterministic. The simulation ends when
  * the event queue runs out of foreground events (or an optional time
  * limit is hit).
  *
- * The queue is two-level (see DESIGN.md "Event core"): a circular array
+ * Each queue is two-level (see DESIGN.md "Event core"): a circular array
  * of per-tick buckets covers a short horizon ahead of the current tick —
  * where virtually all flit/credit/pipeline scheduling lands — and a
  * binary heap holds far-future overflow. Each bucket keeps one FIFO lane
@@ -17,6 +17,17 @@
  * Event wrappers for closures/payload deliveries are recycled through
  * free lists, so steady-state scheduling performs no heap allocation.
  *
+ * Partitioned parallel execution (DESIGN.md §9): when requested, the
+ * simulator shards components across P partitions, each with its own
+ * two-level queue and sequence counter, plus one control partition for
+ * the workload/observability plane. Partitions drain one tick at a time
+ * under a barrier; Channel/CreditChannel edges (latency >= 1 tick — the
+ * lookahead) are the only cross-partition schedules and travel through
+ * per-partition mailboxes committed in fixed partition order at the tick
+ * boundary. Per-partition sequences plus ordered commits make the result
+ * independent of the worker-thread count: `--threads N` is byte-identical
+ * to `--threads 1`.
+ *
  * There are no global singletons: a Simulator instance owns an entire
  * simulation, so many simulations can run concurrently in one process.
  */
@@ -24,14 +35,18 @@
 #define SS_CORE_SIMULATOR_H_
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -80,9 +95,13 @@ class PooledEvent final : public Event {
     alignas(alignof(std::max_align_t)) unsigned char payload_[kPayloadSize];
 };
 
-/** The DES engine: two-level event queue + executer. */
+/** The DES engine: per-partition two-level event queues + executer. */
 class Simulator {
   public:
+    /** Partition value meaning "not pinned": such components (workload
+     *  control plane, observability) execute on the control partition. */
+    static constexpr std::uint32_t kAutoPartition = 0xffffffffu;
+
     /** @param seed root seed from which all component streams derive. */
     explicit Simulator(std::uint64_t seed = 12345);
     ~Simulator();
@@ -90,8 +109,63 @@ class Simulator {
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
-    /** Current simulation time. */
-    Time now() const { return now_; }
+    /** Current simulation time (of the executing partition's queue). */
+    Time
+    now() const
+    {
+        const ExecCtx& ctx = tlsCtx_;
+        return ctx.sim == this ? ctx.queue->now : fallbackNow();
+    }
+
+    // ----- partitioned parallel execution -----
+
+    /** Requests the partitioned executer with @p threads worker threads.
+     *  @p partitions picks the partition count (0 = automatic, derived
+     *  from the topology by the Partitioner). Must be called before the
+     *  network is built; partitioning is derived only from the topology,
+     *  never from the thread count, so any thread count yields identical
+     *  results. */
+    void requestParallel(std::uint32_t threads, std::uint32_t partitions);
+    bool parallelRequested() const { return parallelRequested_; }
+    std::uint32_t requestedPartitions() const { return partitionsRequested_; }
+    std::uint32_t requestedThreads() const { return threadsRequested_; }
+
+    /** Creates the per-partition queues (called once, by the network,
+     *  after the Partitioner picked a count; only legal while the event
+     *  queue is empty). Queue layout: [0, count) worker partitions plus
+     *  one control partition at index count. */
+    void setupPartitions(std::uint32_t count);
+
+    /** True once the partitioned executer is active. */
+    bool isParallel() const { return parallel_; }
+    std::uint32_t numWorkerPartitions() const
+    {
+        return parallel_ ? numPartitions_ : 0;
+    }
+
+    /** Stable shard indexing for per-partition stats/trace buffers:
+     *  worker partitions are shards [0, P), the control partition is
+     *  shard P. Serial mode has a single shard, 0. */
+    std::uint32_t numShards() const
+    {
+        return parallel_ ? numPartitions_ + 1 : 1;
+    }
+    std::uint32_t controlShard() const { return controlIndex_; }
+    std::uint32_t
+    currentShard() const
+    {
+        const ExecCtx& ctx = tlsCtx_;
+        return ctx.sim == this ? ctx.index : controlIndex_;
+    }
+
+    /** Build-time partition cursor: components constructed while the
+     *  cursor is set inherit its partition (the network sets it around
+     *  router construction so routers' children land with them). */
+    void setBuildPartition(std::uint32_t partition)
+    {
+        buildPartition_ = partition;
+    }
+    std::uint32_t buildPartition() const { return buildPartition_; }
 
     /** Schedules @p event at @p time. The event must not already be
      *  pending and @p time must not be in the past. The caller retains
@@ -100,7 +174,18 @@ class Simulator {
      *  A @p background event does not keep the simulation alive: run()
      *  stops once only background events remain queued (observability
      *  sampling uses this so periodic collection never extends a run). */
-    void schedule(Event* event, Time time, bool background = false);
+    void
+    schedule(Event* event, Time time, bool background = false)
+    {
+        scheduleFor(kAutoPartition, event, time, background);
+    }
+
+    /** Partition-pinned variant: the event executes on @p partition's
+     *  queue (kAutoPartition / out-of-range = control). Cross-partition
+     *  schedules from a worker context route through mailboxes and must
+     *  target a strictly future tick (the channel-latency lookahead). */
+    void scheduleFor(std::uint32_t partition, Event* event, Time time,
+                     bool background = false);
 
     /** Schedules a one-shot callable at @p time. The simulator owns the
      *  wrapper event (recycled through a free list). Small
@@ -110,12 +195,19 @@ class Simulator {
     std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>
     schedule(Time time, F&& fn)
     {
+        scheduleFor(kAutoPartition, time, std::forward<F>(fn));
+    }
+
+    template <typename F>
+    std::enable_if_t<std::is_invocable_r_v<void, std::decay_t<F>&>>
+    scheduleFor(std::uint32_t partition, Time time, F&& fn)
+    {
         using Fn = std::decay_t<F>;
         if constexpr (std::is_trivially_copyable_v<Fn> &&
                       std::is_trivially_destructible_v<Fn> &&
                       sizeof(Fn) <= PooledEvent::kPayloadSize &&
                       alignof(Fn) <= alignof(std::max_align_t)) {
-            checkNotPast(time);
+            checkSchedulable(partition, time);
             PooledEvent* event = acquirePooled();
             event->object_ = nullptr;
             event->trampoline_ = [](void*, void* p) {
@@ -123,9 +215,9 @@ class Simulator {
             };
             ::new (static_cast<void*>(event->payload_))
                 Fn(std::forward<F>(fn));
-            enqueueOwned(event, time, EntryKind::kPooled);
+            enqueueOwned(partition, event, time, EntryKind::kPooled);
         } else {
-            scheduleCallback(time,
+            scheduleCallback(partition, time,
                              std::function<void()>(std::forward<F>(fn)));
         }
     }
@@ -141,6 +233,17 @@ class Simulator {
         typename detail::MemberFnTraits<decltype(Handler)>::Param payload,
         Time time)
     {
+        scheduleInlineFor<Handler>(kAutoPartition, object, payload, time);
+    }
+
+    template <auto Handler>
+    void
+    scheduleInlineFor(
+        std::uint32_t partition,
+        typename detail::MemberFnTraits<decltype(Handler)>::Class* object,
+        typename detail::MemberFnTraits<decltype(Handler)>::Param payload,
+        Time time)
+    {
         using Traits = detail::MemberFnTraits<decltype(Handler)>;
         using C = typename Traits::Class;
         using P = typename Traits::Param;
@@ -148,15 +251,14 @@ class Simulator {
                       "inline event payloads must be trivially copyable");
         static_assert(sizeof(P) <= PooledEvent::kPayloadSize,
                       "inline event payload too large");
-        checkNotPast(time);
+        checkSchedulable(partition, time);
         PooledEvent* event = acquirePooled();
         event->object_ = object;
         event->trampoline_ = [](void* o, void* p) {
-            (static_cast<C*>(o)->*Handler)(
-                *reinterpret_cast<P*>(p));
+            (static_cast<C*>(o)->*Handler)(*reinterpret_cast<P*>(p));
         };
         ::new (static_cast<void*>(event->payload_)) P(payload);
-        enqueueOwned(event, time, EntryKind::kPooled);
+        enqueueOwned(partition, event, time, EntryKind::kPooled);
     }
 
     /** Removes a pending caller-owned event from the queue before it
@@ -164,7 +266,8 @@ class Simulator {
      *  lazy: the queue slot becomes a tombstone that the executer skips,
      *  so the Event object must stay alive until its scheduled time has
      *  been drained (or the simulator destroyed). The event may be
-     *  rescheduled immediately. */
+     *  rescheduled immediately. Only the owning partition may cancel;
+     *  events sitting in a cross-partition mailbox cannot be cancelled. */
     bool cancel(Event* event);
 
     /** Runs the executer until the event queue is empty or the time limit
@@ -177,28 +280,25 @@ class Simulator {
     void setTimeLimit(Tick limit) { timeLimit_ = limit; }
     bool timeLimitHit() const { return timeLimitHit_; }
 
-    /** Resizes the bucketed short-horizon queue to @p buckets per-tick
+    /** Resizes the bucketed short-horizon queues to @p buckets per-tick
      *  slots (power of two). Larger horizons keep more of the schedule
      *  out of the overflow heap; the default (64) comfortably covers
      *  channel/crossbar latencies and clock periods. Only legal while the
      *  event queue is empty. */
     void setSchedulerHorizon(std::size_t buckets);
-    std::size_t schedulerHorizon() const { return numBuckets_; }
+    std::size_t schedulerHorizon() const { return horizonConfig_; }
 
     /** Total events executed over the simulator's lifetime. */
-    std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+    std::uint64_t eventsExecuted() const;
 
     /** Number of events currently queued (excluding cancelled
      *  tombstones). */
-    std::size_t eventsPending() const { return liveCount_; }
+    std::size_t eventsPending() const;
 
     /** Wrapper events ever heap-allocated by the pools — flat in steady
      *  state, since executed wrappers recycle through free lists. */
-    std::size_t pooledEventsAllocated() const { return pooledAllocated_; }
-    std::size_t callbackEventsAllocated() const
-    {
-        return callbackAllocated_;
-    }
+    std::size_t pooledEventsAllocated() const;
+    std::size_t callbackEventsAllocated() const;
 
     /** Root seed for this simulation. */
     std::uint64_t seed() const { return seed_; }
@@ -249,8 +349,9 @@ class Simulator {
     double runWallSeconds() const { return runWallSeconds_; }
     /** Events per wall-clock second of the most recent run() call. */
     double lastRunEventRate() const { return lastRunEventRate_; }
-    /** Largest event-queue depth ever observed. */
-    std::size_t peakQueueDepth() const { return peakQueueDepth_; }
+    /** Largest event-queue depth ever observed (summed per-partition
+     *  peaks in parallel mode — thread-count invariant). */
+    std::size_t peakQueueDepth() const;
 
   private:
     /** Who owns/recycles the event behind a queue slot. */
@@ -300,7 +401,7 @@ class Simulator {
     };
 
     /** One per-tick bucket: a FIFO lane per epsilon. Within a (tick,
-     *  epsilon) lane, insertion order is sequence order — the global
+     *  epsilon) lane, insertion order is sequence order — the partition's
      *  sequence counter is monotone — so draining lanes in epsilon order
      *  yields the exact (tick, epsilon, sequence) total order with no
      *  comparisons or heap maintenance. `heads` tracks the consumed
@@ -312,47 +413,145 @@ class Simulator {
         std::size_t live = 0;
     };
 
-    void checkNotPast(Time time) const;
-    std::uint64_t makeKey(Epsilon epsilon);
-    void enqueueOwned(Event* event, Time time, EntryKind kind);
-    void scheduleCallback(Time time, std::function<void()> fn);
-    void pushEntry(const QueueEntry& entry);
-    void bucketInsert(const QueueEntry& entry);
-    Tick nextBucketTick() const;
-    Bucket& materialize();
+    /** A cross-partition schedule parked in a mailbox until the tick
+     *  boundary (channel edges) or the next control phase (workload
+     *  notifications). */
+    struct OutItem {
+        Event* event;
+        Time time;
+        std::uint32_t target;
+        std::uint8_t flags;
+    };
+
+    /** One partition's event queue: the full PR 3 two-level design plus
+     *  its own sequence counter, wrapper-event pools, and outgoing
+     *  mailboxes. Padded to a cache line so neighbors don't false-share. */
+    struct alignas(64) PartitionQueue {
+        std::uint64_t sequence = 0;
+        Time now{0, 0};
+        std::uint64_t eventsExecuted = 0;
+        std::uint64_t foregroundPending = 0;
+
+        std::size_t numBuckets = kDefaultHorizon;
+        std::size_t bucketMask = kDefaultHorizon - 1;
+        Tick windowBase = 0;
+        std::vector<Bucket> buckets;
+        std::vector<std::uint64_t> occupancy;
+        std::size_t bucketedCount = 0;
+        std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                            EntryGreater>
+            overflow;
+        std::size_t liveCount = 0;
+
+        std::vector<CallbackEvent*> callbackPool;
+        std::vector<PooledEvent*> pooledPool;
+        std::size_t callbackAllocated = 0;
+        std::size_t pooledAllocated = 0;
+        std::size_t peakQueueDepth = 0;
+
+        /** Mailboxes: events this partition scheduled onto other
+         *  partitions, committed in partition order at the barrier. */
+        std::vector<OutItem> outbox;
+        std::vector<OutItem> controlOutbox;
+    };
+
+    /** Per-thread execution context: which queue the current thread is
+     *  draining. Scheduling calls consult it to route locally, through a
+     *  mailbox, or directly (serial phases). */
+    struct ExecCtx {
+        Simulator* sim;
+        PartitionQueue* queue;
+        std::uint32_t index;
+    };
+    inline static thread_local ExecCtx tlsCtx_{nullptr, nullptr, 0};
+
+    /** schedQueue_ sentinel while an event sits in a mailbox. */
+    static constexpr std::uint32_t kOutboxed = 0xfffffffeu;
+
+    Time fallbackNow() const;
+    std::uint32_t
+    resolveTarget(std::uint32_t partition) const
+    {
+        return partition < numPartitions_ ? partition : controlIndex_;
+    }
+    PartitionQueue&
+    schedCtxQueue()
+    {
+        const ExecCtx& ctx = tlsCtx_;
+        return ctx.sim == this ? *ctx.queue : *queues_[controlIndex_];
+    }
+    void checkSchedulable(std::uint32_t partition, Time time);
+    std::uint64_t makeKey(PartitionQueue& q, Epsilon epsilon);
+    void enqueueOwned(std::uint32_t partition, Event* event, Time time,
+                      EntryKind kind);
+    void routeEntry(std::uint32_t target, Event* event, Time time,
+                    EntryKind kind, bool background);
+    void enqueueDirect(PartitionQueue& q, std::uint32_t index,
+                       Event* event, Time time, EntryKind kind,
+                       bool background);
+    void scheduleCallback(std::uint32_t partition, Time time,
+                          std::function<void()> fn);
+    void pushEntry(PartitionQueue& q, const QueueEntry& entry);
+    void bucketInsert(PartitionQueue& q, const QueueEntry& entry);
+    Tick nextBucketTick(const PartitionQueue& q) const;
+    Tick nextQueueTick(const PartitionQueue& q) const;
+    Bucket& materialize(PartitionQueue& q);
     CallbackEvent* acquireCallback();
     PooledEvent* acquirePooled();
+    void recycle(PartitionQueue& q, const QueueEntry& entry);
+    std::uint64_t runSerial();
+    std::uint64_t runParallel();
+    std::uint64_t drainTick(PartitionQueue& q, Tick tick);
+    std::uint64_t drainControlTick(Tick tick, std::size_t max_lane);
+    std::uint64_t runWorkerPhase(Tick tick);
+    std::uint64_t commitControlOutboxes();
+    void commitOutboxes();
+    std::uint64_t totalForegroundPending() const;
+    Tick nextGlobalTick() const;
+    void spawnWorkers();
+    void stopWorkers();
+    void workerLoop(std::uint32_t worker);
+    void rethrowWorkerError();
     void maybeHeartbeat();
 
     std::uint64_t seed_;
-    Time now_;
-    std::uint64_t sequence_ = 0;
-    std::uint64_t eventsExecuted_ = 0;
-    std::uint64_t foregroundPending_ = 0;
-    Tick timeLimit_ = 0;
+    std::uint64_t timeLimit_ = 0;
     bool timeLimitHit_ = false;
     bool running_ = false;
     bool debug_ = false;
     bool obsEnabled_ = false;
 
-    // Two-level queue: per-tick buckets over [windowBase_,
-    // windowBase_ + numBuckets_) with a non-empty-slot bitmap, plus a
-    // far-future overflow heap.
-    std::size_t numBuckets_ = kDefaultHorizon;
-    std::size_t bucketMask_ = kDefaultHorizon - 1;
-    Tick windowBase_ = 0;
-    std::vector<Bucket> buckets_;
-    std::vector<std::uint64_t> occupancy_;
-    std::size_t bucketedCount_ = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryGreater>
-        overflow_;
-    std::size_t liveCount_ = 0;
+    // Partitioned execution state. Serial mode is the single queue
+    // queues_[0] (which is also the control index), preserving the PR 3
+    // engine behavior exactly.
+    bool parallelRequested_ = false;
+    bool parallel_ = false;
+    std::uint32_t threadsRequested_ = 1;
+    std::uint32_t partitionsRequested_ = 0;
+    std::uint32_t numPartitions_ = 0;
+    std::uint32_t controlIndex_ = 0;
+    std::uint32_t numThreads_ = 1;
+    std::uint32_t buildPartition_ = kAutoPartition;
+    Tick barrierTick_ = 0;
+    bool inFinalSweep_ = false;
+    std::size_t horizonConfig_ = kDefaultHorizon;
+    std::vector<std::unique_ptr<PartitionQueue>> queues_;
 
-    // Free lists for simulator-owned wrapper events.
-    std::vector<CallbackEvent*> callbackPool_;
-    std::vector<PooledEvent*> pooledPool_;
-    std::size_t callbackAllocated_ = 0;
-    std::size_t pooledAllocated_ = 0;
+    // Worker pool (spawned lazily at the first parallel run()): a
+    // generation-counted mutex/condvar barrier; the main thread doubles
+    // as worker 0. The mutex hand-off orders every queue mutation of one
+    // phase before the next, so serial control phases may touch any
+    // partition's state directly.
+    std::vector<std::thread> workers_;
+    std::mutex poolMutex_;
+    std::condition_variable poolStart_;
+    std::condition_variable poolDone_;
+    std::uint64_t poolGeneration_ = 0;
+    std::uint32_t poolRemaining_ = 0;
+    bool poolStop_ = false;
+    Tick poolTick_ = 0;
+    std::vector<std::exception_ptr> workerErrors_;
+    std::atomic<std::uint64_t> roundExecuted_{0};
 
     std::unordered_map<std::string, Component*> components_;
 
@@ -362,10 +561,10 @@ class Simulator {
     double heartbeatSeconds_ = 0.0;
     std::chrono::steady_clock::time_point heartbeatWall_;
     std::uint64_t heartbeatEvents_ = 0;
+    std::uint64_t barrierCount_ = 0;
 
     double runWallSeconds_ = 0.0;
     double lastRunEventRate_ = 0.0;
-    std::size_t peakQueueDepth_ = 0;
 };
 
 }  // namespace ss

@@ -34,7 +34,8 @@ main(int argc, char** argv)
     }
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <config.json> [--json[=path]] [--version] "
+                     "usage: %s <config.json> [--json[=path]] "
+                     "[--threads N] [--partitions N] [--version] "
                      "[path=type=value ...]\n",
                      argv[0]);
         return ss::kExitBadConfig;
@@ -51,6 +52,19 @@ main(int argc, char** argv)
             } else if (arg.rfind("--json=", 0) == 0) {
                 emit_json = true;
                 json_path = arg.substr(7);
+            } else if (arg == "--threads" && i + 1 < argc) {
+                overrides.push_back(
+                    std::string("simulator.threads=uint=") + argv[++i]);
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                overrides.push_back("simulator.threads=uint=" +
+                                    arg.substr(10));
+            } else if (arg == "--partitions" && i + 1 < argc) {
+                overrides.push_back(
+                    std::string("simulator.partitions=uint=") +
+                    argv[++i]);
+            } else if (arg.rfind("--partitions=", 0) == 0) {
+                overrides.push_back("simulator.partitions=uint=" +
+                                    arg.substr(13));
             } else {
                 overrides.push_back(std::move(arg));
             }

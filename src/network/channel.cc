@@ -8,7 +8,9 @@ Channel::Channel(Simulator* simulator, const std::string& name,
       latency_(latency),
       period_(period)
 {
-    checkUser(latency >= 1, "channel latency must be >= 1 tick");
+    checkUser(latency >= 1,
+              "channel latency must be >= 1 tick: a zero-latency channel "
+              "leaves the parallel executer no lookahead");
     checkUser(period >= 1, "channel period must be >= 1 tick");
 }
 

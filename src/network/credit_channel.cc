@@ -6,7 +6,9 @@ CreditChannel::CreditChannel(Simulator* simulator, const std::string& name,
                              const Component* parent, Tick latency)
     : Component(simulator, name, parent), latency_(latency)
 {
-    checkUser(latency >= 1, "credit channel latency must be >= 1 tick");
+    checkUser(latency >= 1,
+              "credit channel latency must be >= 1 tick: a zero-latency "
+              "channel leaves the parallel executer no lookahead");
 }
 
 void

@@ -23,8 +23,29 @@ Network::Network(Simulator* simulator, const std::string& name,
 {
     checkUser(numVcs_ > 0, "network needs at least 1 VC");
     checkUser(channelPeriod_ > 0, "clock_period must be > 0");
-    checkUser(channelLatency_ > 0, "channel_latency must be > 0");
-    checkUser(terminalLatency_ > 0, "terminal_latency must be > 0");
+    checkUser(channelLatency_ > 0,
+              "channel_latency must be > 0: channels are the parallel "
+              "executer's only cross-partition edges, and zero latency "
+              "leaves it no lookahead");
+    checkUser(terminalLatency_ > 0,
+              "terminal_latency must be > 0: channels are the parallel "
+              "executer's only cross-partition edges, and zero latency "
+              "leaves it no lookahead");
+
+    if (simulator->parallelRequested()) {
+        // Shard the network: the plan depends only on the topology
+        // settings (never the thread count), so every --threads value
+        // produces the same partition structure and the same results.
+        std::string topology =
+            json::getString(settings, "topology", std::string());
+        std::uint32_t requested = simulator->isParallel()
+                                      ? simulator->numWorkerPartitions()
+                                      : simulator->requestedPartitions();
+        plan_ = buildPartitionPlan(topology, settings, requested);
+        if (!simulator->isParallel()) {
+            simulator->setupPartitions(plan_.count);
+        }
+    }
 }
 
 Network::~Network() = default;
@@ -58,6 +79,10 @@ Network::router(std::uint32_t id) const
 void
 Network::registerMessage(std::unique_ptr<Message> message)
 {
+    std::unique_lock<std::mutex> lock(inFlightMutex_, std::defer_lock);
+    if (simulator()->isParallel()) {
+        lock.lock();
+    }
     std::uint64_t id = message->id();
     auto [it, inserted] = inFlight_.emplace(id, std::move(message));
     (void)it;
@@ -67,6 +92,10 @@ Network::registerMessage(std::unique_ptr<Message> message)
 void
 Network::releaseMessage(std::uint64_t id)
 {
+    std::unique_lock<std::mutex> lock(inFlightMutex_, std::defer_lock);
+    if (simulator()->isParallel()) {
+        lock.lock();
+    }
     std::size_t erased = inFlight_.erase(id);
     checkSim(erased == 1, "releasing unknown message id ", id);
 }
@@ -113,10 +142,16 @@ Network::makeRouter(const std::string& name, std::uint32_t id,
 {
     std::string architecture =
         json::getString(routerSettings_, "architecture", "input_queued");
+    // Pin the router (and every child component it constructs) to its
+    // partition via the simulator's build cursor.
+    if (plan_.assign) {
+        simulator()->setBuildPartition(plan_.assign(id));
+    }
     Router* router = RouterFactory::instance().create(
         architecture, simulator(), name, this, this, id, num_ports,
         numVcs_, routerSettings_, std::move(routing_factory),
         channelPeriod_);
+    simulator()->setBuildPartition(Simulator::kAutoPartition);
     routers_.emplace_back(router);
     checkSim(router->id() == routers_.size() - 1,
              "router ids must be assigned in construction order");
@@ -144,6 +179,10 @@ Network::linkRouters(Router* a, std::uint32_t port_a, Router* b,
         strf("ch_r", a->id(), "p", port_a, "_r", b->id(), "p", port_b),
         this, latency, channelPeriod_);
     channels_.emplace_back(flit_ch);
+    // A channel's delivery events run on its sink's partition: injecting
+    // from the source side is then the (only) cross-partition schedule,
+    // and the >= 1 tick latency is the executer's lookahead.
+    flit_ch->setPartition(b->partition());
     a->setOutputChannel(port_a, flit_ch);
     b->setInputChannel(port_b, flit_ch);
 
@@ -152,6 +191,7 @@ Network::linkRouters(Router* a, std::uint32_t port_a, Router* b,
         strf("cr_r", b->id(), "p", port_b, "_r", a->id(), "p", port_a),
         this, latency);
     creditChannels_.emplace_back(credit_ch);
+    credit_ch->setPartition(a->partition());
     b->setCreditReturnChannel(port_b, credit_ch);
     a->setCreditInputChannel(port_a, credit_ch);
 
@@ -162,12 +202,17 @@ void
 Network::linkInterface(Interface* iface, Router* router,
                        std::uint32_t router_port, Tick latency)
 {
+    // The interface (and through it the terminal) lives on its router's
+    // partition, so both directions of this link are partition-local.
+    iface->setPartition(router->partition());
+
     // Interface -> router (injection direction).
     auto* inj_ch = new Channel(
         simulator(), strf("ch_i", iface->id(), "_r", router->id(), "p",
                           router_port),
         this, latency, channelPeriod_);
     channels_.emplace_back(inj_ch);
+    inj_ch->setPartition(router->partition());
     iface->setOutputChannel(inj_ch);
     router->setInputChannel(router_port, inj_ch);
 
@@ -176,6 +221,7 @@ Network::linkInterface(Interface* iface, Router* router,
                           iface->id()),
         this, latency);
     creditChannels_.emplace_back(inj_credit);
+    inj_credit->setPartition(router->partition());
     router->setCreditReturnChannel(router_port, inj_credit);
     iface->setCreditInputChannel(inj_credit);
     iface->setInjectionCredits(router->inputBufferSize());
@@ -186,6 +232,7 @@ Network::linkInterface(Interface* iface, Router* router,
                           iface->id()),
         this, latency, channelPeriod_);
     channels_.emplace_back(ej_ch);
+    ej_ch->setPartition(router->partition());
     router->setOutputChannel(router_port, ej_ch);
     iface->setInputChannel(ej_ch);
 
@@ -194,6 +241,7 @@ Network::linkInterface(Interface* iface, Router* router,
                           router_port),
         this, latency);
     creditChannels_.emplace_back(ej_credit);
+    ej_credit->setPartition(router->partition());
     iface->setCreditReturnChannel(ej_credit);
     router->setCreditInputChannel(router_port, ej_credit);
     router->setDownstreamCredits(router_port,
@@ -204,8 +252,12 @@ void
 Network::finalizeRouters()
 {
     for (auto& router : routers_) {
+        // Components created during finalization (routing engines etc.)
+        // belong with their router.
+        simulator()->setBuildPartition(router->partition());
         router->finalize();
     }
+    simulator()->setBuildPartition(Simulator::kAutoPartition);
 }
 
 RoutingAlgorithmFactoryFn

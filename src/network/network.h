@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "network/credit_channel.h"
 #include "network/interface.h"
 #include "network/router.h"
+#include "topology/partitioner.h"
 #include "types/message.h"
 
 namespace ss {
@@ -120,11 +122,18 @@ class Network : public Component {
     json::Value interfaceSettings_;
     json::Value routingSettings_;
 
+    /** The router -> partition assignment when the parallel executer is
+     *  requested (assign is empty in serial mode). */
+    PartitionPlan plan_;
+
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Interface>> interfaces_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Message>> inFlight_;
+    /** Guards inFlight_ in parallel mode: interfaces on different worker
+     *  partitions register/release messages concurrently. */
+    mutable std::mutex inFlightMutex_;
     std::function<void(const Message*)> ejectMonitor_;
 };
 

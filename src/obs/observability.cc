@@ -72,6 +72,13 @@ Observability::attachNetwork(Network* network)
     if (!enabled_) {
         return;
     }
+    if (trace_ && simulator_->isParallel()) {
+        // Worker partitions emit spans concurrently; buffer per shard and
+        // flush in shard order at close.
+        Simulator* sim = simulator_;
+        trace_->enableSharding([sim]() { return sim->currentShard(); },
+                               sim->numShards());
+    }
     obs::MetricsRegistry& m = simulator_->metrics();
     m.polledGauge("network.mean_channel_utilization", [network]() {
         auto utils = network->channelUtilizations();

@@ -1,6 +1,7 @@
 #include "obs/trace_writer.h"
 
 #include <cstdio>
+#include <sstream>
 
 #include "core/logging.h"
 
@@ -53,6 +54,27 @@ TraceWriter::beginEvent()
 }
 
 void
+TraceWriter::enableSharding(std::function<std::uint32_t()> shard_fn,
+                            std::uint32_t num_shards)
+{
+    checkSim(num_shards >= 1 && shard_fn != nullptr,
+             "trace sharding needs a shard function and >= 1 shards");
+    shardFn_ = std::move(shard_fn);
+    shards_.resize(num_shards);
+}
+
+TraceWriter::Shard*
+TraceWriter::currentShard()
+{
+    if (shards_.empty()) {
+        return nullptr;
+    }
+    std::uint32_t shard = shardFn_();
+    checkSim(shard < shards_.size(), "trace shard out of range");
+    return &shards_[shard];
+}
+
+void
 TraceWriter::completeEvent(std::uint32_t pid, std::uint32_t tid,
                            const std::string& name, const char* category,
                            std::uint64_t ts, std::uint64_t dur,
@@ -61,19 +83,32 @@ TraceWriter::completeEvent(std::uint32_t pid, std::uint32_t tid,
     if (closed_ || truncated_) {
         return;
     }
+    std::ostringstream event;
+    event << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+          << category << "\",\"ts\":" << ts << ",\"dur\":" << dur;
+    if (!args_json.empty()) {
+        event << ",\"args\":" << args_json;
+    }
+    event << "}";
+    if (Shard* shard = currentShard()) {
+        if (shard->truncated ||
+            (maxEvents_ > 0 && shard->count >= maxEvents_)) {
+            shard->truncated = true;
+            return;
+        }
+        shard->buf += ",\n";
+        shard->buf += event.str();
+        ++shard->count;
+        return;
+    }
     if (maxEvents_ > 0 && eventCount_ >= maxEvents_) {
         truncated_ = true;
         warn("trace ", path_, " truncated at ", eventCount_, " events");
         return;
     }
     beginEvent();
-    out_ << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
-         << ",\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
-         << category << "\",\"ts\":" << ts << ",\"dur\":" << dur;
-    if (!args_json.empty()) {
-        out_ << ",\"args\":" << args_json;
-    }
-    out_ << "}";
+    out_ << event.str();
 }
 
 void
@@ -83,15 +118,28 @@ TraceWriter::counterEvent(std::uint32_t pid, const std::string& name,
     if (closed_ || truncated_) {
         return;
     }
+    std::ostringstream event;
+    event << "{\"ph\":\"C\",\"pid\":" << pid << ",\"name\":\""
+          << jsonEscape(name) << "\",\"ts\":" << ts
+          << ",\"args\":{\"value\":" << value << "}}";
+    if (Shard* shard = currentShard()) {
+        if (shard->truncated ||
+            (maxEvents_ > 0 && shard->count >= maxEvents_)) {
+            shard->truncated = true;
+            return;
+        }
+        shard->buf += ",\n";
+        shard->buf += event.str();
+        ++shard->count;
+        return;
+    }
     if (maxEvents_ > 0 && eventCount_ >= maxEvents_) {
         truncated_ = true;
         warn("trace ", path_, " truncated at ", eventCount_, " events");
         return;
     }
     beginEvent();
-    out_ << "{\"ph\":\"C\",\"pid\":" << pid << ",\"name\":\""
-         << jsonEscape(name) << "\",\"ts\":" << ts
-         << ",\"args\":{\"value\":" << value << "}}";
+    out_ << event.str();
 }
 
 void
@@ -120,11 +168,38 @@ TraceWriter::threadName(std::uint32_t pid, std::uint32_t tid,
 }
 
 void
+TraceWriter::flushShards()
+{
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = shards_[i];
+        if (shard.truncated) {
+            warn("trace ", path_, " shard ", i, " truncated at ",
+                 shard.count, " events");
+        }
+        if (shard.buf.empty()) {
+            continue;
+        }
+        if (eventCount_ == 0) {
+            // First event of the file: drop the leading comma.
+            out_ << "\n";
+            out_.write(shard.buf.data() + 2,
+                       static_cast<std::streamsize>(shard.buf.size() - 2));
+        } else {
+            out_ << shard.buf;
+        }
+        eventCount_ += shard.count;
+        shard.buf.clear();
+        shard.count = 0;
+    }
+}
+
+void
 TraceWriter::close()
 {
     if (closed_) {
         return;
     }
+    flushShards();
     closed_ = true;
     out_ << "\n]\n";
     out_.close();

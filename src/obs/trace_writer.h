@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace ss::obs {
 
@@ -64,16 +66,35 @@ class TraceWriter {
     void threadName(std::uint32_t pid, std::uint32_t tid,
                     const std::string& name);
 
-    /** Events written so far (metadata included). */
+    /** Events written so far (metadata included; buffered shard events
+     *  count only after they are flushed). */
     std::uint64_t eventCount() const { return eventCount_; }
     /** True once max_events was reached and recording stopped. */
     bool truncated() const { return truncated_; }
+
+    /** Parallel mode: routes span/counter events into @p num_shards
+     *  per-partition string buffers selected by @p shard_fn, so worker
+     *  threads never touch the stream concurrently. Buffers are flushed
+     *  to the file in shard order at close() — thread-count invariant.
+     *  Metadata (process/thread names) still writes directly; max_events
+     *  applies per shard while sharding is active. */
+    void enableSharding(std::function<std::uint32_t()> shard_fn,
+                        std::uint32_t num_shards);
 
     /** Terminates the JSON array and closes the file (idempotent). */
     void close();
 
   private:
+    /** One partition's buffered events, each prefixed with ",\n". */
+    struct Shard {
+        std::string buf;
+        std::uint64_t count = 0;
+        bool truncated = false;
+    };
+
     void beginEvent();
+    Shard* currentShard();
+    void flushShards();
 
     std::ofstream out_;
     std::string path_;
@@ -84,6 +105,9 @@ class TraceWriter {
     std::uint64_t eventCount_ = 0;
     bool truncated_ = false;
     bool closed_ = false;
+
+    std::function<std::uint32_t()> shardFn_;
+    std::vector<Shard> shards_;
 };
 
 /** Escapes a string for embedding in a JSON literal (no quotes added). */

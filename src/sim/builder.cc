@@ -15,6 +15,22 @@ Simulation::Simulation(const json::Value& config) : config_(config)
         json::getUint(sim_settings, "time_limit", 0));
     simulator_->setDebug(json::getBool(sim_settings, "debug", false));
 
+    // Partitioned parallel execution: "threads" >= 1 turns it on (the
+    // network picks the partition plan during construction); absent/0
+    // keeps the legacy serial engine. "partitions" overrides the
+    // Partitioner's automatic count (0 = automatic).
+    std::uint64_t threads = json::getUint(sim_settings, "threads", 0);
+    std::uint64_t partitions =
+        json::getUint(sim_settings, "partitions", 0);
+    if (threads >= 1) {
+        simulator_->requestParallel(
+            static_cast<std::uint32_t>(threads),
+            static_cast<std::uint32_t>(partitions));
+    } else {
+        checkUser(partitions == 0,
+                  "simulator.partitions requires simulator.threads >= 1");
+    }
+
     // Observability must exist before the network so routers/interfaces
     // see the enabled flag and register their instruments at build time.
     observability_ =
@@ -42,6 +58,7 @@ Simulation::run()
 {
     observability_->start();
     simulator_->run();
+    workload_->finalize();
     observability_->finish();
 
     RunResult result;

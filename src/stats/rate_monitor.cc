@@ -1,5 +1,7 @@
 #include "stats/rate_monitor.h"
 
+#include <algorithm>
+
 #include "core/logging.h"
 
 namespace ss {
@@ -40,6 +42,17 @@ RateMonitor::recordFlit(std::uint32_t source)
     ++total_;
     if (source < perSource_.size()) {
         ++perSource_[source];
+    }
+}
+
+void
+RateMonitor::merge(const RateMonitor& other)
+{
+    total_ += other.total_;
+    std::size_t n =
+        std::min(perSource_.size(), other.perSource_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        perSource_[i] += other.perSource_[i];
     }
 }
 

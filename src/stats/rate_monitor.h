@@ -30,6 +30,10 @@ class RateMonitor {
      *  the window). */
     void recordFlit(std::uint32_t source);
 
+    /** Adds @p other's counts into this monitor (window bounds keep this
+     *  monitor's values) — used to fold per-partition shards together. */
+    void merge(const RateMonitor& other);
+
     std::uint64_t totalFlits() const { return total_; }
     std::uint64_t sourceFlits(std::uint32_t source) const;
     std::uint64_t windowTicks() const;

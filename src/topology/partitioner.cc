@@ -1,0 +1,148 @@
+#include "topology/partitioner.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss {
+
+namespace {
+
+/** Automatic partition counts are clamped to this fixed bound (never a
+ *  function of the machine — determinism requires that the partition
+ *  structure depend only on the config). */
+constexpr std::uint32_t kMaxAutoPartitions = 64;
+
+std::uint32_t
+pickCount(std::uint32_t requested, std::uint64_t natural)
+{
+    if (requested >= 1) {
+        return requested;
+    }
+    std::uint64_t count = std::min<std::uint64_t>(
+        std::max<std::uint64_t>(natural, 1), kMaxAutoPartitions);
+    return static_cast<std::uint32_t>(count);
+}
+
+/** Slab index for unit @p unit of @p total units over @p count
+ *  partitions: contiguous, balanced to within one unit. */
+std::uint32_t
+slab(std::uint64_t unit, std::uint64_t total, std::uint32_t count)
+{
+    if (total == 0) {
+        return 0;
+    }
+    std::uint64_t p = unit * count / total;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(p, count - 1));
+}
+
+PartitionPlan
+slabPlanForWidths(const json::Value& settings, std::uint32_t requested)
+{
+    // torus / hyperx: partition by the last dimension's coordinate. The
+    // digit order matches Torus::coordinate(): dimension d's stride is
+    // the product of all earlier widths, so the last coordinate is
+    // simply id / (product of all widths but the last).
+    std::vector<std::uint64_t> widths =
+        json::getUintVector(settings, "widths");
+    checkUser(!widths.empty(), "partitioner: 'widths' must be non-empty");
+    std::uint64_t inner_stride = 1;
+    for (std::size_t d = 0; d + 1 < widths.size(); ++d) {
+        inner_stride *= std::max<std::uint64_t>(widths[d], 1);
+    }
+    const std::uint64_t last = std::max<std::uint64_t>(widths.back(), 1);
+    PartitionPlan plan;
+    plan.count = pickCount(requested, last);
+    const std::uint32_t count = plan.count;
+    plan.assign = [inner_stride, last, count](std::uint32_t router) {
+        return slab(router / inner_stride, last, count);
+    };
+    return plan;
+}
+
+PartitionPlan
+groupPlanForDragonfly(const json::Value& settings, std::uint32_t requested)
+{
+    const std::uint64_t a = json::getUint(settings, "group_size");
+    const std::uint64_t h = json::getUint(settings, "global_channels");
+    checkUser(a >= 1 && h >= 1,
+              "partitioner: dragonfly group_size/global_channels must "
+              "be >= 1");
+    const std::uint64_t groups = a * h + 1;
+    PartitionPlan plan;
+    plan.count = pickCount(requested, groups);
+    const std::uint32_t count = plan.count;
+    plan.assign = [a, groups, count](std::uint32_t router) {
+        return slab(router / a, groups, count);
+    };
+    return plan;
+}
+
+PartitionPlan
+positionPlanForFoldedClos(const json::Value& settings,
+                          std::uint32_t requested)
+{
+    // Replicates FoldedClos's level arithmetic from its settings: levels
+    // 0..L-2 have k^(L-1) routers each; the physical root level has
+    // k^(L-1) routers, halved when roots are merged (default when even).
+    const std::uint64_t k = json::getUint(settings, "half_radix");
+    const std::uint64_t levels = json::getUint(settings, "levels");
+    checkUser(k >= 2 && levels >= 2,
+              "partitioner: folded Clos half_radix must be >= 2 and "
+              "levels >= 2");
+    std::uint64_t per_level = 1;
+    for (std::uint64_t l = 1; l < levels; ++l) {
+        per_level *= k;
+    }
+    const bool merged = json::getBool(settings, "merged_roots",
+                                      per_level % 2 == 0);
+    const std::uint64_t root_first = (levels - 1) * per_level;
+    const std::uint64_t roots = merged ? per_level / 2 : per_level;
+    PartitionPlan plan;
+    plan.count = pickCount(requested, k);
+    const std::uint32_t count = plan.count;
+    plan.assign = [per_level, root_first, roots,
+                   count](std::uint32_t router) {
+        if (router >= root_first) {
+            return slab(router - root_first, roots, count);
+        }
+        return slab(router % per_level, per_level, count);
+    };
+    return plan;
+}
+
+PartitionPlan
+roundRobinPlan(std::uint32_t requested)
+{
+    PartitionPlan plan;
+    plan.count = pickCount(requested, 1);
+    const std::uint32_t count = plan.count;
+    plan.assign = [count](std::uint32_t router) { return router % count; };
+    return plan;
+}
+
+}  // namespace
+
+PartitionPlan
+buildPartitionPlan(const std::string& topology,
+                   const json::Value& settings, std::uint32_t requested)
+{
+    PartitionPlan plan;
+    if (topology == "torus" || topology == "hyperx") {
+        plan = slabPlanForWidths(settings, requested);
+    } else if (topology == "dragonfly") {
+        plan = groupPlanForDragonfly(settings, requested);
+    } else {
+        // parking_lot and unknown topologies: round-robin by router id.
+        plan = topology == "folded_clos"
+                   ? positionPlanForFoldedClos(settings, requested)
+                   : roundRobinPlan(requested);
+    }
+    checkSim(plan.count >= 1 && plan.assign != nullptr,
+             "partition plan must have a count and an assignment");
+    return plan;
+}
+
+}  // namespace ss

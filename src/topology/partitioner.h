@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Partitioner: assigns routers (and with them their interfaces,
+ * terminals, and inbound channels) to the parallel executer's partitions
+ * (DESIGN.md §9).
+ *
+ * The plan is derived only from topology settings — never from the
+ * thread count or the machine — so a config always produces the same
+ * partition structure and therefore the same simulation results for any
+ * `--threads` value. Policies:
+ *
+ *   torus / hyperx: dimension slabs — contiguous blocks of the last
+ *     dimension's coordinate (neighbors in all other dimensions stay
+ *     together; only last-dimension ring links cross partitions).
+ *   dragonfly: whole groups — local channels stay inside a partition,
+ *     only global channels cross.
+ *   folded_clos: position slabs — each partition owns a vertical slice
+ *     of positions through all levels.
+ *   parking_lot (and unknown topologies): round-robin by router id.
+ *
+ * The partition count is `simulator.partitions` when given; otherwise it
+ * is chosen from the topology's natural unit (last-dimension width,
+ * group count, half-radix), clamped to a fixed bound so tiny configs do
+ * not drown in barrier overhead.
+ */
+#ifndef SS_TOPOLOGY_PARTITIONER_H_
+#define SS_TOPOLOGY_PARTITIONER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "json/json.h"
+
+namespace ss {
+
+/** A partition assignment for one network. */
+struct PartitionPlan {
+    /** Number of worker partitions (>= 1). */
+    std::uint32_t count = 1;
+    /** Maps a router id to its partition in [0, count). */
+    std::function<std::uint32_t(std::uint32_t)> assign;
+};
+
+/** Builds the plan for @p topology (the network settings' "topology"
+ *  value) from the same @p settings the topology itself reads.
+ *  @p requested is `simulator.partitions` (0 = automatic). */
+PartitionPlan buildPartitionPlan(const std::string& topology,
+                                 const json::Value& settings,
+                                 std::uint32_t requested);
+
+}  // namespace ss
+
+#endif  // SS_TOPOLOGY_PARTITIONER_H_

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * FixedArray: exact-capacity, placement-new element storage.
+ *
+ * The flit/packet containers are sized exactly once at message creation
+ * and never grow, so a general vector wastes capacity doubling and (for
+ * non-movable elements) forces one heap allocation per element. A
+ * FixedArray allocates one raw block for the final element count and
+ * constructs elements in place: addresses are stable for the container's
+ * lifetime (elements may hand out `this`), elements need not be copyable
+ * or movable, and a whole packet's flits sit contiguously in cache.
+ */
+#ifndef SS_TYPES_FIXED_ARRAY_H_
+#define SS_TYPES_FIXED_ARRAY_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace ss {
+
+/** A one-shot array: reserve exact capacity, emplace up to it. */
+template <typename T>
+class FixedArray {
+  public:
+    FixedArray() = default;
+    explicit FixedArray(std::size_t capacity) { reset(capacity); }
+
+    FixedArray(const FixedArray&) = delete;
+    FixedArray& operator=(const FixedArray&) = delete;
+
+    ~FixedArray() { release(); }
+
+    /** Destroys all elements and reallocates raw storage for exactly
+     *  @p capacity elements (none constructed yet). */
+    void
+    reset(std::size_t capacity)
+    {
+        release();
+        capacity_ = capacity;
+        if (capacity > 0) {
+            data_ = static_cast<T*>(::operator new(
+                capacity * sizeof(T), std::align_val_t(alignof(T))));
+        }
+    }
+
+    /** Constructs the next element in place; the returned address is
+     *  stable for the array's lifetime. */
+    template <typename... Args>
+    T&
+    emplaceBack(Args&&... args)
+    {
+        checkSim(size_ < capacity_, "FixedArray capacity exceeded");
+        T* slot = data_ + size_;
+        ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return size_ == 0; }
+
+    T& operator[](std::size_t index) const { return data_[index]; }
+    /** Bounds-checked element address. */
+    T*
+    at(std::size_t index) const
+    {
+        checkSim(index < size_, "FixedArray index out of range");
+        return data_ + index;
+    }
+
+    T* begin() const { return data_; }
+    T* end() const { return data_ + size_; }
+
+  private:
+    void
+    release()
+    {
+        for (std::size_t i = size_; i > 0; --i) {
+            data_[i - 1].~T();
+        }
+        if (data_ != nullptr) {
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+        }
+        data_ = nullptr;
+        size_ = 0;
+        capacity_ = 0;
+    }
+
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+}  // namespace ss
+
+#endif  // SS_TYPES_FIXED_ARRAY_H_

@@ -17,11 +17,14 @@ Message::Message(std::uint64_t id, std::uint32_t app_id,
 {
     checkUser(num_flits >= 1, "a message needs at least one flit");
     checkUser(max_packet_size >= 1, "max packet size must be >= 1");
+    std::uint32_t count =
+        (num_flits + max_packet_size - 1) / max_packet_size;
+    packets_.reset(count);
     std::uint32_t remaining = num_flits;
     std::uint32_t pkt_id = 0;
     while (remaining > 0) {
         std::uint32_t size = std::min(remaining, max_packet_size);
-        packets_.push_back(std::make_unique<Packet>(this, pkt_id++, size));
+        packets_.emplaceBack(this, pkt_id++, size);
         remaining -= size;
     }
 }
@@ -36,7 +39,7 @@ Packet*
 Message::packet(std::uint32_t index) const
 {
     checkSim(index < packets_.size(), "packet index out of range");
-    return packets_[index].get();
+    return packets_.at(index);
 }
 
 bool
@@ -52,8 +55,8 @@ std::uint32_t
 Message::maxHopCount() const
 {
     std::uint32_t hops = 0;
-    for (const auto& pkt : packets_) {
-        hops = std::max(hops, pkt->hopCount());
+    for (const Packet& pkt : packets_) {
+        hops = std::max(hops, pkt.hopCount());
     }
     return hops;
 }
@@ -61,8 +64,8 @@ Message::maxHopCount() const
 bool
 Message::tookNonminimal() const
 {
-    for (const auto& pkt : packets_) {
-        if (pkt->tookNonminimal()) {
+    for (const Packet& pkt : packets_) {
+        if (pkt.tookNonminimal()) {
             return true;
         }
     }

@@ -8,10 +8,9 @@
 #define SS_TYPES_MESSAGE_H_
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "core/time.h"
+#include "types/fixed_array.h"
 #include "types/packet.h"
 
 namespace ss {
@@ -70,7 +69,9 @@ class Message {
     std::uint32_t source_;
     std::uint32_t destination_;
     std::uint32_t totalFlits_;
-    std::vector<std::unique_ptr<Packet>> packets_;
+    /** Packets stored by value, contiguously: one allocation per message,
+     *  stable Packet* addresses (flits hold packet back-pointers). */
+    FixedArray<Packet> packets_;
     bool sampled_ = false;
     Time createTime_ = Time::invalid();
     Time deliverTime_ = Time::invalid();

@@ -9,10 +9,9 @@ Packet::Packet(Message* message, std::uint32_t id, std::uint32_t num_flits)
     : message_(message), id_(id)
 {
     checkUser(num_flits >= 1, "a packet needs at least one flit");
-    flits_.reserve(num_flits);
+    flits_.reset(num_flits);
     for (std::uint32_t i = 0; i < num_flits; ++i) {
-        flits_.push_back(std::make_unique<Flit>(
-            this, i, i == 0, i == num_flits - 1));
+        flits_.emplaceBack(this, i, i == 0, i == num_flits - 1);
     }
 }
 
@@ -26,7 +25,7 @@ Flit*
 Packet::flit(std::uint32_t index) const
 {
     checkSim(index < flits_.size(), "flit index out of range");
-    return flits_[index].get();
+    return flits_.at(index);
 }
 
 bool

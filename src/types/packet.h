@@ -10,10 +10,9 @@
 #define SS_TYPES_PACKET_H_
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "core/time.h"
+#include "types/fixed_array.h"
 #include "types/flit.h"
 
 namespace ss {
@@ -88,7 +87,9 @@ class Packet {
   private:
     Message* message_;
     std::uint32_t id_;
-    std::vector<std::unique_ptr<Flit>> flits_;
+    /** Flits stored by value, contiguously: one allocation per packet,
+     *  stable Flit* addresses (flits hold `this` back-pointers). */
+    FixedArray<Flit> flits_;
 
     std::uint32_t routingPhase_ = 0;
     std::int64_t intermediate_ = kNoIntermediate;

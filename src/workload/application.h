@@ -49,6 +49,27 @@ class Application : public Component {
      *  interface's sink for this app. */
     void adoptTerminal(Terminal* terminal);
 
+    /** Runs @p fn on the workload control plane. Serial mode runs it
+     *  immediately. In parallel mode terminals call back from their
+     *  partitions' worker threads, so app-global state (counters,
+     *  handshake signals) must only be touched through this: the callable
+     *  is deferred to this tick's control phase, where deferred work is
+     *  committed in fixed partition order — deterministic for any thread
+     *  count. Captures must be copies; a delivered Message* is dead by
+     *  control time. */
+    template <typename F>
+    void
+    onControl(F&& fn)
+    {
+        if (simulator()->isParallel()) {
+            simulator()->scheduleFor(Simulator::kAutoPartition,
+                                     Time(now().tick, eps::kControl),
+                                     std::forward<F>(fn));
+        } else {
+            fn();
+        }
+    }
+
     /** Sends the corresponding signal to the workload, decoupled through
      *  a control-epsilon event to avoid re-entrant phase changes. */
     void signalReady();

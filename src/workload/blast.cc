@@ -144,24 +144,28 @@ BlastApplication::kill()
 void
 BlastApplication::sampledSent()
 {
-    ++sampledSent_;
+    onControl([this]() { ++sampledSent_; });
 }
 
 void
 BlastApplication::terminalQuotaReached()
 {
-    ++terminalsAtQuota_;
-    if (terminalsAtQuota_ == numTerminals()) {
-        signalComplete();
-    }
+    onControl([this]() {
+        ++terminalsAtQuota_;
+        if (terminalsAtQuota_ == numTerminals()) {
+            signalComplete();
+        }
+    });
 }
 
 void
 BlastApplication::messageDelivered(const Message* message)
 {
     if (message->sampled()) {
-        ++sampledDelivered_;
-        maybeDone();
+        onControl([this]() {
+            ++sampledDelivered_;
+            maybeDone();
+        });
     }
 }
 

@@ -113,24 +113,28 @@ PulseApplication::kill()
 void
 PulseApplication::messageSent()
 {
-    ++sent_;
+    onControl([this]() { ++sent_; });
 }
 
 void
 PulseApplication::terminalFinished()
 {
-    ++terminalsFinished_;
-    if (terminalsFinished_ == numTerminals()) {
-        signalComplete();
-    }
+    onControl([this]() {
+        ++terminalsFinished_;
+        if (terminalsFinished_ == numTerminals()) {
+            signalComplete();
+        }
+    });
 }
 
 void
 PulseApplication::messageDelivered(const Message* message)
 {
     (void)message;
-    ++delivered_;
-    maybeDone();
+    onControl([this]() {
+        ++delivered_;
+        maybeDone();
+    });
 }
 
 void

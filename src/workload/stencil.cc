@@ -179,26 +179,33 @@ StencilApplication::kill()
 void
 StencilApplication::messageSent()
 {
-    ++sent_;
+    onControl([this]() { ++sent_; });
 }
 
 void
 StencilApplication::terminalFinished()
 {
-    ++terminalsFinished_;
-    lastFinish_ = now().tick;
-    if (terminalsFinished_ == numTerminals()) {
-        signalComplete();
-    }
+    Tick tick = now().tick;
+    onControl([this, tick]() {
+        ++terminalsFinished_;
+        lastFinish_ = tick;
+        if (terminalsFinished_ == numTerminals()) {
+            signalComplete();
+        }
+    });
 }
 
 void
 StencilApplication::messageDelivered(const Message* message)
 {
-    ++delivered_;
+    // The halo reaction runs here, on the destination terminal's own
+    // partition; only the app-global accounting defers to control.
     static_cast<StencilTerminal*>(terminal(message->destination()))
         ->haloArrived(message->source());
-    maybeDone();
+    onControl([this]() {
+        ++delivered_;
+        maybeDone();
+    });
 }
 
 void

@@ -14,6 +14,10 @@ Terminal::Terminal(Simulator* simulator, const std::string& name,
       interface_(application->workload()->network()->interface(id))
 {
     interface_->setMessageSink(application->id(), this);
+    // The terminal's events run where its interface lives, so injection
+    // and delivery are partition-local (control partition in serial
+    // mode, where interfaces are unpinned).
+    setPartition(interface_->partition());
 }
 
 Terminal::~Terminal() = default;
@@ -23,7 +27,15 @@ Terminal::sendMessage(std::uint32_t destination, std::uint32_t num_flits,
                       std::uint32_t max_packet_size, bool sampled)
 {
     Workload* workload = application_->workload();
-    std::uint64_t id = workload->nextMessageId();
+    // Parallel mode cannot share the workload's global id counter across
+    // worker threads; pack a unique id from (app, terminal, per-terminal
+    // count) instead — deterministic for any thread count.
+    std::uint64_t id =
+        simulator()->isParallel()
+            ? (static_cast<std::uint64_t>(application_->id()) << 56) |
+                  (static_cast<std::uint64_t>(id_) << 32) |
+                  nextLocalMessageId_++
+            : workload->nextMessageId();
     auto message = std::make_unique<Message>(
         id, application_->id(), id_, destination, num_flits,
         max_packet_size);

@@ -46,6 +46,8 @@ class Terminal : public Component, public MessageSink {
     Interface* interface_;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t messagesReceived_ = 0;
+    /** Per-terminal message id counter for parallel mode. */
+    std::uint64_t nextLocalMessageId_ = 0;
 };
 
 }  // namespace ss

@@ -205,18 +205,22 @@ TraceApplication::kill()
 void
 TraceApplication::recordInjected()
 {
-    ++injected_;
-    if (injected_ == totalRecords_) {
-        signalComplete();
-    }
+    onControl([this]() {
+        ++injected_;
+        if (injected_ == totalRecords_) {
+            signalComplete();
+        }
+    });
 }
 
 void
 TraceApplication::messageDelivered(const Message* message)
 {
     (void)message;
-    ++delivered_;
-    maybeDone();
+    onControl([this]() {
+        ++delivered_;
+        maybeDone();
+    });
 }
 
 void

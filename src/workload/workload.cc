@@ -29,8 +29,21 @@ Workload::Workload(Simulator* simulator, const std::string& name,
               "'applications' must be a non-empty array");
 
     rateMonitor_.resize(network->numInterfaces());
+    if (simulator->isParallel()) {
+        samplerShards_.resize(simulator->numShards());
+        rateShards_.resize(simulator->numShards());
+        for (auto& shard : rateShards_) {
+            shard.resize(network->numInterfaces());
+        }
+    }
     network->setEjectMonitor([this](const Message* message) {
-        rateMonitor_.recordFlit(message->source());
+        Simulator* sim = this->simulator();
+        if (sim->isParallel()) {
+            rateShards_[sim->currentShard()].recordFlit(
+                message->source());
+        } else {
+            rateMonitor_.recordFlit(message->source());
+        }
     });
 
     for (std::size_t i = 0; i < apps.size(); ++i) {
@@ -116,6 +129,9 @@ Workload::advanceIfUniform()
             phase_ = Phase::kGenerating;
             generateStart_ = now().tick;
             rateMonitor_.start(generateStart_);
+            for (auto& shard : rateShards_) {
+                shard.start(generateStart_);
+            }
             dbg("-> generating");
             for (auto& app : applications_) {
                 app->start();
@@ -127,6 +143,9 @@ Workload::advanceIfUniform()
             phase_ = Phase::kFinishing;
             generateStop_ = now().tick;
             rateMonitor_.stop(generateStop_);
+            for (auto& shard : rateShards_) {
+                shard.stop(generateStop_);
+            }
             dbg("-> finishing");
             for (auto& app : applications_) {
                 app->stop();
@@ -167,9 +186,37 @@ Workload::recordDelivered(const Message* message)
     sample.minHops =
         network_->minimalHops(message->source(), message->destination());
     sample.nonminimal = message->tookNonminimal();
-    sampler_.record(sample);
-    if (log_) {
-        log_->write(sample);
+    if (simulator()->isParallel()) {
+        // Worker threads buffer into their partition's shard; the log is
+        // written from finalize() in shard order.
+        samplerShards_[simulator()->currentShard()].record(sample);
+    } else {
+        sampler_.record(sample);
+        if (log_) {
+            log_->write(sample);
+        }
+    }
+}
+
+void
+Workload::finalize()
+{
+    if (finalized_ || !simulator()->isParallel()) {
+        finalized_ = true;
+        return;
+    }
+    finalized_ = true;
+    for (auto& shard : samplerShards_) {
+        for (const MessageSample& sample : shard.samples()) {
+            sampler_.record(sample);
+            if (log_) {
+                log_->write(sample);
+            }
+        }
+        shard.clear();
+    }
+    for (auto& shard : rateShards_) {
+        rateMonitor_.merge(shard);
     }
 }
 

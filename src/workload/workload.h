@@ -75,8 +75,16 @@ class Workload : public Component {
     void applicationDone(std::uint32_t app_id);
 
     /** Records a delivered message; sampled messages enter the sampler
-     *  and the log. */
+     *  and the log (into the calling partition's shard in parallel
+     *  mode). */
     void recordDelivered(const Message* message);
+
+    /** Merges the per-partition stat shards into the primary sampler,
+     *  rate monitor, and transaction log, in shard order (worker
+     *  partitions first, control last) — thread-count invariant. Must be
+     *  called after run(), before reading the accessors below; no-op in
+     *  serial mode and on repeat calls. */
+    void finalize();
 
     // ----- sampling-window instrumentation -----
     const LatencySampler& sampler() const { return sampler_; }
@@ -100,6 +108,13 @@ class Workload : public Component {
     LatencySampler sampler_;
     RateMonitor rateMonitor_;
     std::unique_ptr<TransactionLog> log_;
+
+    /** Parallel mode: per-partition stat buffers (indexed by
+     *  Simulator::currentShard()) so worker threads never touch shared
+     *  collectors; finalize() folds them into the primaries above. */
+    std::vector<LatencySampler> samplerShards_;
+    std::vector<RateMonitor> rateShards_;
+    bool finalized_ = false;
 };
 
 /** Factory of application models, keyed by the "type" setting. */

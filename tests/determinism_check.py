@@ -2,7 +2,7 @@
 """Same-seed determinism gate for the supersim CLI.
 
 Usage:
-    determinism_check.py <supersim binary> <config.json>
+    determinism_check.py <supersim binary> <config.json> [--threads-sweep]
 
 Runs the config three times with observability fully on:
   - twice with the same seed: the RunResult JSON (minus wall-clock
@@ -11,6 +11,11 @@ Runs the config three times with observability fully on:
   - once with a different seed: the packet-level outcome must change,
     proving the comparison is sensitive to actual behavior and not
     vacuously passing.
+
+With --threads-sweep it additionally runs the partitioned parallel
+executer with --threads 1, 2, and 8 and requires every output to be
+byte-identical to the --threads 1 run: thread count must never change
+simulation results (the executer's headline guarantee).
 
 Exits nonzero with a diagnostic on any mismatch.
 """
@@ -34,18 +39,19 @@ def strip_wall_clock_lines(data):
         if not any(name in line for name in NONDETERMINISTIC_INSTRUMENTS))
 
 
-def run(binary, config, seed, outdir, tag):
+def run(binary, config, seed, outdir, tag, threads=None):
     result_path = os.path.join(outdir, f"{tag}_result.json")
     series_path = os.path.join(outdir, f"{tag}_series.csv")
     trace_path = os.path.join(outdir, f"{tag}_trace.json")
-    subprocess.run(
-        [binary, config,
-         f"--json={result_path}",
-         "observability.enabled=bool=true",
-         f"observability.series_file=string={series_path}",
-         f"observability.trace_file=string={trace_path}",
-         f"simulator.seed=uint={seed}"],
-        check=True, stdout=subprocess.DEVNULL)
+    argv = [binary, config,
+            f"--json={result_path}",
+            "observability.enabled=bool=true",
+            f"observability.series_file=string={series_path}",
+            f"observability.trace_file=string={trace_path}",
+            f"simulator.seed=uint={seed}"]
+    if threads is not None:
+        argv.append(f"--threads={threads}")
+    subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
     with open(result_path) as f:
         result = json.load(f)
     for field in NONDETERMINISTIC_ENGINE_FIELDS:
@@ -58,16 +64,32 @@ def run(binary, config, seed, outdir, tag):
 
 
 def main():
-    if len(sys.argv) != 3:
+    argv = list(sys.argv[1:])
+    threads_sweep = "--threads-sweep" in argv
+    if threads_sweep:
+        argv.remove("--threads-sweep")
+    if len(argv) != 2:
         sys.exit(__doc__)
-    binary, config = sys.argv[1], sys.argv[2]
+    binary, config = argv
 
+    failures = []
     with tempfile.TemporaryDirectory() as outdir:
         res_a, series_a, trace_a = run(binary, config, 42, outdir, "a")
         res_b, series_b, trace_b = run(binary, config, 42, outdir, "b")
         res_c, _, _ = run(binary, config, 43, outdir, "c")
+        if threads_sweep:
+            base = run(binary, config, 42, outdir, "t1", threads=1)
+            for threads in (2, 8):
+                sweep = run(binary, config, 42, outdir,
+                            f"t{threads}", threads=threads)
+                for kind, want, got in zip(
+                        ("RunResult JSON", "metrics series", "trace"),
+                        base, sweep):
+                    if want != got:
+                        failures.append(
+                            f"--threads {threads} {kind} differs from "
+                            f"--threads 1")
 
-    failures = []
     if res_a != res_b:
         failures.append("same-seed RunResult JSON differs")
     if series_a != series_b:
