@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Overhead gate of the activity-counter power model: the same torus
+ * blast workload run with the power model off and on. The "off" run
+ * must match the pre-power baseline (disabled components hold null
+ * counter pointers, so the hot path pays one branch), and the "on" run
+ * bounds the cost of the counter increments themselves. Rates are
+ * simulation events per wall second; the enabled run also reports
+ * joules-per-bit as a sanity counter. BM_CalibrationSpin mirrors the
+ * event-core calibration so bench/compare_bench.py can normalize out
+ * machine speed.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+
+namespace {
+
+ss::json::Value
+torusConfig(bool power)
+{
+    ss::json::Value config = ss::json::parse(R"({
+        "simulator": {"seed": 12345, "time_limit": 5000000},
+        "network": {
+            "topology": "torus", "widths": [8, 8], "concentration": 2,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}
+        },
+        "workload": {"applications": [{
+            "type": "blast", "injection_rate": 0.2,
+            "message_size": 4, "num_samples": 30,
+            "warmup_duration": 500,
+            "traffic": {"type": "uniform_random"}
+        }]}
+    })");
+    if (power) {
+        config["power"] = ss::json::parse(R"({"enabled": true})");
+    }
+    return config;
+}
+
+void
+BM_PowerDisabled(benchmark::State& state)
+{
+    ss::json::Value config = torusConfig(false);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        (void)_;
+        ss::RunResult result = ss::runSimulation(config);
+        events += result.eventsExecuted;
+        benchmark::DoNotOptimize(result.eventsExecuted);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PowerDisabled)->Unit(benchmark::kMillisecond);
+
+void
+BM_PowerEnabled(benchmark::State& state)
+{
+    ss::json::Value config = torusConfig(true);
+    std::uint64_t events = 0;
+    double joules_per_bit = 0.0;
+    for (auto _ : state) {
+        (void)_;
+        ss::RunResult result = ss::runSimulation(config);
+        events += result.eventsExecuted;
+        joules_per_bit = result.energy.joulesPerBit;
+        benchmark::DoNotOptimize(result.energy.totalJ);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["joules_per_bit"] = joules_per_bit;
+}
+BENCHMARK(BM_PowerEnabled)->Unit(benchmark::kMillisecond);
+
+void
+BM_CalibrationSpin(benchmark::State& state)
+{
+    // Same fixed arithmetic spin as bench_des_core's BM_CalibrationSpin:
+    // compare_bench.py normalizes by this rate so runner speed cancels.
+    for (auto _ : state) {
+        (void)_;
+        std::uint64_t z = 0x2545f4914f6cdd1dULL;
+        for (int i = 0; i < 4096; ++i) {
+            z += 0x9e3779b97f4a7c15ULL;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        }
+        benchmark::DoNotOptimize(z);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CalibrationSpin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

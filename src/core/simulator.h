@@ -62,6 +62,10 @@ namespace obs {
 class TraceWriter;
 }
 
+namespace power {
+class PowerModel;
+}
+
 class Component;
 
 namespace detail {
@@ -336,6 +340,14 @@ class Simulator {
     void setTraceWriter(obs::TraceWriter* writer) { trace_ = writer; }
     obs::TraceWriter* traceWriter() const { return trace_; }
 
+    /** Activity-counter energy model, or nullptr (the default).
+     *  Routers/channels/interfaces consult this at construction time to
+     *  register; when null their cached counter pointers stay null and
+     *  the hot paths pay a single branch each. The caller retains
+     *  ownership and must keep it alive past every component. */
+    void setPowerModel(power::PowerModel* model) { power_ = model; }
+    power::PowerModel* powerModel() const { return power_; }
+
     /** Enables a wall-clock progress heartbeat: run() inform()s current
      *  tick, events/sec, and queue depth roughly every @p seconds of
      *  real time. 0 disables (default). */
@@ -557,6 +569,7 @@ class Simulator {
 
     obs::MetricsRegistry metrics_;
     obs::TraceWriter* trace_ = nullptr;
+    power::PowerModel* power_ = nullptr;
 
     double heartbeatSeconds_ = 0.0;
     std::chrono::steady_clock::time_point heartbeatWall_;

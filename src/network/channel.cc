@@ -1,5 +1,8 @@
 #include "network/channel.h"
 
+#include "core/simulator.h"
+#include "power/power_model.h"
+
 namespace ss {
 
 Channel::Channel(Simulator* simulator, const std::string& name,
@@ -12,6 +15,12 @@ Channel::Channel(Simulator* simulator, const std::string& name,
               "channel latency must be >= 1 tick: a zero-latency channel "
               "leaves the parallel executer no lookahead");
     checkUser(period >= 1, "channel period must be >= 1 tick");
+
+    // The power model derives channel energy from flitCount_, so
+    // registration is all that is needed — no hot-path counter.
+    if (power::PowerModel* pm = simulator->powerModel()) {
+        pm->registerChannel(this);
+    }
 }
 
 void

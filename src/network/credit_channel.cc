@@ -1,5 +1,8 @@
 #include "network/credit_channel.h"
 
+#include "core/simulator.h"
+#include "power/power_model.h"
+
 namespace ss {
 
 CreditChannel::CreditChannel(Simulator* simulator, const std::string& name,
@@ -9,6 +12,11 @@ CreditChannel::CreditChannel(Simulator* simulator, const std::string& name,
     checkUser(latency >= 1,
               "credit channel latency must be >= 1 tick: a zero-latency "
               "channel leaves the parallel executer no lookahead");
+
+    // Energy is derived from creditCount_; registration only.
+    if (power::PowerModel* pm = simulator->powerModel()) {
+        pm->registerCreditChannel(this);
+    }
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include "json/settings.h"
 #include "network/network.h"
+#include "power/power_model.h"
 
 namespace ss {
 
@@ -34,6 +35,12 @@ Interface::Interface(Simulator* simulator, const std::string& name,
     }
     obs::TraceWriter* tw = simulator->traceWriter();
     tracePackets_ = (tw != nullptr && tw->packetsEnabled()) ? tw : nullptr;
+
+    // Energy is derived from flitsInjected_/flitsEjected_; registration
+    // only — no extra hot-path work.
+    if (power::PowerModel* pm = simulator->powerModel()) {
+        pm->registerInterface(this);
+    }
 }
 
 Interface::~Interface() = default;

@@ -1,7 +1,9 @@
 #include "network/router.h"
 
+#include "core/simulator.h"
 #include "json/settings.h"
 #include "network/network.h"
+#include "power/power_model.h"
 
 namespace ss {
 
@@ -56,6 +58,10 @@ Router::Router(Simulator* simulator, const std::string& name,
         routingEngines_[port].reset(routing_factory(this, port));
         checkUser(routingEngines_[port] != nullptr,
                   "routing factory returned null");
+    }
+
+    if (power::PowerModel* pm = simulator->powerModel()) {
+        activity_ = pm->registerRouter(this);
     }
 }
 

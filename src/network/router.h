@@ -24,6 +24,7 @@
 #include "network/channel.h"
 #include "network/credit_channel.h"
 #include "network/routing_algorithm.h"
+#include "power/activity.h"
 #include "types/flit.h"
 
 namespace ss {
@@ -133,6 +134,11 @@ class Router : public Component,
     std::vector<std::uint32_t> downstreamCapacity_;  // [port*numVcs+vc]
     std::unique_ptr<CongestionSensor> sensor_;
     std::vector<std::unique_ptr<RoutingAlgorithm>> routingEngines_;
+
+    /** Activity counters of the power model, or nullptr when power
+     *  modeling is disabled (microarchitectures gate on this pointer,
+     *  mirroring the observability instruments). */
+    power::ActivityCounters* activity_ = nullptr;
 
     std::size_t
     pv(std::uint32_t port, std::uint32_t vc) const

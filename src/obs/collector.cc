@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "power/power_model.h"
+
 namespace ss::obs {
 
 SeriesFormat
@@ -118,6 +120,12 @@ MetricsCollector::sample()
         trace_->counterEvent(
             TraceWriter::kPidEngine, "engine.events_executed", tick,
             static_cast<double>(simulator()->eventsExecuted()));
+        // Power-over-time track. intervalPowerW caches per tick, so this
+        // and the "power.total_w" series gauge see one shared window.
+        if (power::PowerModel* pm = simulator()->powerModel()) {
+            trace_->counterEvent(TraceWriter::kPidEngine, "power.total_w",
+                                 tick, pm->intervalPowerW(tick));
+        }
         // Wall-clock simulation rate since the last sample — trace only.
         auto wall = std::chrono::steady_clock::now();
         double seconds =

@@ -19,7 +19,7 @@ double
 Histogram::percentile(double p) const
 {
     if (count_ == 0) {
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     }
     // Rank of the requested percentile (1-based, clamped).
     double want = p / 100.0 * static_cast<double>(count_);
@@ -53,6 +53,11 @@ Histogram::snapshot(
     std::vector<std::pair<std::string, double>>* out) const
 {
     out->emplace_back(".count", static_cast<double>(count_));
+    if (count_ == 0) {
+        // No aggregate rows for an empty histogram: mean/percentiles are
+        // NaN, which is not valid JSON and would poison JSONL series.
+        return;
+    }
     out->emplace_back(".mean", mean());
     out->emplace_back(".min", static_cast<double>(min()));
     out->emplace_back(".max", static_cast<double>(max_));

@@ -20,6 +20,7 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -144,16 +145,21 @@ class Histogram final : public Metric {
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
     std::uint64_t max() const { return max_; }
+
+    /** Mean of the recorded values; NaN when nothing was recorded (an
+     *  empty distribution has no mean, and 0.0 would be a plausible but
+     *  wrong latency). */
     double
     mean() const
     {
-        return count_ == 0 ? 0.0
+        return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
                            : static_cast<double>(sum_) /
                                  static_cast<double>(count_);
     }
 
     /** Approximate percentile in [0, 100]: the upper bound of the
-     *  power-of-two bucket holding the requested rank (within 2x). */
+     *  power-of-two bucket holding the requested rank (within 2x).
+     *  NaN when nothing was recorded. */
     double percentile(double p) const;
 
     void snapshot(std::vector<std::pair<std::string, double>>* out) const

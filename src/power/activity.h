@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Per-router activity counters for the energy model (DESIGN.md §10).
+ *
+ * Routers hold a cached `ActivityCounters*` that stays nullptr when the
+ * "power" config section is absent or disabled — the same single-branch
+ * gating the observability layer uses, so a disabled energy model adds
+ * nothing measurable to the hot path. Channels, credit channels, and
+ * interfaces need no dedicated counters: their existing monotonic
+ * flit/credit/injection counts already are the activity.
+ */
+#ifndef SS_POWER_ACTIVITY_H_
+#define SS_POWER_ACTIVITY_H_
+
+#include <cstdint>
+
+namespace ss::power {
+
+/**
+ * Microarchitectural event counts of one router. Each field maps to a
+ * per-event energy coefficient in the EnergyModel.
+ *
+ * A counter block is written only by its owning router — one partition's
+ * thread in parallel mode — and read only from serialized control phases
+ * or after run(), so no synchronization is needed. Totals are summed in
+ * fixed registration (construction) order, which is independent of the
+ * worker-thread count: energy results are byte-identical across
+ * `--threads N`.
+ */
+struct ActivityCounters {
+    std::uint64_t bufferWrites = 0;        ///< flit pushed into a buffer
+    std::uint64_t bufferReads = 0;         ///< flit popped from a buffer
+    std::uint64_t crossbarTraversals = 0;  ///< flit crossed the switch
+    std::uint64_t arbitrations = 0;        ///< granted arbiter decisions
+};
+
+}  // namespace ss::power
+
+#endif  // SS_POWER_ACTIVITY_H_

@@ -1,0 +1,63 @@
+#include "power/energy_model.h"
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss::power {
+
+namespace {
+
+constexpr double kPicojoule = 1e-12;
+
+json::Value
+sub(const json::Value& settings, const char* key)
+{
+    return settings.isObject() && settings.has(key) ? settings.at(key)
+                                                    : json::Value::object();
+}
+
+double
+pj(const json::Value& block, const char* key, double default_pj)
+{
+    return json::getFloat(block, key, default_pj) * kPicojoule;
+}
+
+}  // namespace
+
+EnergyModel
+EnergyModel::fromJson(const json::Value& settings)
+{
+    EnergyModel model;
+    model.tickSeconds =
+        json::getFloat(settings, "tick_seconds", model.tickSeconds);
+    model.flitBits = json::getFloat(settings, "flit_bits", model.flitBits);
+    checkUser(model.tickSeconds > 0.0, "power.tick_seconds must be > 0");
+    checkUser(model.flitBits > 0.0, "power.flit_bits must be > 0");
+
+    json::Value router = sub(settings, "router");
+    model.routerBufferWriteJ = pj(router, "buffer_write_pj", 1.2);
+    model.routerBufferReadJ = pj(router, "buffer_read_pj", 0.9);
+    model.routerCrossbarJ = pj(router, "crossbar_pj", 2.1);
+    model.routerArbitrationJ = pj(router, "arbitration_pj", 0.15);
+    model.routerStaticW =
+        json::getFloat(router, "static_w", model.routerStaticW);
+
+    json::Value channel = sub(settings, "channel");
+    model.channelFlitJ = pj(channel, "flit_pj", 2.6);
+    model.channelStaticW =
+        json::getFloat(channel, "static_w", model.channelStaticW);
+
+    json::Value credit = sub(settings, "credit_channel");
+    model.creditJ = pj(credit, "credit_pj", 0.05);
+    model.creditChannelStaticW =
+        json::getFloat(credit, "static_w", model.creditChannelStaticW);
+
+    json::Value iface = sub(settings, "interface");
+    model.interfaceInjectionJ = pj(iface, "injection_pj", 0.6);
+    model.interfaceEjectionJ = pj(iface, "ejection_pj", 0.6);
+    model.interfaceStaticW =
+        json::getFloat(iface, "static_w", model.interfaceStaticW);
+    return model;
+}
+
+}  // namespace ss::power

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The calibration surface of the energy model (DESIGN.md §10): per-event
+ * energies and per-component static leakage, parsed from the root-level
+ * "power" config section.
+ *
+ * The JSON knobs follow ORION-style activity models: dynamic energy is
+ * specified in picojoules per event, static power in watts per component,
+ * and `tick_seconds` anchors simulated ticks to wall time so leakage can
+ * accrue over the run. Every coefficient has a plausible nonzero default,
+ * so `power.enabled=bool=true` alone yields a complete energy report.
+ */
+#ifndef SS_POWER_ENERGY_MODEL_H_
+#define SS_POWER_ENERGY_MODEL_H_
+
+#include <cstdint>
+
+#include "json/json.h"
+
+namespace ss::power {
+
+/** All energy coefficients in SI units (joules, watts, seconds). */
+struct EnergyModel {
+    /** Real-time duration of one simulator tick. */
+    double tickSeconds = 1e-9;
+    /** Payload bits per flit — the joules-per-bit denominator. */
+    double flitBits = 128.0;
+
+    // Router activity energies (per ActivityCounters event).
+    double routerBufferWriteJ = 1.2e-12;
+    double routerBufferReadJ = 0.9e-12;
+    double routerCrossbarJ = 2.1e-12;
+    double routerArbitrationJ = 0.15e-12;
+    double routerStaticW = 0.012;
+
+    // Channel wires: energy per flit traversal.
+    double channelFlitJ = 2.6e-12;
+    double channelStaticW = 0.004;
+
+    // Credit sideband: energy per credit traversal.
+    double creditJ = 0.05e-12;
+    double creditChannelStaticW = 0.0;
+
+    // Endpoint interfaces.
+    double interfaceInjectionJ = 0.6e-12;
+    double interfaceEjectionJ = 0.6e-12;
+    double interfaceStaticW = 0.006;
+
+    /** Simulated seconds covered by @p ticks. */
+    double
+    seconds(std::uint64_t ticks) const
+    {
+        return static_cast<double>(ticks) * tickSeconds;
+    }
+
+    /** Parses the "power" config section (defaults above when keys are
+     *  absent; per-event knobs are given in picojoules). */
+    static EnergyModel fromJson(const json::Value& settings);
+};
+
+}  // namespace ss::power
+
+#endif  // SS_POWER_ENERGY_MODEL_H_

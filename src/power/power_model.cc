@@ -1,0 +1,278 @@
+#include "power/power_model.h"
+
+#include <cmath>
+
+#include "core/simulator.h"
+#include "json/settings.h"
+#include "network/channel.h"
+#include "network/credit_channel.h"
+#include "network/interface.h"
+#include "network/router.h"
+
+namespace ss::power {
+
+PowerModel::PowerModel(Simulator* simulator, const EnergyModel& model)
+    : simulator_(simulator), model_(model)
+{
+    registerGauges();
+}
+
+std::unique_ptr<PowerModel>
+PowerModel::fromConfig(Simulator* simulator, const json::Value& config)
+{
+    if (!config.isObject() || !config.has("power")) {
+        return nullptr;
+    }
+    const json::Value& settings = config.at("power");
+    if (!json::getBool(settings, "enabled", false)) {
+        return nullptr;
+    }
+    return std::make_unique<PowerModel>(simulator,
+                                        EnergyModel::fromJson(settings));
+}
+
+Tick
+PowerModel::nowTick() const
+{
+    return simulator_->now().tick;
+}
+
+void
+PowerModel::registerGauges()
+{
+    if (!simulator_->observabilityEnabled()) {
+        return;
+    }
+    obs::MetricsRegistry& m = simulator_->metrics();
+    m.polledGauge("power.total_j",
+                  [this]() { return totalEnergyJ(nowTick()); });
+    m.polledGauge("power.total_w",
+                  [this]() { return intervalPowerW(nowTick()); });
+    m.polledGauge("power.routers_j",
+                  [this]() { return routersEnergyJ(nowTick()); });
+    m.polledGauge("power.channels_j",
+                  [this]() { return channelsEnergyJ(nowTick()); });
+    m.polledGauge("power.credit_channels_j",
+                  [this]() { return creditChannelsEnergyJ(nowTick()); });
+    m.polledGauge("power.interfaces_j",
+                  [this]() { return interfacesEnergyJ(nowTick()); });
+    m.polledGauge("power.joules_per_bit", [this]() {
+        double bits = static_cast<double>(bitsDelivered());
+        return bits > 0.0 ? totalEnergyJ(nowTick()) / bits : 0.0;
+    });
+}
+
+ActivityCounters*
+PowerModel::registerRouter(const Router* router)
+{
+    counterStore_.emplace_back();
+    ActivityCounters* counters = &counterStore_.back();
+    routers_.push_back(RouterSlot{router, counters, Window{}});
+    if (simulator_->observabilityEnabled()) {
+        std::size_t index = routers_.size() - 1;
+        simulator_->metrics().polledGauge(
+            router->fullName() + ".power_w", [this, index]() {
+                RouterSlot& slot = routers_[index];
+                Tick now = nowTick();
+                double energy =
+                    routerDynamicJ(*slot.counters) +
+                    model_.routerStaticW * model_.seconds(now);
+                return windowPowerW(&slot.window, energy, now,
+                                    model_.tickSeconds);
+            });
+    }
+    return counters;
+}
+
+void
+PowerModel::registerChannel(const Channel* channel)
+{
+    channels_.push_back(channel);
+}
+
+void
+PowerModel::registerCreditChannel(const CreditChannel* channel)
+{
+    creditChannels_.push_back(channel);
+}
+
+void
+PowerModel::registerInterface(const Interface* interface)
+{
+    interfaces_.push_back(interface);
+}
+
+double
+PowerModel::routerDynamicJ(const ActivityCounters& c) const
+{
+    return static_cast<double>(c.bufferWrites) *
+               model_.routerBufferWriteJ +
+           static_cast<double>(c.bufferReads) * model_.routerBufferReadJ +
+           static_cast<double>(c.crossbarTraversals) *
+               model_.routerCrossbarJ +
+           static_cast<double>(c.arbitrations) *
+               model_.routerArbitrationJ;
+}
+
+double
+PowerModel::routersEnergyJ(Tick now) const
+{
+    double dynamic = 0.0;
+    for (const RouterSlot& slot : routers_) {
+        dynamic += routerDynamicJ(*slot.counters);
+    }
+    return dynamic + model_.routerStaticW * model_.seconds(now) *
+                         static_cast<double>(routers_.size());
+}
+
+double
+PowerModel::channelsEnergyJ(Tick now) const
+{
+    std::uint64_t flits = 0;
+    for (const Channel* channel : channels_) {
+        flits += channel->flitCount();
+    }
+    return static_cast<double>(flits) * model_.channelFlitJ +
+           model_.channelStaticW * model_.seconds(now) *
+               static_cast<double>(channels_.size());
+}
+
+double
+PowerModel::creditChannelsEnergyJ(Tick now) const
+{
+    std::uint64_t credits = 0;
+    for (const CreditChannel* channel : creditChannels_) {
+        credits += channel->creditCount();
+    }
+    return static_cast<double>(credits) * model_.creditJ +
+           model_.creditChannelStaticW * model_.seconds(now) *
+               static_cast<double>(creditChannels_.size());
+}
+
+double
+PowerModel::interfacesEnergyJ(Tick now) const
+{
+    std::uint64_t injected = 0;
+    std::uint64_t ejected = 0;
+    for (const Interface* interface : interfaces_) {
+        injected += interface->flitsInjected();
+        ejected += interface->flitsEjected();
+    }
+    return static_cast<double>(injected) * model_.interfaceInjectionJ +
+           static_cast<double>(ejected) * model_.interfaceEjectionJ +
+           model_.interfaceStaticW * model_.seconds(now) *
+               static_cast<double>(interfaces_.size());
+}
+
+double
+PowerModel::totalEnergyJ(Tick now) const
+{
+    return routersEnergyJ(now) + channelsEnergyJ(now) +
+           creditChannelsEnergyJ(now) + interfacesEnergyJ(now);
+}
+
+double
+PowerModel::windowPowerW(Window* window, double energy_j, Tick now,
+                         double tick_seconds)
+{
+    if (window->cacheValid && window->cacheTick == now) {
+        return window->cacheW;
+    }
+    double dt =
+        static_cast<double>(now - window->lastTick) * tick_seconds;
+    window->cacheW =
+        dt > 0.0 ? (energy_j - window->lastEnergyJ) / dt : 0.0;
+    window->cacheTick = now;
+    window->cacheValid = true;
+    window->lastTick = now;
+    window->lastEnergyJ = energy_j;
+    return window->cacheW;
+}
+
+double
+PowerModel::intervalPowerW(Tick now)
+{
+    if (totalWindow_.cacheValid && totalWindow_.cacheTick == now) {
+        return totalWindow_.cacheW;
+    }
+    return windowPowerW(&totalWindow_, totalEnergyJ(now), now,
+                        model_.tickSeconds);
+}
+
+std::uint64_t
+PowerModel::bitsDelivered() const
+{
+    std::uint64_t ejected = 0;
+    for (const Interface* interface : interfaces_) {
+        ejected += interface->flitsEjected();
+    }
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(ejected) * model_.flitBits));
+}
+
+PowerReport
+PowerModel::report(Tick end_tick) const
+{
+    PowerReport r;
+    r.enabled = true;
+    r.tickSeconds = model_.tickSeconds;
+    r.flitBits = model_.flitBits;
+    r.simSeconds = model_.seconds(end_tick);
+
+    r.routers.components = routers_.size();
+    for (const RouterSlot& slot : routers_) {
+        const ActivityCounters& c = *slot.counters;
+        r.routerBufferWrites += c.bufferWrites;
+        r.routerBufferReads += c.bufferReads;
+        r.routerCrossbarTraversals += c.crossbarTraversals;
+        r.routerArbitrations += c.arbitrations;
+        r.routers.dynamicJ += routerDynamicJ(c);
+    }
+    r.routers.staticJ = model_.routerStaticW * r.simSeconds *
+                        static_cast<double>(routers_.size());
+
+    r.channels.components = channels_.size();
+    for (const Channel* channel : channels_) {
+        r.channelFlits += channel->flitCount();
+    }
+    r.channels.dynamicJ =
+        static_cast<double>(r.channelFlits) * model_.channelFlitJ;
+    r.channels.staticJ = model_.channelStaticW * r.simSeconds *
+                         static_cast<double>(channels_.size());
+
+    r.creditChannels.components = creditChannels_.size();
+    for (const CreditChannel* channel : creditChannels_) {
+        r.creditTraversals += channel->creditCount();
+    }
+    r.creditChannels.dynamicJ =
+        static_cast<double>(r.creditTraversals) * model_.creditJ;
+    r.creditChannels.staticJ = model_.creditChannelStaticW *
+                               r.simSeconds *
+                               static_cast<double>(creditChannels_.size());
+
+    r.interfaces.components = interfaces_.size();
+    for (const Interface* interface : interfaces_) {
+        r.injections += interface->flitsInjected();
+        r.ejections += interface->flitsEjected();
+    }
+    r.interfaces.dynamicJ =
+        static_cast<double>(r.injections) * model_.interfaceInjectionJ +
+        static_cast<double>(r.ejections) * model_.interfaceEjectionJ;
+    r.interfaces.staticJ = model_.interfaceStaticW * r.simSeconds *
+                           static_cast<double>(interfaces_.size());
+
+    r.dynamicJ = r.routers.dynamicJ + r.channels.dynamicJ +
+                 r.creditChannels.dynamicJ + r.interfaces.dynamicJ;
+    r.staticJ = r.routers.staticJ + r.channels.staticJ +
+                r.creditChannels.staticJ + r.interfaces.staticJ;
+    r.totalJ = r.dynamicJ + r.staticJ;
+    r.meanPowerW = r.simSeconds > 0.0 ? r.totalJ / r.simSeconds : 0.0;
+    r.bitsDelivered = bitsDelivered();
+    r.joulesPerBit =
+        r.bitsDelivered > 0
+            ? r.totalJ / static_cast<double>(r.bitsDelivered)
+            : 0.0;
+    return r;
+}
+
+}  // namespace ss::power

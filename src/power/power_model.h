@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The activity-counter power model (DESIGN.md §10, ROADMAP item 5).
+ *
+ * One PowerModel instance per simulation turns component activity into
+ * energy: routers register an ActivityCounters block incremented on the
+ * hot path (nullptr-gated, like observability instruments); channels,
+ * credit channels, and interfaces are tracked lazily through the
+ * monotonic flit/credit counts they already maintain, so enabling the
+ * model adds no work to their hot paths at all.
+ *
+ * Lifecycle mirrors the Observability object: the builder constructs the
+ * model from the root config's "power" section *before* the network, so
+ * components can register during construction, and destroys it after the
+ * network. Registration order is construction order — serial and
+ * topology-derived — which makes every energy total a fixed-order sum
+ * and therefore byte-identical across `--threads N`.
+ *
+ * When observability is also enabled the model registers polled gauges
+ * (power.total_j, power.total_w, per-kind cumulative joules, per-router
+ * <name>.power_w) that the MetricsCollector samples into the series and
+ * forwards to the Chrome trace as a counter track.
+ */
+#ifndef SS_POWER_POWER_MODEL_H_
+#define SS_POWER_POWER_MODEL_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/time.h"
+#include "json/json.h"
+#include "power/activity.h"
+#include "power/energy_model.h"
+#include "power/report.h"
+
+namespace ss {
+class Simulator;
+class Router;
+class Channel;
+class CreditChannel;
+class Interface;
+}  // namespace ss
+
+namespace ss::power {
+
+/** Per-simulation energy accounting over registered components. */
+class PowerModel {
+  public:
+    PowerModel(Simulator* simulator, const EnergyModel& model);
+
+    PowerModel(const PowerModel&) = delete;
+    PowerModel& operator=(const PowerModel&) = delete;
+
+    /** Builds a model if @p config has an enabled "power" section;
+     *  nullptr otherwise (zero-overhead default). */
+    static std::unique_ptr<PowerModel> fromConfig(
+        Simulator* simulator, const json::Value& config);
+
+    const EnergyModel& model() const { return model_; }
+
+    // ----- registration (component constructors; construction order
+    // defines the deterministic summation order) -----
+    ActivityCounters* registerRouter(const Router* router);
+    void registerChannel(const Channel* channel);
+    void registerCreditChannel(const CreditChannel* channel);
+    void registerInterface(const Interface* interface);
+
+    /** Total energy (dynamic + static) accrued by tick @p now. */
+    double totalEnergyJ(Tick now) const;
+
+    /** Mean power over the window since the previous *different* tick
+     *  this was called at — the time-resolved power series. Calls within
+     *  one tick return a cached value, so the series gauge and the trace
+     *  counter see one consistent window per sample. */
+    double intervalPowerW(Tick now);
+
+    /** Payload bits delivered so far (ejected flits x flit_bits). */
+    std::uint64_t bitsDelivered() const;
+
+    /** The full end-of-run accounting. */
+    PowerReport report(Tick end_tick) const;
+
+  private:
+    /** Rolling window state for a power (watts) gauge. */
+    struct Window {
+        Tick lastTick = 0;
+        double lastEnergyJ = 0.0;
+        Tick cacheTick = 0;
+        double cacheW = 0.0;
+        bool cacheValid = false;
+    };
+
+    struct RouterSlot {
+        const Router* router;
+        ActivityCounters* counters;
+        Window window;
+    };
+
+    double routerDynamicJ(const ActivityCounters& c) const;
+    double routersEnergyJ(Tick now) const;
+    double channelsEnergyJ(Tick now) const;
+    double creditChannelsEnergyJ(Tick now) const;
+    double interfacesEnergyJ(Tick now) const;
+    static double windowPowerW(Window* window, double energy_j, Tick now,
+                               double tick_seconds);
+    Tick nowTick() const;
+    void registerGauges();
+
+    Simulator* simulator_;
+    EnergyModel model_;
+
+    /** Stable storage for router counter blocks (deque: addresses stay
+     *  valid across registrations). */
+    std::deque<ActivityCounters> counterStore_;
+    std::vector<RouterSlot> routers_;
+    std::vector<const Channel*> channels_;
+    std::vector<const CreditChannel*> creditChannels_;
+    std::vector<const Interface*> interfaces_;
+
+    Window totalWindow_;
+};
+
+}  // namespace ss::power
+
+#endif  // SS_POWER_POWER_MODEL_H_

@@ -1,0 +1,72 @@
+#include "power/report.h"
+
+#include <sstream>
+
+namespace ss::power {
+
+namespace {
+
+json::Value
+kindJson(const PowerReport::Kind& kind)
+{
+    json::Value block = json::Value::object();
+    block["components"] = kind.components;
+    block["dynamic_j"] = kind.dynamicJ;
+    block["static_j"] = kind.staticJ;
+    block["total_j"] = kind.totalJ();
+    return block;
+}
+
+}  // namespace
+
+json::Value
+PowerReport::toJson() const
+{
+    json::Value root = json::Value::object();
+    root["tick_seconds"] = tickSeconds;
+    root["flit_bits"] = flitBits;
+    root["sim_seconds"] = simSeconds;
+    root["bits_delivered"] = bitsDelivered;
+    root["total_j"] = totalJ;
+    root["dynamic_j"] = dynamicJ;
+    root["static_j"] = staticJ;
+    root["mean_power_w"] = meanPowerW;
+    root["joules_per_bit"] = joulesPerBit;
+
+    json::Value r = kindJson(routers);
+    r["buffer_writes"] = routerBufferWrites;
+    r["buffer_reads"] = routerBufferReads;
+    r["crossbar_traversals"] = routerCrossbarTraversals;
+    r["arbitrations"] = routerArbitrations;
+    root["routers"] = std::move(r);
+
+    json::Value c = kindJson(channels);
+    c["flits"] = channelFlits;
+    root["channels"] = std::move(c);
+
+    json::Value cc = kindJson(creditChannels);
+    cc["credits"] = creditTraversals;
+    root["credit_channels"] = std::move(cc);
+
+    json::Value i = kindJson(interfaces);
+    i["injections"] = injections;
+    i["ejections"] = ejections;
+    root["interfaces"] = std::move(i);
+    return root;
+}
+
+std::string
+PowerReport::summary() const
+{
+    if (!enabled) {
+        return "";
+    }
+    std::ostringstream out;
+    out << "energy:            " << totalJ << " J (dynamic " << dynamicJ
+        << ", static " << staticJ << ") over " << simSeconds << " s\n";
+    out << "joules per bit:    " << joulesPerBit << " (" << bitsDelivered
+        << " bits delivered)\n";
+    return out.str();
+}
+
+}  // namespace ss::power

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The energy result bundle of one run: per-component-kind breakdown,
+ * total joules, and joules-per-bit. Carried inside RunResult so it flows
+ * into `supersim --json`, `ssparse` energy mode, and sscampaign table.csv
+ * (whose flattener picks up every numeric leaf of the "energy" block).
+ */
+#ifndef SS_POWER_REPORT_H_
+#define SS_POWER_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "json/json.h"
+
+namespace ss::power {
+
+/** Energy accounting of one simulation run. Default-constructed (and
+ *  with `enabled` false) when the power model is off. */
+struct PowerReport {
+    bool enabled = false;
+
+    double tickSeconds = 0.0;
+    double flitBits = 0.0;
+    double simSeconds = 0.0;
+
+    /** Flits ejected at all interfaces times flitBits. */
+    std::uint64_t bitsDelivered = 0;
+
+    double totalJ = 0.0;
+    double dynamicJ = 0.0;
+    double staticJ = 0.0;
+    /** totalJ / simSeconds (0 when no time elapsed). */
+    double meanPowerW = 0.0;
+    /** totalJ / bitsDelivered (0 when nothing was delivered). */
+    double joulesPerBit = 0.0;
+
+    /** One component kind's share. */
+    struct Kind {
+        std::uint64_t components = 0;
+        double dynamicJ = 0.0;
+        double staticJ = 0.0;
+        double totalJ() const { return dynamicJ + staticJ; }
+    };
+    Kind routers;
+    Kind channels;
+    Kind creditChannels;
+    Kind interfaces;
+
+    // Aggregate activity counts behind the dynamic energies.
+    std::uint64_t routerBufferWrites = 0;
+    std::uint64_t routerBufferReads = 0;
+    std::uint64_t routerCrossbarTraversals = 0;
+    std::uint64_t routerArbitrations = 0;
+    std::uint64_t channelFlits = 0;
+    std::uint64_t creditTraversals = 0;
+    std::uint64_t injections = 0;
+    std::uint64_t ejections = 0;
+
+    /** The "energy" block of RunResult::toJson(). */
+    json::Value toJson() const;
+
+    /** Lines appended to RunResult::summary() (empty when disabled). */
+    std::string summary() const;
+};
+
+}  // namespace ss::power
+
+#endif  // SS_POWER_REPORT_H_

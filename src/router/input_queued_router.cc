@@ -134,6 +134,9 @@ InputQueuedRouter::receiveFlit(std::uint32_t port, Flit* flit)
              fullName(), ": input buffer overrun on port ", port, " vc ",
              vc);
     state.buffer.push_back(flit);
+    if (activity_) {
+        ++activity_->bufferWrites;
+    }
     if (flit->isHead()) {
         flit->packet()->incrementHopCount();
         if (markHopArrival_) {
@@ -250,6 +253,9 @@ InputQueuedRouter::runVcAllocation()
             if (vcaGrants_) {
                 vcaGrants_->inc();
             }
+            if (activity_) {
+                ++activity_->arbitrations;
+            }
             InputVc& state = inputs_[winner];
             state.allocated = true;
             state.outPort = o;
@@ -335,6 +341,11 @@ InputQueuedRouter::runSwitchAllocation()
         InputVc& state = inputs_[winner];
         Flit* flit = state.buffer.front();
         state.buffer.pop_front();
+        if (activity_) {
+            ++activity_->arbitrations;
+            ++activity_->bufferReads;
+            ++activity_->crossbarTraversals;
+        }
         std::uint32_t in_port = winner / numVcs_;
         std::uint32_t in_vc = winner % numVcs_;
 

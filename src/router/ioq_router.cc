@@ -110,6 +110,9 @@ IoqRouter::completeTransfer(Transfer transfer)
 {
     --reserved_[transfer.index];
     outputQueues_[transfer.index].push_back(transfer.flit);
+    if (activity_) {
+        ++activity_->bufferWrites;
+    }
     activateOutput(transfer.port);
 }
 
@@ -146,6 +149,10 @@ IoqRouter::processOutput(std::uint32_t port)
             std::size_t i = iv(port, vc);
             Flit* flit = outputQueues_[i].front();
             outputQueues_[i].pop_front();
+            if (activity_) {
+                ++activity_->arbitrations;
+                ++activity_->bufferReads;
+            }
             sensor()->creditEvent(port, vc, CreditPool::kOutputQueue, -1);
             takeCredit(port, vc);
             outputChannels_[port]->inject(flit, tick);

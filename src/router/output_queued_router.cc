@@ -81,6 +81,9 @@ OutputQueuedRouter::receiveFlit(std::uint32_t port, Flit* flit)
              fullName(), ": input buffer overrun on port ", port, " vc ",
              vc);
     state.buffer.push_back(flit);
+    if (activity_) {
+        ++activity_->bufferWrites;
+    }
     if (flit->isHead()) {
         flit->packet()->incrementHopCount();
     }
@@ -163,6 +166,10 @@ OutputQueuedRouter::processInputs()
             sensor()->creditEvent(state.outPort, state.outVc,
                                   CreditPool::kOutputQueue, +1);
             state.buffer.pop_front();
+            if (activity_) {
+                ++activity_->bufferReads;
+                ++activity_->crossbarTraversals;
+            }
             returnCredit(port, vc);
             if (flit->isTail()) {
                 state.routed = false;
@@ -187,6 +194,9 @@ OutputQueuedRouter::completeTransfer(Transfer transfer)
 {
     --reserved_[transfer.index];
     outputQueues_[transfer.index].push_back(transfer.flit);
+    if (activity_) {
+        ++activity_->bufferWrites;
+    }
     activateOutput(transfer.port);
 }
 
@@ -222,6 +232,10 @@ OutputQueuedRouter::processOutput(std::uint32_t port)
             std::size_t i = iv(port, vc);
             Flit* flit = outputQueues_[i].front();
             outputQueues_[i].pop_front();
+            if (activity_) {
+                ++activity_->arbitrations;
+                ++activity_->bufferReads;
+            }
             sensor()->creditEvent(port, vc, CreditPool::kOutputQueue, -1);
             takeCredit(port, vc);
             outputChannels_[port]->inject(flit, tick);

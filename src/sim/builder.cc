@@ -36,6 +36,13 @@ Simulation::Simulation(const json::Value& config) : config_(config)
     observability_ =
         std::make_unique<obs::Observability>(simulator_.get(), config);
 
+    // The power model follows the same build-before-the-network rule so
+    // routers/channels/interfaces can register during construction.
+    power_ = power::PowerModel::fromConfig(simulator_.get(), config);
+    if (power_) {
+        simulator_->setPowerModel(power_.get());
+    }
+
     checkUser(config.has("network"), "config needs a 'network' block");
     const json::Value& network_settings = config.at("network");
     std::string topology =
@@ -77,6 +84,9 @@ Simulation::run()
     }
     result.numTerminals = network_->numInterfaces();
     result.channelPeriod = network_->channelPeriod();
+    if (power_) {
+        result.energy = power_->report(result.endTick);
+    }
     return result;
 }
 

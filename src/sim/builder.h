@@ -21,6 +21,7 @@
 #include "json/json.h"
 #include "network/network.h"
 #include "obs/observability.h"
+#include "power/power_model.h"
 #include "sim/run_result.h"
 #include "workload/workload.h"
 
@@ -37,6 +38,7 @@ class Simulation {
     Network* network() { return network_.get(); }
     Workload* workload() { return workload_.get(); }
     obs::Observability* observability() { return observability_.get(); }
+    power::PowerModel* powerModel() { return power_.get(); }
 
     /** Runs to completion (or the configured time limit) and returns the
      *  gathered results. */
@@ -49,6 +51,10 @@ class Simulation {
     // at build time; destroyed after it so polled-gauge lambdas and the
     // trace writer outlive every component that references them.
     std::unique_ptr<obs::Observability> observability_;
+    // Constructed after Observability (its gauges register only when the
+    // observability layer is enabled) and before the network so
+    // components register their activity counters at build time.
+    std::unique_ptr<power::PowerModel> power_;
     std::unique_ptr<Network> network_;
     std::unique_ptr<Workload> workload_;
 };

@@ -36,6 +36,7 @@ RunResult::summary() const
     }
     out << "throughput:        " << throughput()
         << " flits/terminal/cycle\n";
+    out << energy.summary();
     return out.str();
 }
 
@@ -77,6 +78,9 @@ RunResult::toJson() const
         latency["nonminimal_fraction"] = sampler.nonminimalFraction();
     }
     root["latency"] = std::move(latency);
+    if (energy.enabled) {
+        root["energy"] = energy.toJson();
+    }
     return root;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "json/json.h"
+#include "power/report.h"
 #include "stats/latency_sampler.h"
 #include "stats/rate_monitor.h"
 
@@ -41,6 +42,10 @@ struct RunResult {
 
     std::uint32_t numTerminals = 0;
     std::uint64_t channelPeriod = 1;
+
+    /** Energy accounting (enabled only when the config has an enabled
+     *  "power" section). */
+    power::PowerReport energy;
 
     /** Mean accepted throughput (flits/terminal/cycle). */
     double throughput() const;

@@ -15,6 +15,12 @@
  * aggregated per collective:
  *
  *   ssparse collectives.csv +name=grads +iter=1-3
+ *
+ * Run-result JSON files written by `supersim --json` are detected by
+ * their pretty-printed "{" first line; energy mode prints the power
+ * model's per-component breakdown and joules-per-bit:
+ *
+ *   ssparse result.json
  */
 #include <cstdio>
 #include <fstream>
@@ -24,6 +30,8 @@
 
 #include "core/logging.h"
 #include "core/version.h"
+#include "json/json.h"
+#include "json/settings.h"
 #include "stats/distribution.h"
 #include "tools/collective_parser.h"
 #include "tools/log_parser.h"
@@ -83,6 +91,64 @@ seriesMode(const std::string& path, const std::vector<std::string>& filters)
     return 0;
 }
 
+void
+printEnergyKind(const char* label, const ss::json::Value& kind)
+{
+    std::printf("%-16s n %-6llu dynamic %.6e J  static %.6e J  total "
+                "%.6e J\n",
+                label,
+                static_cast<unsigned long long>(
+                    ss::json::getUint(kind, "components", 0)),
+                ss::json::getFloat(kind, "dynamic_j", 0.0),
+                ss::json::getFloat(kind, "static_j", 0.0),
+                ss::json::getFloat(kind, "total_j", 0.0));
+}
+
+int
+energyMode(const std::string& path)
+{
+    ss::json::Value root = ss::json::parseFile(path);
+    std::printf("run: end_tick %llu  events %llu  throughput %.6g "
+                "flits/terminal/cycle\n",
+                static_cast<unsigned long long>(
+                    ss::json::getUint(root, "end_tick", 0)),
+                static_cast<unsigned long long>(
+                    ss::json::getUint(root, "events_executed", 0)),
+                ss::json::getFloat(root, "throughput", 0.0));
+    ss::checkUser(root.isObject() && root.has("energy"),
+                  "no 'energy' block in ", path,
+                  " (run supersim with an enabled 'power' config "
+                  "section)");
+    const ss::json::Value& e = root.at("energy");
+    std::printf("sim time:        %.6e s (tick %.3e s)\n",
+                ss::json::getFloat(e, "sim_seconds", 0.0),
+                ss::json::getFloat(e, "tick_seconds", 0.0));
+    std::printf("total energy:    %.6e J (dynamic %.6e, static %.6e)\n",
+                ss::json::getFloat(e, "total_j", 0.0),
+                ss::json::getFloat(e, "dynamic_j", 0.0),
+                ss::json::getFloat(e, "static_j", 0.0));
+    std::printf("mean power:      %.6e W\n",
+                ss::json::getFloat(e, "mean_power_w", 0.0));
+    if (e.has("routers")) {
+        printEnergyKind("routers", e.at("routers"));
+    }
+    if (e.has("channels")) {
+        printEnergyKind("channels", e.at("channels"));
+    }
+    if (e.has("credit_channels")) {
+        printEnergyKind("credit_channels", e.at("credit_channels"));
+    }
+    if (e.has("interfaces")) {
+        printEnergyKind("interfaces", e.at("interfaces"));
+    }
+    std::printf("bits delivered:  %llu\n",
+                static_cast<unsigned long long>(
+                    ss::json::getUint(e, "bits_delivered", 0)));
+    std::printf("joules_per_bit:  %.6e\n",
+                ss::json::getFloat(e, "joules_per_bit", 0.0));
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -96,8 +162,8 @@ main(int argc, char** argv)
     }
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <log.csv|series.csv> [--version] "
-                     "[+field=value ...]\n",
+                     "usage: %s <log.csv|series.csv|result.json> "
+                     "[--version] [+field=value ...]\n",
                      argv[0]);
         return ss::kExitBadConfig;
     }
@@ -114,6 +180,17 @@ main(int argc, char** argv)
         probe.close();
         if (ss::CollectiveParser::looksLikeCollectiveLog(first_line)) {
             return collectiveMode(argv[1], filters);
+        }
+        // Pretty-printed RunResult JSON opens with a bare "{" line; JSONL
+        // series lines open with "{\"tick\"...", so check this *before*
+        // the series probe (which accepts any '{'-initial line).
+        std::string trimmed = first_line;
+        while (!trimmed.empty() &&
+               (trimmed.back() == '\r' || trimmed.back() == ' ')) {
+            trimmed.pop_back();
+        }
+        if (trimmed == "{") {
+            return energyMode(argv[1]);
         }
         if (ss::SeriesParser::looksLikeSeries(first_line)) {
             return seriesMode(argv[1], filters);

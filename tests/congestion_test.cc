@@ -152,6 +152,65 @@ TEST(CreditSensor, SixAccountingStylesOfFigure10)
     }
 }
 
+TEST(CreditSensor, LaggedValueConvergesForEveryStyleAndLatency)
+{
+    // Full sweep of the accounting cross product x propagation latency:
+    // once in-flight updates drain, the lagged (visible) value must equal
+    // the exact occupancy for every (port, vc) — latency delays
+    // visibility, it never loses or distorts updates.
+    //
+    // Event pattern (all on port 0):
+    //   tick 5:  output +4 on vc 0, downstream +2 on vc 1
+    //   tick 20: downstream +1 on vc 0
+    struct Expect {
+        const char* pools;
+        const char* granularity;
+        double vc0;
+        double vc1;
+    };
+    const Expect kExpected[] = {
+        {"output", "vc", 4.0, 0.0},     {"output", "port", 4.0, 4.0},
+        {"downstream", "vc", 1.0, 2.0}, {"downstream", "port", 3.0, 3.0},
+        {"both", "vc", 5.0, 2.0},       {"both", "port", 7.0, 7.0},
+    };
+    for (const Expect& expect : kExpected) {
+        for (Tick latency : {Tick{0}, Tick{3}, Tick{17}}) {
+            Simulator sim;
+            auto sensor = makeSensor(
+                &sim, strf(R"({"granularity": ")", expect.granularity,
+                           R"(", "pools": ")", expect.pools,
+                           R"(", "latency": )", latency, "}"));
+            CreditSensor* raw = sensor.get();
+            sim.schedule(Time(5), [raw]() {
+                raw->creditEvent(0, 0, CreditPool::kOutputQueue, +4);
+                raw->creditEvent(0, 1, CreditPool::kDownstream, +2);
+            });
+            sim.schedule(Time(20), [raw]() {
+                raw->creditEvent(0, 0, CreditPool::kDownstream, +1);
+            });
+            if (latency > 0) {
+                // Mid-flight, the visible value lags the exact one.
+                sim.schedule(Time(5, 7), [raw, &expect]() {
+                    EXPECT_DOUBLE_EQ(raw->status(0, 0), 0.0)
+                        << expect.pools << "/" << expect.granularity;
+                });
+            }
+            sim.run();
+            // Drained: lagged == exact == the expected occupancy.
+            EXPECT_DOUBLE_EQ(raw->status(0, 0), expect.vc0)
+                << expect.pools << "/" << expect.granularity
+                << " latency " << latency;
+            EXPECT_DOUBLE_EQ(raw->status(0, 1), expect.vc1)
+                << expect.pools << "/" << expect.granularity
+                << " latency " << latency;
+            EXPECT_DOUBLE_EQ(raw->status(0, 0), raw->actualStatus(0, 0));
+            EXPECT_DOUBLE_EQ(raw->status(0, 1), raw->actualStatus(0, 1));
+            // Untouched port stays at zero everywhere.
+            EXPECT_DOUBLE_EQ(raw->status(1, 0), 0.0);
+        }
+    }
+}
+
 TEST(CreditSensor, InvalidSettingsAreFatal)
 {
     Simulator sim;

@@ -3,6 +3,7 @@
  *  zero-overhead-when-disabled guarantee. */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -82,6 +83,30 @@ TEST(MetricsRegistry, PolledGaugeEvaluatesOnRead)
     EXPECT_DOUBLE_EQ(g->value(), 1.0);
     source = 7.0;
     EXPECT_DOUBLE_EQ(g->value(), 7.0);
+}
+
+TEST(Histogram, EmptyHistogramYieldsNanAndCountOnlySnapshot)
+{
+    obs::Histogram h("empty");
+    EXPECT_EQ(h.count(), 0u);
+    // An empty distribution has no mean or percentiles: NaN, not a
+    // plausible-but-wrong 0.0.
+    EXPECT_TRUE(std::isnan(h.mean()));
+    EXPECT_TRUE(std::isnan(h.percentile(50)));
+    EXPECT_TRUE(std::isnan(h.percentile(99)));
+    // The snapshot must skip the NaN aggregates (NaN is invalid JSON and
+    // would poison JSONL series files) and emit only the count row.
+    std::vector<std::pair<std::string, double>> rows;
+    h.snapshot(&rows);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].first, ".count");
+    EXPECT_DOUBLE_EQ(rows[0].second, 0.0);
+    // One recording restores the full row set.
+    h.record(7);
+    rows.clear();
+    h.snapshot(&rows);
+    EXPECT_EQ(rows.size(), 6u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
 }
 
 TEST(Histogram, AggregatesAndPercentiles)

@@ -1,0 +1,276 @@
+/** @file Power model tests: energy-model parsing, disabled-by-default
+ *  gating, breakdown consistency, hand-checked static/dynamic energy,
+ *  thread-count invariance, and the observability gauges. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simulator.h"
+#include "json/json.h"
+#include "obs/metrics.h"
+#include "power/energy_model.h"
+#include "power/power_model.h"
+#include "sim/builder.h"
+#include "test_util.h"
+
+namespace ss {
+namespace {
+
+const char* kTorusNetwork =
+    R"({"topology": "torus", "widths": [4, 4], "concentration": 1,
+        "num_vcs": 2, "clock_period": 1, "channel_latency": 4,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 16,
+                   "crossbar_latency": 1},
+        "routing": {"algorithm": "torus_dimension_order"}})";
+
+json::Value
+powerSettings()
+{
+    return json::parse(
+        R"({"enabled": true, "tick_seconds": 1e-9, "flit_bits": 128,
+            "router": {"buffer_write_pj": 1.2, "buffer_read_pj": 0.9,
+                       "crossbar_pj": 2.1, "arbitration_pj": 0.15,
+                       "static_w": 0.012},
+            "channel": {"flit_pj": 2.6, "static_w": 0.004},
+            "credit_channel": {"credit_pj": 0.05, "static_w": 0.0},
+            "interface": {"injection_pj": 0.6, "ejection_pj": 0.6,
+                          "static_w": 0.006}})");
+}
+
+json::Value
+poweredConfig(std::uint64_t seed = 1)
+{
+    json::Value config = test::makeConfig(
+        kTorusNetwork, test::blastWorkload(0.1, 2, 50), seed);
+    config["power"] = powerSettings();
+    return config;
+}
+
+// ----- EnergyModel parsing -----
+
+TEST(EnergyModel, DefaultsApplyWhenKnobsAbsent)
+{
+    power::EnergyModel model =
+        power::EnergyModel::fromJson(json::parse(R"({"enabled": true})"));
+    EXPECT_DOUBLE_EQ(model.tickSeconds, 1e-9);
+    EXPECT_DOUBLE_EQ(model.flitBits, 128.0);
+    EXPECT_DOUBLE_EQ(model.routerBufferWriteJ, 1.2e-12);
+    EXPECT_DOUBLE_EQ(model.channelFlitJ, 2.6e-12);
+    EXPECT_DOUBLE_EQ(model.interfaceStaticW, 0.006);
+}
+
+TEST(EnergyModel, JsonKnobsOverrideInPicojoules)
+{
+    power::EnergyModel model = power::EnergyModel::fromJson(json::parse(
+        R"({"tick_seconds": 5e-10, "flit_bits": 256,
+            "router": {"buffer_write_pj": 2.0, "static_w": 0.5},
+            "channel": {"flit_pj": 10.0}})"));
+    EXPECT_DOUBLE_EQ(model.tickSeconds, 5e-10);
+    EXPECT_DOUBLE_EQ(model.flitBits, 256.0);
+    EXPECT_DOUBLE_EQ(model.routerBufferWriteJ, 2.0e-12);
+    EXPECT_DOUBLE_EQ(model.routerStaticW, 0.5);
+    EXPECT_DOUBLE_EQ(model.channelFlitJ, 10.0e-12);
+    // Untouched knobs keep their defaults.
+    EXPECT_DOUBLE_EQ(model.routerBufferReadJ, 0.9e-12);
+    EXPECT_DOUBLE_EQ(model.seconds(1000), 5e-7);
+}
+
+TEST(EnergyModel, InvalidKnobsAreFatal)
+{
+    EXPECT_THROW(
+        power::EnergyModel::fromJson(json::parse(R"({"tick_seconds": 0})")),
+        FatalError);
+    EXPECT_THROW(
+        power::EnergyModel::fromJson(json::parse(R"({"flit_bits": -1})")),
+        FatalError);
+}
+
+// ----- gating -----
+
+TEST(PowerModel, DisabledByDefault)
+{
+    json::Value config = test::makeConfig(
+        kTorusNetwork, test::blastWorkload(0.1, 2, 20));
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.energy.enabled);
+    EXPECT_DOUBLE_EQ(result.energy.totalJ, 0.0);
+    json::Value root = result.toJson();
+    EXPECT_FALSE(root.has("energy"));
+    // The summary carries no energy lines either.
+    EXPECT_EQ(result.summary().find("energy:"), std::string::npos);
+}
+
+TEST(PowerModel, EnabledFalseStaysOff)
+{
+    json::Value config = test::makeConfig(
+        kTorusNetwork, test::blastWorkload(0.1, 2, 20));
+    config["power"] = json::parse(R"({"enabled": false})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.energy.enabled);
+}
+
+// ----- end-to-end accounting -----
+
+TEST(PowerModel, EnabledRunProducesConsistentBreakdown)
+{
+    RunResult result = runSimulation(poweredConfig());
+    const power::PowerReport& e = result.energy;
+    ASSERT_TRUE(e.enabled);
+    EXPECT_GT(e.totalJ, 0.0);
+    EXPECT_GT(e.dynamicJ, 0.0);
+    EXPECT_GT(e.staticJ, 0.0);
+    EXPECT_GT(e.joulesPerBit, 0.0);
+    EXPECT_GT(e.bitsDelivered, 0u);
+    EXPECT_GT(e.meanPowerW, 0.0);
+
+    // A 4x4 torus with concentration 1: 16 routers, 16 interfaces.
+    EXPECT_EQ(e.routers.components, 16u);
+    EXPECT_EQ(e.interfaces.components, 16u);
+    EXPECT_GT(e.channels.components, 0u);
+    EXPECT_GT(e.creditChannels.components, 0u);
+
+    // Activity flowed through every accounted component kind.
+    EXPECT_GT(e.routerBufferWrites, 0u);
+    EXPECT_GT(e.routerBufferReads, 0u);
+    EXPECT_GT(e.routerCrossbarTraversals, 0u);
+    EXPECT_GT(e.routerArbitrations, 0u);
+    EXPECT_GT(e.channelFlits, 0u);
+    EXPECT_GT(e.creditTraversals, 0u);
+    EXPECT_GT(e.injections, 0u);
+    EXPECT_EQ(e.injections, e.ejections);  // drained run
+
+    // The breakdown sums to the totals exactly.
+    EXPECT_DOUBLE_EQ(e.dynamicJ,
+                     e.routers.dynamicJ + e.channels.dynamicJ +
+                         e.creditChannels.dynamicJ + e.interfaces.dynamicJ);
+    EXPECT_DOUBLE_EQ(e.staticJ,
+                     e.routers.staticJ + e.channels.staticJ +
+                         e.creditChannels.staticJ + e.interfaces.staticJ);
+    EXPECT_DOUBLE_EQ(e.totalJ, e.dynamicJ + e.staticJ);
+    EXPECT_DOUBLE_EQ(
+        e.joulesPerBit,
+        e.totalJ / static_cast<double>(e.bitsDelivered));
+    EXPECT_EQ(e.bitsDelivered, e.ejections * 128);
+
+    // The JSON block mirrors the report.
+    json::Value root = result.toJson();
+    ASSERT_TRUE(root.has("energy"));
+    const json::Value& ej = root.at("energy");
+    EXPECT_TRUE(ej.has("joules_per_bit"));
+    EXPECT_TRUE(ej.has("routers"));
+    EXPECT_TRUE(ej.has("channels"));
+    EXPECT_TRUE(ej.has("credit_channels"));
+    EXPECT_TRUE(ej.has("interfaces"));
+    // And the human-readable summary names both headline numbers.
+    std::string summary = result.summary();
+    EXPECT_NE(summary.find("energy:"), std::string::npos);
+    EXPECT_NE(summary.find("joules per bit:"), std::string::npos);
+}
+
+TEST(PowerModel, StaticOnlyEnergyIsHandCheckable)
+{
+    // All per-event energies zero: total energy reduces to
+    // static_w x components x sim_seconds per kind.
+    json::Value config = test::makeConfig(
+        kTorusNetwork, test::blastWorkload(0.1, 2, 20));
+    config["power"] = json::parse(
+        R"({"enabled": true, "tick_seconds": 1e-9,
+            "router": {"buffer_write_pj": 0, "buffer_read_pj": 0,
+                       "crossbar_pj": 0, "arbitration_pj": 0,
+                       "static_w": 2.0},
+            "channel": {"flit_pj": 0, "static_w": 0},
+            "credit_channel": {"credit_pj": 0, "static_w": 0},
+            "interface": {"injection_pj": 0, "ejection_pj": 0,
+                          "static_w": 0}})");
+    RunResult result = runSimulation(config);
+    const power::PowerReport& e = result.energy;
+    ASSERT_TRUE(e.enabled);
+    EXPECT_DOUBLE_EQ(e.dynamicJ, 0.0);
+    double expected = 2.0 * 16.0 * e.simSeconds;  // 16 routers at 2 W
+    EXPECT_DOUBLE_EQ(e.staticJ, expected);
+    EXPECT_DOUBLE_EQ(e.totalJ, expected);
+    EXPECT_DOUBLE_EQ(e.simSeconds,
+                     static_cast<double>(result.endTick) * 1e-9);
+}
+
+TEST(PowerModel, ChannelOnlyEnergyCountsEveryFlitTraversal)
+{
+    // Only channel dynamic energy: total = channel flits x 1 pJ.
+    json::Value config = test::makeConfig(
+        kTorusNetwork, test::blastWorkload(0.1, 2, 20));
+    config["power"] = json::parse(
+        R"({"enabled": true,
+            "router": {"buffer_write_pj": 0, "buffer_read_pj": 0,
+                       "crossbar_pj": 0, "arbitration_pj": 0,
+                       "static_w": 0},
+            "channel": {"flit_pj": 1.0, "static_w": 0},
+            "credit_channel": {"credit_pj": 0, "static_w": 0},
+            "interface": {"injection_pj": 0, "ejection_pj": 0,
+                          "static_w": 0}})");
+    RunResult result = runSimulation(config);
+    const power::PowerReport& e = result.energy;
+    ASSERT_TRUE(e.enabled);
+    EXPECT_GT(e.channelFlits, 0u);
+    EXPECT_DOUBLE_EQ(e.totalJ,
+                     static_cast<double>(e.channelFlits) * 1.0e-12);
+}
+
+// ----- determinism -----
+
+TEST(PowerModel, EnergyJsonIsSeedReproducible)
+{
+    std::string a = runSimulation(poweredConfig(7))
+                        .energy.toJson().toString();
+    std::string b = runSimulation(poweredConfig(7))
+                        .energy.toJson().toString();
+    EXPECT_EQ(a, b);
+    std::string c = runSimulation(poweredConfig(8))
+                        .energy.toJson().toString();
+    EXPECT_NE(a, c);  // a different seed must move the activity counts
+}
+
+TEST(PowerModel, EnergyJsonIsThreadCountInvariant)
+{
+    json::Value serial = poweredConfig(7);
+    serial["simulator"]["threads"] = std::uint64_t{1};
+    std::string want =
+        runSimulation(serial).energy.toJson().toString();
+    json::Value parallel = poweredConfig(7);
+    parallel["simulator"]["threads"] = std::uint64_t{4};
+    std::string got =
+        runSimulation(parallel).energy.toJson().toString();
+    EXPECT_EQ(want, got);
+}
+
+// ----- observability gauges -----
+
+TEST(PowerModel, GaugesRegisterOnlyWithObservability)
+{
+    {
+        Simulation simulation(poweredConfig());
+        EXPECT_EQ(
+            simulation.simulator()->metrics().find("power.total_j"),
+            nullptr);
+    }
+    json::Value config = poweredConfig();
+    config["observability"] = json::parse(
+        R"({"enabled": true, "sample_interval": 1000})");
+    Simulation simulation(config);
+    obs::MetricsRegistry& m = simulation.simulator()->metrics();
+    ASSERT_NE(m.find("power.total_j"), nullptr);
+    ASSERT_NE(m.find("power.total_w"), nullptr);
+    ASSERT_NE(m.find("power.joules_per_bit"), nullptr);
+    ASSERT_NE(m.find("network.router_0.power_w"), nullptr);
+
+    RunResult result = simulation.run();
+    ASSERT_TRUE(result.energy.enabled);
+    // The final polled gauge value equals the end-of-run report total.
+    auto* total = static_cast<obs::Gauge*>(m.find("power.total_j"));
+    EXPECT_DOUBLE_EQ(total->value(), result.energy.totalJ);
+    auto* jpb = static_cast<obs::Gauge*>(m.find("power.joules_per_bit"));
+    EXPECT_DOUBLE_EQ(jpb->value(), result.energy.joulesPerBit);
+}
+
+}  // namespace
+}  // namespace ss
