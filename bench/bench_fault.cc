@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Overhead gate of the fault-injection subsystem: the same torus blast
+ * workload run with no fault block, with an armed-but-quiet schedule
+ * (faults scheduled after the run ends, so every hot path pays the
+ * null/state-pointer branch but no flip ever fires), and with an
+ * active chaos schedule. The "disabled" run must match the pre-fault
+ * baseline (untargeted components hold null fault-state pointers), and
+ * the armed run bounds the cost of the armed branches themselves.
+ * BM_CalibrationSpin mirrors the event-core calibration so
+ * bench/compare_bench.py can normalize out machine speed.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "json/settings.h"
+#include "sim/builder.h"
+
+namespace {
+
+ss::json::Value
+torusConfig()
+{
+    return ss::json::parse(R"({
+        "simulator": {"seed": 12345, "time_limit": 5000000},
+        "network": {
+            "topology": "torus", "widths": [8, 8], "concentration": 2,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"}
+        },
+        "workload": {"applications": [{
+            "type": "blast", "injection_rate": 0.2,
+            "message_size": 4, "num_samples": 30,
+            "warmup_duration": 500,
+            "traffic": {"type": "uniform_random"}
+        }]}
+    })");
+}
+
+void
+runLoop(benchmark::State& state, const ss::json::Value& config)
+{
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        (void)_;
+        ss::RunResult result = ss::runSimulation(config);
+        events += result.eventsExecuted;
+        benchmark::DoNotOptimize(result.eventsExecuted);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void
+BM_FaultDisabled(benchmark::State& state)
+{
+    runLoop(state, torusConfig());
+}
+BENCHMARK(BM_FaultDisabled)->Unit(benchmark::kMillisecond);
+
+void
+BM_FaultArmedIdle(benchmark::State& state)
+{
+    // The schedule arms the targets (fault-state structs allocated,
+    // armed branches taken) but both events begin long after the blast
+    // drains, so no flip ever fires during measurement.
+    ss::json::Value config = torusConfig();
+    config["fault"] = ss::json::parse(R"({
+        "enabled": true,
+        "events": [
+            {"kind": "link_degrade", "router": 0, "port": 4,
+             "begin": 4000000, "duration": 1000,
+             "bandwidth_multiplier": 0.5, "latency_multiplier": 2.0},
+            {"kind": "router_port_stall", "router": 1, "port": 5,
+             "begin": 4000000, "duration": 1000}
+        ]
+    })");
+    runLoop(state, config);
+}
+BENCHMARK(BM_FaultArmedIdle)->Unit(benchmark::kMillisecond);
+
+void
+BM_FaultActive(benchmark::State& state)
+{
+    // A live chaos schedule: explicit link faults plus a stochastic
+    // generator, all firing inside the measured run.
+    ss::json::Value config = torusConfig();
+    config["fault"] = ss::json::parse(R"({
+        "enabled": true,
+        "events": [
+            {"kind": "link_down", "router": 0, "port": 4,
+             "begin": 600, "duration": 400},
+            {"kind": "link_degrade", "router": 9, "port": 3,
+             "begin": 700, "duration": 500,
+             "bandwidth_multiplier": 0.5, "latency_multiplier": 2.0}
+        ],
+        "random": {"count": 4, "kinds": ["link_down", "link_degrade"],
+                   "mtbf": 300, "mttr": 150, "start": 600}
+    })");
+    runLoop(state, config);
+}
+BENCHMARK(BM_FaultActive)->Unit(benchmark::kMillisecond);
+
+void
+BM_CalibrationSpin(benchmark::State& state)
+{
+    // Same fixed arithmetic spin as bench_des_core's BM_CalibrationSpin:
+    // compare_bench.py normalizes by this rate so runner speed cancels.
+    for (auto _ : state) {
+        (void)_;
+        std::uint64_t z = 0x2545f4914f6cdd1dULL;
+        for (int i = 0; i < 4096; ++i) {
+            z += 0x9e3779b97f4a7c15ULL;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        }
+        benchmark::DoNotOptimize(z);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CalibrationSpin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/component.h"
 #include "factory/factory.h"
@@ -57,12 +58,36 @@ class CongestionSensor : public Component {
 
     /** Returns the congestion estimate for routing decisions: the number
      *  of occupied flit slots currently *visible* (possibly stale). The
-     *  accounting style decides what is counted. Higher = worse. */
+     *  accounting style decides what is counted. Higher = worse.
+     *  Implementations must add faultBias(port) so faults repel
+     *  adaptive routing through the regular congestion path. */
     virtual double status(std::uint32_t port, std::uint32_t vc) const = 0;
 
+    /** Fault hook: adds @p delta to the port's status penalty (the
+     *  FaultController applies +bias at fault begin, -bias at end).
+     *  Lazily allocated — fault-free runs never touch it. */
+    void
+    addFaultBias(std::uint32_t port, double delta)
+    {
+        if (faultBias_.empty()) {
+            faultBias_.assign(numPorts_, 0.0);
+        }
+        faultBias_[port] += delta;
+    }
+
   protected:
+    /** The current fault penalty of @p port (0 when never faulted). */
+    double
+    faultBias(std::uint32_t port) const
+    {
+        return faultBias_.empty() ? 0.0 : faultBias_[port];
+    }
+
     std::uint32_t numPorts_;
     std::uint32_t numVcs_;
+
+  private:
+    std::vector<double> faultBias_;  // [port], empty unless faulted
 };
 
 /** Factory; settings select latency and accounting style. */

@@ -136,8 +136,10 @@ CreditSensor::status(std::uint32_t port, std::uint32_t vc) const
 {
     checkSim(port < numPorts_ && vc < numVcs_, "sensor query out of range");
     return poolStatus(
-        visible_[static_cast<int>(CreditPool::kOutputQueue)],
-        visible_[static_cast<int>(CreditPool::kDownstream)], port, vc);
+               visible_[static_cast<int>(CreditPool::kOutputQueue)],
+               visible_[static_cast<int>(CreditPool::kDownstream)],
+               port, vc) +
+           faultBias(port);
 }
 
 double

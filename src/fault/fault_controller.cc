@@ -1,0 +1,388 @@
+#include "fault/fault_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/logging.h"
+#include "network/network.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
+
+namespace ss::fault {
+
+namespace {
+
+/** Exponential draw rounded to ticks with a floor of 1. */
+Tick
+exponentialTicks(Random& random, double mean)
+{
+    double draw = random.nextExponential(mean);
+    auto ticks = static_cast<std::int64_t>(std::llround(draw));
+    return ticks < 1 ? 1 : static_cast<Tick>(ticks);
+}
+
+}  // namespace
+
+FaultController::FaultController(Simulator* simulator, FaultSpec spec)
+    : Component(simulator, "fault_controller", nullptr),
+      spec_(std::move(spec))
+{
+}
+
+FaultController::~FaultController() = default;
+
+std::unique_ptr<FaultController>
+FaultController::fromConfig(Simulator* simulator,
+                            const json::Value& config, bool strict)
+{
+    if (!config.isObject() || !config.has("fault")) {
+        return nullptr;
+    }
+    const json::Value& settings = config.at("fault");
+    if (settings.isNull()) {
+        return nullptr;
+    }
+    FaultSpec spec = FaultSpec::fromJson(settings, strict);
+    if (!spec.enabled) {
+        return nullptr;
+    }
+    return std::make_unique<FaultController>(simulator, std::move(spec));
+}
+
+void
+FaultController::arm(Network* network)
+{
+    network_ = network;
+
+    for (const FaultEventSpec& event : spec_.events) {
+        resolveEvent(event, network);
+    }
+
+    // Stochastic schedule: cumulative exponential arrivals, drawn from
+    // this component's dedicated RNG stream in a fixed order, so the
+    // schedule depends only on the seed — never on traffic or threads.
+    const RandomFaultSpec& generator = spec_.random;
+    if (generator.count > 0) {
+        const std::vector<Network::RouterLink>& links =
+            network->routerLinks();
+        Tick cursor = generator.start;
+        for (std::uint32_t i = 0; i < generator.count; ++i) {
+            FaultEventSpec event;
+            event.kind = generator.kinds[static_cast<std::size_t>(
+                random().nextU64(generator.kinds.size()))];
+            cursor += exponentialTicks(random(), generator.mtbf);
+            event.begin = cursor;
+            event.duration = exponentialTicks(random(), generator.mttr);
+            event.bandwidthMultiplier = generator.bandwidthMultiplier;
+            event.latencyMultiplier = generator.latencyMultiplier;
+            if (event.kind == FaultKind::kTerminalPause) {
+                checkUser(network->numInterfaces() > 0,
+                          "fault.random draws terminal_pause but the "
+                          "network has no interfaces");
+                event.terminal = static_cast<std::uint32_t>(
+                    random().nextU64(network->numInterfaces()));
+            } else {
+                checkUser(!links.empty(),
+                          "fault.random draws link faults but the "
+                          "topology has no router links");
+                const Network::RouterLink& link = links[
+                    static_cast<std::size_t>(
+                        random().nextU64(links.size()))];
+                event.router = link.src->id();
+                event.port = link.srcPort;
+            }
+            resolveEvent(event, network);
+        }
+    }
+
+    // Pre-schedule every flip on its binding's fault-home partition.
+    // This runs in the serial build phase, so the per-partition
+    // insertion sequence is fixed before any worker starts, and
+    // same-tick flips order identically for every --threads value.
+    for (std::uint32_t r = 0;
+         r < static_cast<std::uint32_t>(records_.size()); ++r) {
+        const Record& record = records_[r];
+        for (std::uint32_t b = 0;
+             b < static_cast<std::uint32_t>(record.bindings.size());
+             ++b) {
+            const Binding& binding = record.bindings[b];
+            flips_.emplace_back(this, r, b, true);
+            simulator()->scheduleFor(binding.partition, &flips_.back(),
+                                     Time(record.begin, eps::kDelivery),
+                                     /*background=*/true);
+            flips_.emplace_back(this, r, b, false);
+            simulator()->scheduleFor(binding.partition, &flips_.back(),
+                                     Time(record.end, eps::kDelivery),
+                                     /*background=*/true);
+        }
+    }
+
+    registerObservability();
+}
+
+void
+FaultController::resolveEvent(const FaultEventSpec& event,
+                              Network* network)
+{
+    Record record;
+    record.kind = event.kind;
+    record.begin = event.begin;
+    record.end = event.begin + event.duration;
+
+    FaultEdge edge;
+    edge.kind = event.kind;
+    edge.port = event.port;
+    edge.record = static_cast<std::uint32_t>(records_.size());
+    edge.bandwidthMultiplier = event.bandwidthMultiplier;
+    edge.latencyMultiplier = event.latencyMultiplier;
+
+    switch (event.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkDegrade: {
+        const Network::RouterLink* link = nullptr;
+        for (const Network::RouterLink& candidate :
+             network->routerLinks()) {
+            if (candidate.src->id() == event.router &&
+                candidate.srcPort == event.port) {
+                link = &candidate;
+                break;
+            }
+        }
+        checkUser(link != nullptr, "fault event '",
+                  faultKindName(event.kind),
+                  "' targets nonexistent router link: router ",
+                  event.router, " port ", event.port);
+        record.label =
+            strf("r", link->src->id(), "p", link->srcPort, "->r",
+                 link->dst->id(), "p", link->dstPort);
+        // A downed link repels adaptive routing via the sensor bias;
+        // a degraded link stays visible through real backpressure.
+        edge.sensorBias = event.kind == FaultKind::kLinkDown
+                              ? spec_.sensorBias
+                              : 0.0;
+        // Primary binding: the data channel, homed on the injecting
+        // (source) side where available()/inject() run.
+        link->data->ensureFaultState(this);
+        record.bindings.push_back(
+            {link->data, link->src->partition(), edge});
+        if (edge.sensorBias != 0.0) {
+            record.bindings.push_back(
+                {link->src, link->src->partition(), edge});
+        }
+        if (event.kind == FaultKind::kLinkDegrade) {
+            // Degrade slows the credit return path too; the credit
+            // channel's fault home is its injecting (sink router) side.
+            link->credit->ensureFaultState();
+            record.bindings.push_back(
+                {link->credit, link->dst->partition(), edge});
+        }
+        break;
+      }
+      case FaultKind::kRouterPortStall: {
+        checkUser(event.router < network->numRouters(),
+                  "fault event targets nonexistent router ",
+                  event.router);
+        Router* router = network->router(event.router);
+        checkUser(router->outputWired(event.port),
+                  "fault event stalls unwired port ", event.port,
+                  " of router ", event.router);
+        record.label = strf("r", event.router, "p", event.port);
+        edge.sensorBias = spec_.sensorBias;
+        // Recovery probe: the first flit draining the stalled port.
+        Channel* probe = router->outputChannel(event.port);
+        probe->ensureFaultState(this);
+        record.bindings.push_back({probe, router->partition(), edge});
+        router->ensureFaultState();
+        record.bindings.push_back({router, router->partition(), edge});
+        break;
+      }
+      case FaultKind::kTerminalPause: {
+        checkUser(event.terminal < network->numInterfaces(),
+                  "fault event targets nonexistent terminal ",
+                  event.terminal);
+        Interface* iface = network->interface(event.terminal);
+        record.label = strf("t", event.terminal);
+        // Recovery probe: the first flit injected after the pause.
+        Channel* probe = iface->outputChannel();
+        probe->ensureFaultState(this);
+        record.bindings.push_back({probe, iface->partition(), edge});
+        iface->ensureFaultState();
+        record.bindings.push_back({iface, iface->partition(), edge});
+        break;
+      }
+    }
+
+    records_.push_back(std::move(record));
+}
+
+void
+FaultController::fire(std::uint32_t record, std::uint32_t binding,
+                      bool begin)
+{
+    Record& rec = records_[record];
+    Binding& bound = rec.bindings[binding];
+    if (begin) {
+        bound.target->faultBegin(bound.edge);
+    } else {
+        bound.target->faultEnd(bound.edge);
+    }
+    // Only the primary binding writes lifecycle flags: its partition is
+    // the one that also writes recovered via the channel probe, so all
+    // record state stays single-writer.
+    if (binding == 0) {
+        if (begin) {
+            rec.began = true;
+        } else {
+            rec.ended = true;
+        }
+    }
+}
+
+void
+FaultController::recoveryTraffic(std::uint32_t record, Tick tick)
+{
+    Record& rec = records_[record];
+    if (!rec.recovered) {
+        rec.recovered = true;
+        rec.recoveredTick = tick;
+    }
+}
+
+void
+FaultController::registerObservability()
+{
+    if (simulator()->observabilityEnabled()) {
+        obs::MetricsRegistry& metrics = simulator()->metrics();
+        metrics.polledGauge("fault.scheduled", [this] {
+            return static_cast<double>(records_.size());
+        });
+        metrics.polledGauge("fault.injected", [this] {
+            return countRecords(
+                [](const Record& r) { return r.began; });
+        });
+        metrics.polledGauge("fault.repaired", [this] {
+            return countRecords(
+                [](const Record& r) { return r.ended; });
+        });
+        metrics.polledGauge("fault.recovered", [this] {
+            return countRecords(
+                [](const Record& r) { return r.recovered; });
+        });
+        metrics.polledGauge("fault.active", [this] {
+            return countRecords(
+                [](const Record& r) { return r.began && !r.ended; });
+        });
+        metrics.polledGauge("fault.links_down", [this] {
+            return countRecords([](const Record& r) {
+                return r.kind == FaultKind::kLinkDown && r.began &&
+                       !r.ended;
+            });
+        });
+    }
+    obs::TraceWriter* trace = simulator()->traceWriter();
+    if (trace != nullptr) {
+        trace->processName(obs::TraceWriter::kPidFaults, "faults");
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            trace->threadName(
+                obs::TraceWriter::kPidFaults,
+                static_cast<std::uint32_t>(i),
+                strf(faultKindName(records_[i].kind), " ",
+                     records_[i].label));
+        }
+    }
+}
+
+void
+FaultController::finalize(Tick end_tick)
+{
+    if (finalized_) {
+        return;
+    }
+    finalized_ = true;
+
+    obs::Histogram* histogram = nullptr;
+    if (simulator()->observabilityEnabled()) {
+        histogram =
+            simulator()->metrics().histogram("fault.recovery_latency");
+    }
+    obs::TraceWriter* trace = simulator()->traceWriter();
+
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const Record& record = records_[i];
+        if (!record.began) {
+            continue;
+        }
+        Tick stop = record.ended ? record.end
+                                 : std::max(end_tick, record.begin);
+        downtimeTicks_ += stop - record.begin;
+        if (record.recovered) {
+            Tick latency = record.recoveredTick - record.end;
+            recoveryLatencies_.push_back(latency);
+            if (histogram != nullptr) {
+                histogram->record(latency);
+            }
+        }
+        if (trace != nullptr) {
+            trace->completeEvent(
+                obs::TraceWriter::kPidFaults,
+                static_cast<std::uint32_t>(i),
+                strf(faultKindName(record.kind), " ", record.label),
+                "fault", record.begin, stop - record.begin,
+                strf("{\"recovered\":",
+                     record.recovered ? "true" : "false",
+                     ",\"repaired\":",
+                     record.ended ? "true" : "false", "}"));
+        }
+    }
+
+    report_.enabled = true;
+    report_.scheduled = records_.size();
+    for (const Record& record : records_) {
+        report_.injected += record.began ? 1 : 0;
+        report_.completed += record.ended ? 1 : 0;
+        report_.recovered += record.recovered ? 1 : 0;
+        switch (record.kind) {
+          case FaultKind::kLinkDown:
+            ++report_.linkDown;
+            break;
+          case FaultKind::kLinkDegrade:
+            ++report_.linkDegrade;
+            break;
+          case FaultKind::kRouterPortStall:
+            ++report_.portStall;
+            break;
+          case FaultKind::kTerminalPause:
+            ++report_.terminalPause;
+            break;
+        }
+    }
+    report_.downtimeTicks = downtimeTicks_;
+    if (!recoveryLatencies_.empty()) {
+        std::uint64_t sum = 0;
+        std::uint64_t lo = recoveryLatencies_.front();
+        std::uint64_t hi = recoveryLatencies_.front();
+        for (Tick latency : recoveryLatencies_) {
+            sum += latency;
+            lo = std::min<std::uint64_t>(lo, latency);
+            hi = std::max<std::uint64_t>(hi, latency);
+        }
+        report_.recoveryLatencyMean =
+            static_cast<double>(sum) /
+            static_cast<double>(recoveryLatencies_.size());
+        report_.recoveryLatencyMin = lo;
+        report_.recoveryLatencyMax = hi;
+    }
+
+    // Conservation ledger: every flit ever injected is either ejected
+    // or still inside a registered in-flight message. Faults delay,
+    // degrade, and reroute traffic — they must never lose it.
+    for (std::uint32_t i = 0; i < network_->numInterfaces(); ++i) {
+        const Interface* iface = network_->interface(i);
+        report_.flitsInjected += iface->flitsInjected();
+        report_.flitsEjected += iface->flitsEjected();
+    }
+    report_.messagesInFlight = network_->messagesInFlight();
+}
+
+}  // namespace ss::fault

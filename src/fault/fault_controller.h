@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The fault-injection engine (DESIGN.md §11).
+ *
+ * The FaultController compiles a FaultSpec — explicit events plus a
+ * seeded MTBF/MTTR generator — into a deterministic tick-ordered
+ * schedule of begin/end flips, resolves every flip against the network
+ * (channels, routers, interfaces) through the narrow FaultTarget
+ * interface, and pre-schedules the flips as background events on each
+ * target's fault-home partition. Because all flips are enqueued during
+ * the serial build phase at Time(tick, eps::kDelivery), they commute
+ * with the partitioned executer: `--threads N` stays byte-identical
+ * with faults enabled.
+ *
+ * Recovery is measured per event: repairing a fault arms a probe on the
+ * associated data channel, and the first flit injected afterwards
+ * reports back through RecoveryObserver::recoveryTraffic. finalize()
+ * turns the per-record bookkeeping into fault.* metrics, a
+ * recovery-latency histogram, Chrome-trace fault spans, and the
+ * ResilienceReport carried by RunResult.
+ */
+#ifndef SS_FAULT_FAULT_CONTROLLER_H_
+#define SS_FAULT_FAULT_CONTROLLER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/component.h"
+#include "core/event.h"
+#include "fault/fault_spec.h"
+#include "fault/fault_target.h"
+#include "fault/report.h"
+#include "json/json.h"
+
+namespace ss {
+class Network;
+}  // namespace ss
+
+namespace ss::fault {
+
+/** Owns the fault schedule and drives FaultTarget hooks. */
+class FaultController : public Component, public RecoveryObserver {
+  public:
+    FaultController(Simulator* simulator, FaultSpec spec);
+    ~FaultController() override;
+
+    /**
+     * Builds a controller from the root config's "fault" block. Returns
+     * nullptr when the block is absent, null, or not enabled — the
+     * nullptr is the feature gate: no controller, no fault state, zero
+     * hot-path overhead. Unknown keys warn, or fatal() under @p strict.
+     */
+    static std::unique_ptr<FaultController> fromConfig(
+        Simulator* simulator, const json::Value& config, bool strict);
+
+    /**
+     * Resolves the schedule against @p network, draws the stochastic
+     * events from this component's dedicated RNG stream, arms fault
+     * state on every targeted component, pre-schedules all begin/end
+     * flips, and registers fault.* gauges. Must run after the network
+     * is built and before Simulator::run().
+     */
+    void arm(Network* network);
+
+    /** RecoveryObserver: first traffic on a healed target. Runs on the
+     *  record's primary partition (the probing channel's fault home). */
+    void recoveryTraffic(std::uint32_t record, Tick tick) override;
+
+    /**
+     * Post-run accounting (idempotent, control thread): downtime and
+     * recovery-latency statistics, the "fault.recovery_latency"
+     * histogram, Chrome-trace fault spans, and the conservation ledger
+     * snapshot. Call before the observability collector finishes.
+     */
+    void finalize(Tick end_tick);
+
+    /** The resilience block for RunResult; finalize() must have run. */
+    const ResilienceReport& report() const { return report_; }
+
+  private:
+    /** One (target, partition) application of a fault record. */
+    struct Binding {
+        FaultTarget* target = nullptr;
+        std::uint32_t partition = 0;
+        FaultEdge edge;
+    };
+
+    /**
+     * One fault event: what, where, when, and its lifecycle flags.
+     * Binding 0 is the primary (the probed data channel); only events
+     * on its partition write began/ended/recovered, so record state
+     * stays single-writer under the parallel executer.
+     */
+    struct Record {
+        FaultKind kind = FaultKind::kLinkDown;
+        std::string label;
+        Tick begin = 0;
+        Tick end = 0;
+        bool began = false;
+        bool ended = false;
+        bool recovered = false;
+        Tick recoveredTick = 0;
+        std::vector<Binding> bindings;
+    };
+
+    /** A pre-scheduled begin or end flip of one binding. */
+    class Flip : public Event {
+      public:
+        Flip(FaultController* controller, std::uint32_t record,
+             std::uint32_t binding, bool begin)
+            : controller_(controller),
+              record_(record),
+              binding_(binding),
+              begin_(begin)
+        {
+        }
+        void
+        process() override
+        {
+            controller_->fire(record_, binding_, begin_);
+        }
+
+      private:
+        FaultController* controller_;
+        std::uint32_t record_;
+        std::uint32_t binding_;
+        bool begin_;
+    };
+
+    /** Builds the Record for one event spec against the network. */
+    void resolveEvent(const FaultEventSpec& event, Network* network);
+
+    /** Applies one flip to its target (runs on the binding's
+     *  partition). */
+    void fire(std::uint32_t record, std::uint32_t binding, bool begin);
+
+    /** Registers the fault.* polled gauges and trace metadata. */
+    void registerObservability();
+
+    /** Counts records whose predicate holds (gauge scans). */
+    template <typename Pred>
+    double
+    countRecords(Pred pred) const
+    {
+        std::uint64_t n = 0;
+        for (const Record& record : records_) {
+            if (pred(record)) {
+                ++n;
+            }
+        }
+        return static_cast<double>(n);
+    }
+
+    FaultSpec spec_;
+    Network* network_ = nullptr;
+    std::vector<Record> records_;
+    /** Flip storage; deque keeps pointers stable while scheduling. */
+    std::deque<Flip> flips_;
+    bool finalized_ = false;
+    std::uint64_t downtimeTicks_ = 0;
+    std::vector<Tick> recoveryLatencies_;
+    ResilienceReport report_;
+};
+
+}  // namespace ss::fault
+
+#endif  // SS_FAULT_FAULT_CONTROLLER_H_

@@ -1,0 +1,157 @@
+#include "fault/fault_spec.h"
+
+#include "core/logging.h"
+#include "json/settings.h"
+
+namespace ss::fault {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kLinkDown:
+        return "link_down";
+      case FaultKind::kLinkDegrade:
+        return "link_degrade";
+      case FaultKind::kRouterPortStall:
+        return "router_port_stall";
+      case FaultKind::kTerminalPause:
+        return "terminal_pause";
+    }
+    return "unknown";
+}
+
+FaultKind
+FaultSpec::kindFromString(const std::string& name)
+{
+    if (name == "link_down") {
+        return FaultKind::kLinkDown;
+    }
+    if (name == "link_degrade") {
+        return FaultKind::kLinkDegrade;
+    }
+    if (name == "router_port_stall") {
+        return FaultKind::kRouterPortStall;
+    }
+    if (name == "terminal_pause") {
+        return FaultKind::kTerminalPause;
+    }
+    fatal("unknown fault kind '", name,
+          "' (want link_down|link_degrade|router_port_stall|"
+          "terminal_pause)");
+}
+
+namespace {
+
+void
+checkMultipliers(double bandwidth, double latency,
+                 const std::string& context)
+{
+    checkUser(bandwidth > 0.0 && bandwidth <= 1.0, context,
+              ": bandwidth_multiplier must be in (0, 1], got ",
+              bandwidth);
+    checkUser(latency >= 1.0, context,
+              ": latency_multiplier must be >= 1, got ", latency);
+}
+
+FaultEventSpec
+parseEvent(const json::Value& entry, std::size_t index, bool strict)
+{
+    std::string context = strf("fault.events.", index);
+    checkUser(entry.isObject(), context, " must be an object");
+    json::validateKeys(entry, context,
+                       {"kind", "router", "port", "terminal", "begin",
+                        "duration", "bandwidth_multiplier",
+                        "latency_multiplier"},
+                       strict);
+    FaultEventSpec spec;
+    spec.kind = FaultSpec::kindFromString(
+        json::getString(entry, "kind"));
+    if (spec.kind == FaultKind::kTerminalPause) {
+        spec.terminal = static_cast<std::uint32_t>(
+            json::getUint(entry, "terminal"));
+    } else {
+        spec.router =
+            static_cast<std::uint32_t>(json::getUint(entry, "router"));
+        spec.port =
+            static_cast<std::uint32_t>(json::getUint(entry, "port"));
+    }
+    spec.begin = json::getUint(entry, "begin");
+    spec.duration = json::getUint(entry, "duration");
+    checkUser(spec.begin >= 1, context, ": begin must be >= 1");
+    checkUser(spec.duration >= 1, context, ": duration must be >= 1");
+    spec.bandwidthMultiplier =
+        json::getFloat(entry, "bandwidth_multiplier", 1.0);
+    spec.latencyMultiplier =
+        json::getFloat(entry, "latency_multiplier", 2.0);
+    if (spec.kind == FaultKind::kLinkDegrade) {
+        checkMultipliers(spec.bandwidthMultiplier, spec.latencyMultiplier,
+                         context);
+    }
+    return spec;
+}
+
+RandomFaultSpec
+parseRandom(const json::Value& block, bool strict)
+{
+    json::validateKeys(block, "fault.random",
+                       {"count", "kinds", "mtbf", "mttr", "start",
+                        "bandwidth_multiplier", "latency_multiplier"},
+                       strict);
+    RandomFaultSpec spec;
+    spec.count =
+        static_cast<std::uint32_t>(json::getUint(block, "count"));
+    if (block.has("kinds")) {
+        const json::Value& kinds = block.at("kinds");
+        checkUser(kinds.isArray() && kinds.size() > 0,
+                  "fault.random.kinds must be a non-empty array");
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+            spec.kinds.push_back(
+                FaultSpec::kindFromString(kinds.at(i).asString()));
+        }
+    } else {
+        spec.kinds = {FaultKind::kLinkDown, FaultKind::kLinkDegrade};
+    }
+    spec.mtbf = json::getFloat(block, "mtbf");
+    spec.mttr = json::getFloat(block, "mttr");
+    checkUser(spec.mtbf > 0.0, "fault.random.mtbf must be > 0");
+    checkUser(spec.mttr > 0.0, "fault.random.mttr must be > 0");
+    spec.start = json::getUint(block, "start", 1);
+    checkUser(spec.start >= 1, "fault.random.start must be >= 1");
+    spec.bandwidthMultiplier =
+        json::getFloat(block, "bandwidth_multiplier", 0.5);
+    spec.latencyMultiplier =
+        json::getFloat(block, "latency_multiplier", 2.0);
+    checkMultipliers(spec.bandwidthMultiplier, spec.latencyMultiplier,
+                     "fault.random");
+    return spec;
+}
+
+}  // namespace
+
+FaultSpec
+FaultSpec::fromJson(const json::Value& settings, bool strict)
+{
+    checkUser(settings.isObject(), "'fault' must be a JSON object");
+    json::validateKeys(settings, "fault",
+                       {"enabled", "sensor_bias", "events", "random"},
+                       strict);
+    FaultSpec spec;
+    spec.enabled = json::getBool(settings, "enabled", false);
+    spec.sensorBias =
+        json::getFloat(settings, "sensor_bias", spec.sensorBias);
+    checkUser(spec.sensorBias >= 0.0, "fault.sensor_bias must be >= 0");
+    if (settings.has("events")) {
+        const json::Value& events = settings.at("events");
+        checkUser(events.isArray(), "fault.events must be an array");
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            spec.events.push_back(parseEvent(events.at(i), i, strict));
+        }
+    }
+    if (settings.has("random")) {
+        spec.random = parseRandom(settings.at("random"), strict);
+    }
+    return spec;
+}
+
+}  // namespace ss::fault

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The parsed form of the root-level "fault" config block (DESIGN.md
+ * §11): a list of explicit fault events plus an optional stochastic
+ * generator (MTBF/MTTR exponentials drawn from the FaultController's
+ * dedicated RNG stream at arm time, so the schedule is deterministic
+ * and independent of traffic randomness).
+ *
+ * JSON layout:
+ *   "fault": {
+ *     "enabled": true,
+ *     "sensor_bias": 1e9,          // status() penalty at downed ports
+ *     "events": [
+ *       {"kind": "link_down", "router": 0, "port": 2,
+ *        "begin": 20000, "duration": 30000},
+ *       {"kind": "link_degrade", "router": 1, "port": 3,
+ *        "begin": 10000, "duration": 50000,
+ *        "bandwidth_multiplier": 0.5, "latency_multiplier": 2.0},
+ *       {"kind": "router_port_stall", "router": 2, "port": 1, ...},
+ *       {"kind": "terminal_pause", "terminal": 5, ...}
+ *     ],
+ *     "random": {
+ *       "count": 8, "kinds": ["link_down", "link_degrade"],
+ *       "mtbf": 50000, "mttr": 10000, "start": 1000,
+ *       "bandwidth_multiplier": 0.5, "latency_multiplier": 2.0
+ *     }
+ *   }
+ */
+#ifndef SS_FAULT_FAULT_SPEC_H_
+#define SS_FAULT_FAULT_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "fault/fault_target.h"
+#include "json/json.h"
+
+namespace ss::fault {
+
+/** One explicit fault event from the "events" array. */
+struct FaultEventSpec {
+    FaultKind kind = FaultKind::kLinkDown;
+    std::uint32_t router = 0;
+    std::uint32_t port = 0;
+    std::uint32_t terminal = 0;
+    Tick begin = 0;
+    Tick duration = 0;
+    double bandwidthMultiplier = 1.0;
+    double latencyMultiplier = 1.0;
+};
+
+/** The stochastic generator block ("random"). */
+struct RandomFaultSpec {
+    std::uint32_t count = 0;
+    std::vector<FaultKind> kinds;
+    /** Mean ticks between fault arrivals (exponential). */
+    double mtbf = 0.0;
+    /** Mean fault duration in ticks (exponential, floor 1). */
+    double mttr = 0.0;
+    /** Earliest tick a generated fault may begin. */
+    Tick start = 1;
+    double bandwidthMultiplier = 0.5;
+    double latencyMultiplier = 2.0;
+};
+
+/** The fully parsed "fault" block. */
+struct FaultSpec {
+    bool enabled = false;
+    /** Congestion-sensor penalty applied at fail-stop faults. */
+    double sensorBias = 1e9;
+    std::vector<FaultEventSpec> events;
+    RandomFaultSpec random;
+
+    /** Parses and validates @p settings (the "fault" object). Unknown
+     *  keys warn, or fatal() under @p strict. */
+    static FaultSpec fromJson(const json::Value& settings, bool strict);
+
+    /** "link_down" -> kLinkDown etc.; fatal() on unknown names. */
+    static FaultKind kindFromString(const std::string& name);
+};
+
+}  // namespace ss::fault
+
+#endif  // SS_FAULT_FAULT_SPEC_H_

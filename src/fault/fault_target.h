@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The narrow fault-injection contract between the FaultController and
+ * the components it disturbs (DESIGN.md §11).
+ *
+ * A fault is applied to a component through FaultTarget::faultBegin /
+ * faultEnd carrying a FaultEdge — a plain value describing what to do
+ * (kind, port, degradation multipliers, sensor bias). Each target owns
+ * its fault state as a lazily allocated struct: the pointer stays null
+ * unless the FaultController arms that specific component, so disabled
+ * runs (and untargeted components in enabled runs) pay exactly one
+ * branch on a null pointer in their hot paths — the PR 1/PR 6 gating
+ * pattern.
+ *
+ * Partition safety: every mutation of a fault-state struct happens on
+ * the partition whose events read it (the "fault home" — the injecting
+ * side of a channel, the router or interface itself), so the parallel
+ * executer sees single-writer state and `--threads N` stays
+ * byte-identical with faults enabled.
+ */
+#ifndef SS_FAULT_FAULT_TARGET_H_
+#define SS_FAULT_FAULT_TARGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+
+namespace ss::fault {
+
+/** The four disturbance kinds the controller can apply. */
+enum class FaultKind : std::uint8_t {
+    kLinkDown,         ///< fail-stop of a data channel (credits keep flowing)
+    kLinkDegrade,      ///< bandwidth/latency multipliers on a link
+    kRouterPortStall,  ///< a router output port stops draining
+    kTerminalPause,    ///< an interface stops injecting
+};
+
+/** Stable lower-snake name ("link_down", ...) for configs and reports. */
+const char* faultKindName(FaultKind kind);
+
+/** Gets recovery-probe callbacks: the first flit injected on a healed
+ *  channel marks the fault event as recovered. */
+class RecoveryObserver {
+  public:
+    virtual ~RecoveryObserver() = default;
+    /** First traffic after the end of fault event @p record at @p tick. */
+    virtual void recoveryTraffic(std::uint32_t record, Tick tick) = 0;
+};
+
+/** One fault application command, interpreted per target kind. */
+struct FaultEdge {
+    FaultKind kind = FaultKind::kLinkDown;
+    /** Router output port (link faults and port stalls). */
+    std::uint32_t port = 0;
+    /** Fault record index, used to attribute the recovery probe. */
+    std::uint32_t record = 0;
+    /** Degrade: fraction of nominal bandwidth kept, in (0, 1]. */
+    double bandwidthMultiplier = 1.0;
+    /** Degrade: latency stretch factor, >= 1. */
+    double latencyMultiplier = 1.0;
+    /** Additive congestion-sensor penalty while the fault is active
+     *  (steers adaptive routing away); 0 leaves the sensor alone. */
+    double sensorBias = 0.0;
+};
+
+/** Narrow interface implemented by Channel, CreditChannel, Router, and
+ *  Interface. Both calls run on the target's fault-home partition. */
+class FaultTarget {
+  public:
+    virtual ~FaultTarget() = default;
+    virtual void faultBegin(const FaultEdge& edge) = 0;
+    virtual void faultEnd(const FaultEdge& edge) = 0;
+};
+
+/** Channel-side fault state. Single-writer: mutated only by fault
+ *  events and Channel::inject on the channel's injecting partition.
+ *  Counters (not flags) keep overlapping faults on one target safe:
+ *  the state heals only when every active fault has ended. */
+struct ChannelFaultState {
+    std::uint32_t downCount = 0;
+    std::uint32_t degradeCount = 0;
+    /** Effective cycle time / delivery delay (nominal unless degraded). */
+    Tick period = 1;
+    Tick latency = 1;
+    /** Latest delivery tick so far: when a degrade ends, the restored
+     *  (shorter) latency must not let a flit overtake one sent under
+     *  the degraded latency — deliveries are clamped to stay monotonic
+     *  (same-tick deliveries keep injection order via the engine's
+     *  per-epsilon FIFO lanes). */
+    Tick lastDelivery = 0;
+    /** Armed at fault end; the next inject consumes it and reports the
+     *  recovery to the observer. */
+    bool probeArmed = false;
+    std::uint32_t probeRecord = 0;
+    RecoveryObserver* observer = nullptr;
+};
+
+/** Credit-channel fault state: degraded credit-return latency. */
+struct CreditChannelFaultState {
+    std::uint32_t degradeCount = 0;
+    Tick latency = 1;
+    /** Monotonic-delivery clamp, as in ChannelFaultState. */
+    Tick lastDelivery = 0;
+};
+
+/** Per-port output-stall counters of one router. */
+struct RouterFaultState {
+    std::vector<std::uint32_t> stalled;  // [port]
+};
+
+/** Injection-pause counter of one interface. */
+struct InterfaceFaultState {
+    std::uint32_t pauseCount = 0;
+};
+
+}  // namespace ss::fault
+
+#endif  // SS_FAULT_FAULT_TARGET_H_

@@ -1,0 +1,61 @@
+#include "fault/report.h"
+
+#include <sstream>
+
+namespace ss::fault {
+
+json::Value
+ResilienceReport::faultJson() const
+{
+    json::Value root = json::Value::object();
+    root["scheduled"] = scheduled;
+    root["injected"] = injected;
+    root["completed"] = completed;
+    root["recovered"] = recovered;
+    root["link_down"] = linkDown;
+    root["link_degrade"] = linkDegrade;
+    root["port_stall"] = portStall;
+    root["terminal_pause"] = terminalPause;
+    root["downtime_ticks"] = downtimeTicks;
+    return root;
+}
+
+json::Value
+ResilienceReport::resilienceJson() const
+{
+    json::Value root = json::Value::object();
+    root["recoveries"] = recovered;
+    root["recovery_latency_mean"] = recoveryLatencyMean;
+    root["recovery_latency_min"] = recoveryLatencyMin;
+    root["recovery_latency_max"] = recoveryLatencyMax;
+    root["flits_injected"] = flitsInjected;
+    root["flits_ejected"] = flitsEjected;
+    root["flits_outstanding"] = flitsInjected - flitsEjected;
+    root["messages_in_flight"] = messagesInFlight;
+    return root;
+}
+
+std::string
+ResilienceReport::summary() const
+{
+    if (!enabled) {
+        return std::string();
+    }
+    std::ostringstream out;
+    out << "faults:            " << injected << " injected of "
+        << scheduled << " scheduled, " << completed << " repaired, "
+        << recovered << " recovered\n";
+    out << "downtime:          " << downtimeTicks << " ticks\n";
+    if (recovered > 0) {
+        out << "recovery latency:  mean " << recoveryLatencyMean
+            << ", min " << recoveryLatencyMin << ", max "
+            << recoveryLatencyMax << '\n';
+    }
+    out << "flit conservation: " << flitsInjected << " injected, "
+        << flitsEjected << " ejected, "
+        << (flitsInjected - flitsEjected) << " outstanding ("
+        << messagesInFlight << " messages in flight)\n";
+    return out.str();
+}
+
+}  // namespace ss::fault

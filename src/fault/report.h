@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The resilience result bundle of one run: fault schedule/injection
+ * counts, per-kind breakdown, downtime, recovery-latency statistics,
+ * and the flit-conservation ledger. Carried inside RunResult so it
+ * flows into `supersim --json`, ssparse's result mode, and sscampaign
+ * table.csv (whose flattener picks up every numeric leaf of the
+ * "fault" and "resilience" blocks).
+ */
+#ifndef SS_FAULT_REPORT_H_
+#define SS_FAULT_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "json/json.h"
+
+namespace ss::fault {
+
+/** Resilience accounting of one simulation run. Default-constructed
+ *  (with `enabled` false) when fault injection is off. */
+struct ResilienceReport {
+    bool enabled = false;
+
+    /** Fault events compiled into the schedule. */
+    std::uint64_t scheduled = 0;
+    /** Events whose begin fired before the run ended. */
+    std::uint64_t injected = 0;
+    /** Events whose end (repair) fired before the run ended. */
+    std::uint64_t completed = 0;
+    /** Repaired events whose target carried traffic again. */
+    std::uint64_t recovered = 0;
+
+    // Scheduled events per kind.
+    std::uint64_t linkDown = 0;
+    std::uint64_t linkDegrade = 0;
+    std::uint64_t portStall = 0;
+    std::uint64_t terminalPause = 0;
+
+    /** Sum of injected fault durations, clamped to the end of run. */
+    std::uint64_t downtimeTicks = 0;
+
+    // Recovery latency: repair tick -> first traffic on the target.
+    double recoveryLatencyMean = 0.0;
+    std::uint64_t recoveryLatencyMin = 0;
+    std::uint64_t recoveryLatencyMax = 0;
+
+    // Conservation ledger: every injected flit is either ejected or
+    // still in flight inside a registered message when the run stops.
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsEjected = 0;
+    std::uint64_t messagesInFlight = 0;
+
+    /** The "fault" block of RunResult::toJson(). */
+    json::Value faultJson() const;
+
+    /** The "resilience" block of RunResult::toJson(). */
+    json::Value resilienceJson() const;
+
+    /** Lines appended to RunResult::summary() (empty when disabled). */
+    std::string summary() const;
+};
+
+}  // namespace ss::fault
+
+#endif  // SS_FAULT_REPORT_H_

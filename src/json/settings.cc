@@ -248,6 +248,32 @@ find(const Value& root, const std::string& dotted_path)
     return node;
 }
 
+void
+validateKeys(const Value& obj, const std::string& context,
+             std::initializer_list<const char*> known, bool strict)
+{
+    if (!obj.isObject()) {
+        return;
+    }
+    for (const auto& key : obj.keys()) {
+        bool recognized = false;
+        for (const char* candidate : known) {
+            if (key == candidate) {
+                recognized = true;
+                break;
+            }
+        }
+        if (recognized) {
+            continue;
+        }
+        if (strict) {
+            fatal("unknown key '", key, "' in '", context, "' block");
+        }
+        warn("unknown key '", key, "' in '", context,
+             "' block (ignored; --strict makes this fatal)");
+    }
+}
+
 std::uint64_t
 getUint(const Value& obj, const std::string& key)
 {

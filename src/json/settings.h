@@ -15,6 +15,7 @@
 #define SS_JSON_SETTINGS_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,16 @@ Value loadSettingsText(const std::string& text,
 
 /** Finds a node by dotted path; nullptr if any segment is missing. */
 const Value* find(const Value& root, const std::string& dotted_path);
+
+/**
+ * Checks every key of @p obj against the @p known list. Unknown keys
+ * warn() — a typo'd knob silently no-oping is the classic config trap —
+ * and fatal() when @p strict is set (`--strict` / simulator.strict).
+ * @p context names the block in the diagnostic ("power.router", ...).
+ * Non-object values pass silently (absent blocks validate vacuously).
+ */
+void validateKeys(const Value& obj, const std::string& context,
+                  std::initializer_list<const char*> known, bool strict);
 
 // ----- typed getters (fatal() if missing, for required settings) -----
 std::uint64_t getUint(const Value& obj, const std::string& key);

@@ -35,8 +35,8 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s <config.json> [--json[=path]] "
-                     "[--threads N] [--partitions N] [--version] "
-                     "[path=type=value ...]\n",
+                     "[--threads N] [--partitions N] [--strict] "
+                     "[--version] [path=type=value ...]\n",
                      argv[0]);
         return ss::kExitBadConfig;
     }
@@ -65,6 +65,8 @@ main(int argc, char** argv)
             } else if (arg.rfind("--partitions=", 0) == 0) {
                 overrides.push_back("simulator.partitions=uint=" +
                                     arg.substr(13));
+            } else if (arg == "--strict") {
+                overrides.push_back("simulator.strict=bool=true");
             } else {
                 overrides.push_back(std::move(arg));
             }

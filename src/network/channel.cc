@@ -1,5 +1,7 @@
 #include "network/channel.h"
 
+#include <cmath>
+
 #include "core/simulator.h"
 #include "power/power_model.h"
 
@@ -39,16 +41,114 @@ Channel::inject(Flit* flit, Tick depart_tick)
     checkSim(available(depart_tick),
              "channel oversubscribed: depart ", depart_tick,
              " < next free ", nextFree_);
-    nextFree_ = depart_tick + period_;
+    Tick period = period_;
+    Tick arrival;
+    if (fault_ != nullptr) {
+        period = fault_->period;
+        arrival = depart_tick + fault_->latency;
+        // Deliveries stay monotonic across a latency restore: a flit
+        // sent after a degrade ends must not overtake one sent under
+        // the degraded latency (wormhole flit order is load-bearing).
+        if (arrival < fault_->lastDelivery) {
+            arrival = fault_->lastDelivery;
+        }
+        fault_->lastDelivery = arrival;
+        if (fault_->probeArmed) {
+            // First traffic after a repair: report the recovery.
+            fault_->probeArmed = false;
+            fault_->observer->recoveryTraffic(fault_->probeRecord,
+                                              depart_tick);
+        }
+    } else {
+        arrival = depart_tick + latency_;
+    }
+    nextFree_ = depart_tick + period;
     ++flitCount_;
-    scheduleInline<&Channel::deliver>(
-        Time(depart_tick + latency_, eps::kDelivery), flit);
+    scheduleInline<&Channel::deliver>(Time(arrival, eps::kDelivery),
+                                      flit);
 }
 
 void
 Channel::deliver(Flit* flit)
 {
     sink_->receiveFlit(sinkPort_, flit);
+}
+
+fault::ChannelFaultState*
+Channel::ensureFaultState(fault::RecoveryObserver* observer)
+{
+    if (fault_ == nullptr) {
+        fault_ = std::make_unique<fault::ChannelFaultState>();
+        fault_->period = period_;
+        fault_->latency = latency_;
+        fault_->observer = observer;
+    }
+    checkSim(fault_->observer == observer,
+             "channel armed by two fault observers");
+    return fault_.get();
+}
+
+namespace {
+
+/** Nominal ticks stretched by @p factor (>= 1), never below nominal —
+ *  a degraded latency below the nominal >= 1 tick would rob the
+ *  parallel executer of its lookahead. */
+Tick
+stretched(Tick nominal, double factor)
+{
+    auto value = static_cast<Tick>(
+        std::llround(static_cast<double>(nominal) * factor));
+    return value < nominal ? nominal : value;
+}
+
+}  // namespace
+
+void
+Channel::faultBegin(const fault::FaultEdge& edge)
+{
+    checkSim(fault_ != nullptr, "fault flip on unarmed channel");
+    switch (edge.kind) {
+      case fault::FaultKind::kLinkDown:
+        ++fault_->downCount;
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        ++fault_->degradeCount;
+        fault_->period =
+            stretched(period_, 1.0 / edge.bandwidthMultiplier);
+        fault_->latency = stretched(latency_, edge.latencyMultiplier);
+        break;
+      default:
+        // Port stalls and terminal pauses only use this channel as
+        // their recovery probe; the begin flip is a no-op here.
+        break;
+    }
+}
+
+void
+Channel::faultEnd(const fault::FaultEdge& edge)
+{
+    checkSim(fault_ != nullptr, "fault flip on unarmed channel");
+    switch (edge.kind) {
+      case fault::FaultKind::kLinkDown:
+        checkSim(fault_->downCount > 0, "link up without link down");
+        --fault_->downCount;
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        checkSim(fault_->degradeCount > 0,
+                 "degrade end without degrade begin");
+        --fault_->degradeCount;
+        if (fault_->degradeCount == 0) {
+            fault_->period = period_;
+            fault_->latency = latency_;
+        }
+        break;
+      default:
+        break;
+    }
+    // Arm the recovery probe: the next inject marks this fault event
+    // as recovered (for stalls/pauses this channel is the drain path).
+    fault_->probeArmed = true;
+    fault_->probeRecord = edge.record;
 }
 
 double

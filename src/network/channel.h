@@ -11,8 +11,10 @@
 #define SS_NETWORK_CHANNEL_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "core/component.h"
+#include "fault/fault_target.h"
 #include "types/flit.h"
 
 namespace ss {
@@ -26,7 +28,7 @@ class FlitReceiver {
 };
 
 /** A unidirectional flit channel with latency and cycle time. */
-class Channel : public Component {
+class Channel : public Component, public fault::FaultTarget {
   public:
     /** @param latency delivery delay in ticks (>= 1)
      *  @param period  minimum spacing between flits in ticks (>= 1) */
@@ -42,8 +44,16 @@ class Channel : public Component {
     /** The earliest tick a new flit may depart. */
     Tick nextFreeTick() const { return nextFree_; }
 
-    /** True if a flit may depart at @p tick. */
-    bool available(Tick tick) const { return tick >= nextFree_; }
+    /** True if a flit may depart at @p tick. A downed channel is never
+     *  available; the null check is the only fault cost when unarmed. */
+    bool
+    available(Tick tick) const
+    {
+        if (fault_ != nullptr && fault_->downCount > 0) {
+            return false;
+        }
+        return tick >= nextFree_;
+    }
 
     /** Sends @p flit with departure time @p depart_tick (must be
      *  available). Delivery happens at depart + latency. */
@@ -59,6 +69,14 @@ class Channel : public Component {
     /** Utilization over [0, now]: busy cycles / elapsed cycles. */
     double utilization() const;
 
+    // ----- fault injection (FaultController only) -----
+    /** Lazily allocates this channel's fault state; @p observer gets
+     *  the recovery probe callbacks. */
+    fault::ChannelFaultState* ensureFaultState(
+        fault::RecoveryObserver* observer);
+    void faultBegin(const fault::FaultEdge& edge) override;
+    void faultEnd(const fault::FaultEdge& edge) override;
+
   private:
     /** Delivery at depart + latency — runs on the pooled inline-event
      *  path, so each hop costs no allocation. */
@@ -70,6 +88,8 @@ class Channel : public Component {
     std::uint64_t flitCount_ = 0;
     FlitReceiver* sink_ = nullptr;
     std::uint32_t sinkPort_ = 0;
+    /** Null unless the FaultController armed this channel. */
+    std::unique_ptr<fault::ChannelFaultState> fault_;
 };
 
 }  // namespace ss

@@ -1,5 +1,7 @@
 #include "network/credit_channel.h"
 
+#include <cmath>
+
 #include "core/simulator.h"
 #include "power/power_model.h"
 
@@ -34,14 +36,62 @@ CreditChannel::inject(Credit credit, Tick depart_tick)
     checkSim(depart_tick >= now().tick,
              "credit channel departure in the past");
     ++creditCount_;
-    scheduleInline<&CreditChannel::deliver>(
-        Time(depart_tick + latency_, eps::kDelivery), credit);
+    Tick arrival;
+    if (fault_ != nullptr) {
+        arrival = depart_tick + fault_->latency;
+        // Monotonic-delivery clamp across a latency restore (see
+        // Channel::inject).
+        if (arrival < fault_->lastDelivery) {
+            arrival = fault_->lastDelivery;
+        }
+        fault_->lastDelivery = arrival;
+    } else {
+        arrival = depart_tick + latency_;
+    }
+    scheduleInline<&CreditChannel::deliver>(Time(arrival, eps::kDelivery),
+                                            credit);
 }
 
 void
 CreditChannel::deliver(Credit credit)
 {
     sink_->receiveCredit(sinkPort_, credit);
+}
+
+fault::CreditChannelFaultState*
+CreditChannel::ensureFaultState()
+{
+    if (fault_ == nullptr) {
+        fault_ = std::make_unique<fault::CreditChannelFaultState>();
+        fault_->latency = latency_;
+    }
+    return fault_.get();
+}
+
+void
+CreditChannel::faultBegin(const fault::FaultEdge& edge)
+{
+    checkSim(fault_ != nullptr, "fault flip on unarmed credit channel");
+    if (edge.kind == fault::FaultKind::kLinkDegrade) {
+        ++fault_->degradeCount;
+        auto latency = static_cast<Tick>(std::llround(
+            static_cast<double>(latency_) * edge.latencyMultiplier));
+        fault_->latency = latency < latency_ ? latency_ : latency;
+    }
+}
+
+void
+CreditChannel::faultEnd(const fault::FaultEdge& edge)
+{
+    checkSim(fault_ != nullptr, "fault flip on unarmed credit channel");
+    if (edge.kind == fault::FaultKind::kLinkDegrade) {
+        checkSim(fault_->degradeCount > 0,
+                 "degrade end without degrade begin");
+        --fault_->degradeCount;
+        if (fault_->degradeCount == 0) {
+            fault_->latency = latency_;
+        }
+    }
 }
 
 }  // namespace ss

@@ -11,8 +11,10 @@
 #define SS_NETWORK_CREDIT_CHANNEL_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "core/component.h"
+#include "fault/fault_target.h"
 #include "types/credit.h"
 
 namespace ss {
@@ -26,7 +28,7 @@ class CreditReceiver {
 };
 
 /** A unidirectional credit return path. */
-class CreditChannel : public Component {
+class CreditChannel : public Component, public fault::FaultTarget {
   public:
     /** @param latency delivery delay in ticks (>= 1) */
     CreditChannel(Simulator* simulator, const std::string& name,
@@ -41,6 +43,13 @@ class CreditChannel : public Component {
 
     std::uint64_t creditCount() const { return creditCount_; }
 
+    // ----- fault injection (FaultController only) -----
+    /** Lazily allocates this channel's fault state (degraded credit
+     *  return latency). */
+    fault::CreditChannelFaultState* ensureFaultState();
+    void faultBegin(const fault::FaultEdge& edge) override;
+    void faultEnd(const fault::FaultEdge& edge) override;
+
   private:
     /** Delivery at depart + latency (pooled inline-event path). */
     void deliver(Credit credit);
@@ -49,6 +58,8 @@ class CreditChannel : public Component {
     std::uint64_t creditCount_ = 0;
     CreditReceiver* sink_ = nullptr;
     std::uint32_t sinkPort_ = 0;
+    /** Null unless the FaultController armed this channel. */
+    std::unique_ptr<fault::CreditChannelFaultState> fault_;
 };
 
 }  // namespace ss

@@ -136,6 +136,14 @@ Interface::processInjection()
     if (injectionQueue_.empty()) {
         return;
     }
+    if (fault_ != nullptr && fault_->pauseCount > 0) {
+        // Paused terminal: park the queue without rescheduling; the
+        // fault-end flip re-activates the injection pipeline.
+        if (injectionStalls_) {
+            injectionStalls_->inc();
+        }
+        return;
+    }
     Tick tick = now().tick;
     if (!outputChannel_->available(tick)) {
         if (injectionStalls_) {
@@ -234,6 +242,35 @@ Interface::receiveFlit(std::uint32_t port, Flit* flit)
             sinks_[app]->messageDelivered(message);
             network_->releaseMessage(message->id());
         }
+    }
+}
+
+fault::InterfaceFaultState*
+Interface::ensureFaultState()
+{
+    if (fault_ == nullptr) {
+        fault_ = std::make_unique<fault::InterfaceFaultState>();
+    }
+    return fault_.get();
+}
+
+void
+Interface::faultBegin(const fault::FaultEdge& edge)
+{
+    (void)edge;
+    checkSim(fault_ != nullptr, "fault flip on unarmed interface");
+    ++fault_->pauseCount;
+}
+
+void
+Interface::faultEnd(const fault::FaultEdge& edge)
+{
+    (void)edge;
+    checkSim(fault_ != nullptr && fault_->pauseCount > 0,
+             "pause end without pause begin");
+    --fault_->pauseCount;
+    if (fault_->pauseCount == 0 && !injectionQueue_.empty()) {
+        activate();
     }
 }
 

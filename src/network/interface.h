@@ -33,7 +33,8 @@ class Network;
 /** A standard endpoint interface. */
 class Interface : public Component,
                   public FlitReceiver,
-                  public CreditReceiver {
+                  public CreditReceiver,
+                  public fault::FaultTarget {
   public:
     /**
      * @param id       terminal id this interface serves
@@ -79,6 +80,16 @@ class Interface : public Component,
     void receiveFlit(std::uint32_t port, Flit* flit) override;
     void receiveCredit(std::uint32_t port, Credit credit) override;
 
+    /** The injection channel towards the router (recovery probes of
+     *  terminal_pause faults attach here). */
+    Channel* outputChannel() const { return outputChannel_; }
+
+    // ----- fault injection (FaultController only) -----
+    /** Lazily allocates this interface's pause state. */
+    fault::InterfaceFaultState* ensureFaultState();
+    void faultBegin(const fault::FaultEdge& edge) override;
+    void faultEnd(const fault::FaultEdge& edge) override;
+
   private:
     void activate();
     void processInjection();
@@ -111,6 +122,9 @@ class Interface : public Component,
     // branch per hook).
     obs::Counter* injectionStalls_ = nullptr;
     obs::TraceWriter* tracePackets_ = nullptr;
+
+    /** Null unless the FaultController armed this interface. */
+    std::unique_ptr<fault::InterfaceFaultState> fault_;
 };
 
 }  // namespace ss

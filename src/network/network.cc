@@ -196,6 +196,8 @@ Network::linkRouters(Router* a, std::uint32_t port_a, Router* b,
     a->setCreditInputChannel(port_a, credit_ch);
 
     a->setDownstreamCredits(port_a, b->inputBufferSize());
+
+    routerLinks_.push_back({a, port_a, b, port_b, flit_ch, credit_ch});
 }
 
 void

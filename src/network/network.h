@@ -73,6 +73,24 @@ class Network : public Component {
      *  network-wide credit-loop traffic (observability gauge). */
     std::uint64_t totalCreditsSent() const;
 
+    /** One directed router-to-router link: src.srcPort -> dst.dstPort
+     *  with its flit channel and the paired credit-return channel. The
+     *  FaultController resolves link faults against this registry. */
+    struct RouterLink {
+        Router* src = nullptr;
+        std::uint32_t srcPort = 0;
+        Router* dst = nullptr;
+        std::uint32_t dstPort = 0;
+        Channel* data = nullptr;
+        CreditChannel* credit = nullptr;
+    };
+
+    /** All directed router links in wiring order. */
+    const std::vector<RouterLink>& routerLinks() const
+    {
+        return routerLinks_;
+    }
+
   protected:
     // ----- construction helpers for topology subclasses -----
 
@@ -130,6 +148,7 @@ class Network : public Component {
     std::vector<std::unique_ptr<Interface>> interfaces_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+    std::vector<RouterLink> routerLinks_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Message>> inFlight_;
     /** Guards inFlight_ in parallel mode: interfaces on different worker
      *  partitions register/release messages concurrently. */

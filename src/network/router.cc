@@ -166,6 +166,47 @@ Router::outputChannel(std::uint32_t port) const
     return outputChannels_[port];
 }
 
+fault::RouterFaultState*
+Router::ensureFaultState()
+{
+    if (fault_ == nullptr) {
+        fault_ = std::make_unique<fault::RouterFaultState>();
+        fault_->stalled.assign(numPorts_, 0);
+    }
+    return fault_.get();
+}
+
+void
+Router::faultBegin(const fault::FaultEdge& edge)
+{
+    checkSim(edge.port < numPorts_, "fault port out of range");
+    if (edge.kind == fault::FaultKind::kRouterPortStall) {
+        checkSim(fault_ != nullptr, "port stall on unarmed router");
+        ++fault_->stalled[edge.port];
+    }
+    if (edge.sensorBias != 0.0) {
+        // Adaptive routing sees the fault through the regular
+        // congestion path: the port just looks maximally congested.
+        sensor_->addFaultBias(edge.port, edge.sensorBias);
+    }
+}
+
+void
+Router::faultEnd(const fault::FaultEdge& edge)
+{
+    checkSim(edge.port < numPorts_, "fault port out of range");
+    if (edge.kind == fault::FaultKind::kRouterPortStall) {
+        checkSim(fault_ != nullptr && fault_->stalled[edge.port] > 0,
+                 "stall end without stall begin");
+        --fault_->stalled[edge.port];
+    }
+    if (edge.sensorBias != 0.0) {
+        sensor_->addFaultBias(edge.port, -edge.sensorBias);
+    }
+    // Wake the pipeline: flits parked behind the fault drain again.
+    activate();
+}
+
 void
 Router::routeCheck(std::uint32_t input_port, std::uint32_t input_vc,
                    Packet* packet,

@@ -34,7 +34,8 @@ class Network;
 /** Abstract base class of all router microarchitectures. */
 class Router : public Component,
                public FlitReceiver,
-               public CreditReceiver {
+               public CreditReceiver,
+               public fault::FaultTarget {
   public:
     /**
      * @param network    owning network
@@ -100,7 +101,23 @@ class Router : public Component,
     /** The channel wired to output @p port (nullptr if unwired). */
     Channel* outputChannel(std::uint32_t port) const;
 
+    // ----- fault injection (FaultController only) -----
+    /** Lazily allocates this router's per-port stall state. */
+    fault::RouterFaultState* ensureFaultState();
+    /** Applies/clears a port stall and/or sensor bias. */
+    void faultBegin(const fault::FaultEdge& edge) override;
+    void faultEnd(const fault::FaultEdge& edge) override;
+
   protected:
+    /** True while a fault stalls output @p port: microarchitectures
+     *  gate their output stages on this (one null-pointer branch when
+     *  faults never touched this router). */
+    bool
+    portStalled(std::uint32_t port) const
+    {
+        return fault_ != nullptr && fault_->stalled[port] > 0;
+    }
+
     /** Microarchitecture hook: new work arrived; schedule the pipeline. */
     virtual void activate() = 0;
 
@@ -139,6 +156,9 @@ class Router : public Component,
      *  modeling is disabled (microarchitectures gate on this pointer,
      *  mirroring the observability instruments). */
     power::ActivityCounters* activity_ = nullptr;
+
+    /** Null unless the FaultController armed this router. */
+    std::unique_ptr<fault::RouterFaultState> fault_;
 
     std::size_t
     pv(std::uint32_t port, std::uint32_t vc) const

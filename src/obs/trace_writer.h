@@ -33,6 +33,7 @@ class TraceWriter {
     static constexpr std::uint32_t kPidPackets = 2;
     static constexpr std::uint32_t kPidRouters = 3;
     static constexpr std::uint32_t kPidCollectives = 4;
+    static constexpr std::uint32_t kPidFaults = 5;
 
     /** Opens @p path for writing; fatal() if it cannot be created.
      *  @param max_events stop recording after this many events

@@ -25,8 +25,25 @@ pj(const json::Value& block, const char* key, double default_pj)
 }  // namespace
 
 EnergyModel
-EnergyModel::fromJson(const json::Value& settings)
+EnergyModel::fromJson(const json::Value& settings, bool strict)
 {
+    json::validateKeys(settings, "power",
+                       {"enabled", "tick_seconds", "flit_bits", "router",
+                        "channel", "credit_channel", "interface"},
+                       strict);
+    json::validateKeys(sub(settings, "router"), "power.router",
+                       {"buffer_write_pj", "buffer_read_pj",
+                        "crossbar_pj", "arbitration_pj", "static_w"},
+                       strict);
+    json::validateKeys(sub(settings, "channel"), "power.channel",
+                       {"flit_pj", "static_w"}, strict);
+    json::validateKeys(sub(settings, "credit_channel"),
+                       "power.credit_channel", {"credit_pj", "static_w"},
+                       strict);
+    json::validateKeys(sub(settings, "interface"), "power.interface",
+                       {"injection_pj", "ejection_pj", "static_w"},
+                       strict);
+
     EnergyModel model;
     model.tickSeconds =
         json::getFloat(settings, "tick_seconds", model.tickSeconds);

@@ -55,7 +55,10 @@ struct EnergyModel {
 
     /** Parses the "power" config section (defaults above when keys are
      *  absent; per-event knobs are given in picojoules). */
-    static EnergyModel fromJson(const json::Value& settings);
+    /** Parses the "power" block. Unknown keys in the block and its
+     *  sub-blocks warn, or fatal() under @p strict. */
+    static EnergyModel fromJson(const json::Value& settings,
+                                bool strict = false);
 };
 
 }  // namespace ss::power

@@ -18,17 +18,23 @@ PowerModel::PowerModel(Simulator* simulator, const EnergyModel& model)
 }
 
 std::unique_ptr<PowerModel>
-PowerModel::fromConfig(Simulator* simulator, const json::Value& config)
+PowerModel::fromConfig(Simulator* simulator, const json::Value& config,
+                       bool strict)
 {
     if (!config.isObject() || !config.has("power")) {
         return nullptr;
     }
     const json::Value& settings = config.at("power");
+    if (settings.isNull()) {
+        return nullptr;
+    }
+    // Parse (and key-validate) even when disabled: a typo'd knob in a
+    // "power" block should not wait for an enabled run to surface.
+    EnergyModel model = EnergyModel::fromJson(settings, strict);
     if (!json::getBool(settings, "enabled", false)) {
         return nullptr;
     }
-    return std::make_unique<PowerModel>(simulator,
-                                        EnergyModel::fromJson(settings));
+    return std::make_unique<PowerModel>(simulator, model);
 }
 
 Tick

@@ -53,9 +53,11 @@ class PowerModel {
     PowerModel& operator=(const PowerModel&) = delete;
 
     /** Builds a model if @p config has an enabled "power" section;
-     *  nullptr otherwise (zero-overhead default). */
+     *  nullptr otherwise (zero-overhead default). Unknown keys in the
+     *  section warn, or fatal() under @p strict. */
     static std::unique_ptr<PowerModel> fromConfig(
-        Simulator* simulator, const json::Value& config);
+        Simulator* simulator, const json::Value& config,
+        bool strict = false);
 
     const EnergyModel& model() const { return model_; }
 

@@ -195,7 +195,12 @@ InputQueuedRouter::runVcAllocation()
             // its head acquired the output VC and only the tail releases
             // it (§IV-D ordering invariant).
             checkSim(front->isHead(),
-                     "body flit at head of unallocated input VC");
+                     "body flit at head of unallocated input VC: ",
+                     "router ", id_, " port ", port, " vc ", vc,
+                     " flit ", front->id(), " pkt ",
+                     front->packet()->id(), " msg ",
+                     front->packet()->message()->id(), " tick ",
+                     now().tick);
             if (!state.routed) {
                 routeCheck(port, vc, front->packet(), &state.options);
                 state.routed = true;
@@ -406,7 +411,8 @@ bool
 InputQueuedRouter::outputReady(std::uint32_t port, Tick tick) const
 {
     return outputChannels_[port] != nullptr &&
-           outputChannels_[port]->available(tick + crossbarLatency_);
+           outputChannels_[port]->available(tick + crossbarLatency_) &&
+           !portStalled(port);
 }
 
 void

@@ -135,7 +135,7 @@ IoqRouter::processOutput(std::uint32_t port)
 {
     Tick tick = now().tick;
     bool pending = false;
-    if (outputChannels_[port]->available(tick)) {
+    if (outputChannels_[port]->available(tick) && !portStalled(port)) {
         Arbiter* arb = drainArbiters_[port].get();
         for (std::uint32_t v = 0; v < numVcs_; ++v) {
             const auto& q = outputQueues_[iv(port, v)];

@@ -218,7 +218,7 @@ void
 OutputQueuedRouter::processOutput(std::uint32_t port)
 {
     Tick tick = now().tick;
-    if (outputChannels_[port]->available(tick)) {
+    if (outputChannels_[port]->available(tick) && !portStalled(port)) {
         Arbiter* arb = drainArbiters_[port].get();
         for (std::uint32_t v = 0; v < numVcs_; ++v) {
             const auto& q = outputQueues_[iv(port, v)];

@@ -104,6 +104,26 @@ TorusRoutingBase::emitHop(Packet* packet, std::uint32_t dim,
 }
 
 void
+TorusRoutingBase::applyWrapCrossing(Packet* packet) const
+{
+    std::uint32_t concentration = torus_->concentration();
+    if (inputPort_ < concentration) {
+        return;  // injected at this router; no hop was taken
+    }
+    std::uint32_t ring = inputPort_ - concentration;
+    std::uint32_t dim = ring / 2;
+    std::uint32_t a = torus_->coordinate(router_->id(), dim);
+    auto k = static_cast<std::uint32_t>(torus_->widths()[dim]);
+    // Input portPlus (even) receives the ring's negative direction;
+    // input portMinus (odd) receives the positive direction. The hop
+    // crossed the dateline iff it landed on the ring's edge coordinate.
+    bool crossed = (ring % 2 == 1) ? (a == 0) : (a == k - 1);
+    if (crossed) {
+        packet->setVcClass(packet->vcClass() | (1u << dim));
+    }
+}
+
+void
 TorusDimensionOrderRouting::route(Packet* packet, std::uint32_t input_vc,
                                   std::vector<Option>* options)
 {
@@ -117,35 +137,63 @@ TorusDimensionOrderRouting::route(Packet* packet, std::uint32_t input_vc,
     emitHop(packet, dims.front(), hop, 0, router_->numVcs(), options);
 }
 
+TorusMinimalAdaptiveRouting::TorusMinimalAdaptiveRouting(
+    Simulator* simulator, const std::string& name,
+    const Component* parent, Router* router, std::uint32_t input_port,
+    const json::Value& settings)
+    : TorusRoutingBase(simulator, name, parent, router, input_port,
+                       settings)
+{
+    checkUser(router->numVcs() >= kEscapeVcs + 2,
+              "torus minimal adaptive routing needs >= 4 VCs (2 "
+              "dimension-order escape + >= 2 adaptive), got ",
+              router->numVcs());
+}
+
 void
 TorusMinimalAdaptiveRouting::route(Packet* packet, std::uint32_t input_vc,
                                    std::vector<Option>* options)
 {
-    (void)input_vc;
+    // Dateline state is inferred from the hop that brought the packet
+    // here — options below may span two dimensions, so route() must not
+    // commit a crossing the packet might not take.
+    applyWrapCrossing(packet);
     auto dims = productiveDims(packet);
     if (dims.empty()) {
         ejectOptions(packet, options);
         return;
     }
-    // Adaptively pick the least congested productive dimension. Every hop
-    // still advances minimally under the dateline discipline, and each
-    // ring's wrap is crossed at most once, so the VC-class argument for
-    // deadlock freedom continues to hold per dimension.
+    // Escape option: strict dimension order on VCs 0/1 (dateline
+    // class 0/1). This is the Duato escape subnetwork — acyclic, always
+    // requestable, and the reason adaptive dimension choice cannot
+    // deadlock even when faults park traffic for long stretches.
+    Hop escape = computeHop(packet, dims.front());
+    options->push_back(Option{escape.port, escape.class1 ? 1u : 0u});
+    // A packet already in the escape subnetwork stays in it: escape
+    // channels must only ever depend on escape channels.
+    if (inputPort_ >= torus_->concentration() && input_vc < kEscapeVcs) {
+        return;
+    }
+    // Adaptive options: the least congested productive dimension, on
+    // the full adaptive VC span.
     std::uint32_t best_dim = dims.front();
-    Hop best_hop = computeHop(packet, dims.front());
-    double best = router_->sensor()->status(
-        best_hop.port, best_hop.class1 ? halfVcs_ : 0);
-    for (std::size_t i = 1; i < dims.size(); ++i) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
         Hop hop = computeHop(packet, dims[i]);
-        double s = router_->sensor()->status(
-            hop.port, hop.class1 ? halfVcs_ : 0);
-        if (s < best) {
-            best = s;
+        double status = 0.0;
+        for (std::uint32_t vc = kEscapeVcs; vc < router_->numVcs();
+             ++vc) {
+            status += router_->sensor()->status(hop.port, vc);
+        }
+        if (i == 0 || status < best) {
+            best = status;
             best_dim = dims[i];
-            best_hop = hop;
         }
     }
-    emitHop(packet, best_dim, best_hop, 0, router_->numVcs(), options);
+    Hop hop = computeHop(packet, best_dim);
+    for (std::uint32_t vc = kEscapeVcs; vc < router_->numVcs(); ++vc) {
+        options->push_back(Option{hop.port, vc});
+    }
 }
 
 TorusValiantRouting::TorusValiantRouting(Simulator* simulator,

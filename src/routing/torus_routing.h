@@ -11,8 +11,13 @@
  * [V/2, V) — V must be even and >= 2 (paper §VI-C uses 2, 4, 8).
  *
  * "torus_minimal_adaptive": chooses adaptively among the productive
- * dimensions by congestion status, keeping the dateline discipline per
- * dimension.
+ * dimensions by congestion status. Adaptive dimension choice alone is
+ * not deadlock-free (cross-dimension buffer cycles survive the per-ring
+ * dateline), so the scheme is Duato-style: VCs 0/1 form a strict
+ * dimension-order escape subnetwork (dateline class 0/1) that every
+ * blocked packet can always fall back to, and VCs [2, V) are fully
+ * adaptive. A packet that enters the escape subnetwork stays in it.
+ * V must be >= 4 (2 escape + >= 2 adaptive).
  *
  * "torus_valiant": oblivious two-phase load balancing — DOR to a random
  * intermediate router, then DOR to the destination. Each phase has its
@@ -71,6 +76,16 @@ class TorusRoutingBase : public RoutingAlgorithm {
                  std::uint32_t base_vc, std::uint32_t span,
                  std::vector<Option>* options) const;
 
+    /**
+     * Applies the dateline crossing of the hop that delivered the
+     * packet to this router, inferred from the input port and the local
+     * coordinate (arriving on a ring port at the ring's edge coordinate
+     * means the wrap channel was just traversed). Lets an algorithm
+     * emit options in several dimensions without committing the packet's
+     * dateline state at route time.
+     */
+    void applyWrapCrossing(Packet* packet) const;
+
     const Torus* torus_;
     std::uint32_t halfVcs_;
 };
@@ -84,13 +99,23 @@ class TorusDimensionOrderRouting : public TorusRoutingBase {
                std::vector<Option>* options) override;
 };
 
-/** Minimal adaptive routing over productive dimensions. */
+/** Minimal adaptive routing over productive dimensions with a
+ *  dimension-order escape subnetwork on VCs 0/1 (Duato's protocol). */
 class TorusMinimalAdaptiveRouting : public TorusRoutingBase {
   public:
-    using TorusRoutingBase::TorusRoutingBase;
+    TorusMinimalAdaptiveRouting(Simulator* simulator,
+                                const std::string& name,
+                                const Component* parent, Router* router,
+                                std::uint32_t input_port,
+                                const json::Value& settings);
 
     void route(Packet* packet, std::uint32_t input_vc,
                std::vector<Option>* options) override;
+
+  private:
+    /** VCs 0/1: the dimension-order escape subnetwork (dateline
+     *  class 0/1). Everything above is fully adaptive. */
+    static constexpr std::uint32_t kEscapeVcs = 2;
 };
 
 /** Oblivious Valiant routing via a random intermediate router. */

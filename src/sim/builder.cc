@@ -10,6 +10,9 @@ Simulation::Simulation(const json::Value& config) : config_(config)
                                    ? config.at("simulator")
                                    : json::Value::object();
     std::uint64_t seed = json::getUint(sim_settings, "seed", 12345);
+    // --strict / simulator.strict: unknown keys in validated blocks
+    // become fatal instead of warnings.
+    bool strict = json::getBool(sim_settings, "strict", false);
     simulator_ = std::make_unique<Simulator>(seed);
     simulator_->setTimeLimit(
         json::getUint(sim_settings, "time_limit", 0));
@@ -38,10 +41,17 @@ Simulation::Simulation(const json::Value& config) : config_(config)
 
     // The power model follows the same build-before-the-network rule so
     // routers/channels/interfaces can register during construction.
-    power_ = power::PowerModel::fromConfig(simulator_.get(), config);
+    power_ = power::PowerModel::fromConfig(simulator_.get(), config,
+                                           strict);
     if (power_) {
         simulator_->setPowerModel(power_.get());
     }
+
+    // Parse the fault block before the network exists so config errors
+    // surface fast; arming waits until the topology is wired.
+    fault_ =
+        fault::FaultController::fromConfig(simulator_.get(), config,
+                                           strict);
 
     checkUser(config.has("network"), "config needs a 'network' block");
     const json::Value& network_settings = config.at("network");
@@ -51,6 +61,9 @@ Simulation::Simulation(const json::Value& config) : config_(config)
         topology, simulator_.get(), "network", nullptr,
         network_settings));
     observability_->attachNetwork(network_.get());
+    if (fault_) {
+        fault_->arm(network_.get());
+    }
 
     checkUser(config.has("workload"), "config needs a 'workload' block");
     workload_ = std::make_unique<Workload>(
@@ -66,6 +79,11 @@ Simulation::run()
     observability_->start();
     simulator_->run();
     workload_->finalize();
+    if (fault_) {
+        // Before the collector finishes: the recovery histogram and
+        // fault trace spans land in the observability outputs.
+        fault_->finalize(simulator_->now().tick);
+    }
     observability_->finish();
 
     RunResult result;
@@ -86,6 +104,9 @@ Simulation::run()
     result.channelPeriod = network_->channelPeriod();
     if (power_) {
         result.energy = power_->report(result.endTick);
+    }
+    if (fault_) {
+        result.resilience = fault_->report();
     }
     return result;
 }

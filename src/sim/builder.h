@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "core/simulator.h"
+#include "fault/fault_controller.h"
 #include "json/json.h"
 #include "network/network.h"
 #include "obs/observability.h"
@@ -39,6 +40,7 @@ class Simulation {
     Workload* workload() { return workload_.get(); }
     obs::Observability* observability() { return observability_.get(); }
     power::PowerModel* powerModel() { return power_.get(); }
+    fault::FaultController* faultController() { return fault_.get(); }
 
     /** Runs to completion (or the configured time limit) and returns the
      *  gathered results. */
@@ -56,6 +58,10 @@ class Simulation {
     // components register their activity counters at build time.
     std::unique_ptr<power::PowerModel> power_;
     std::unique_ptr<Network> network_;
+    // Constructed after the network (fault events resolve against the
+    // wired topology); null when the config has no enabled "fault"
+    // block, which is the whole feature gate.
+    std::unique_ptr<fault::FaultController> fault_;
     std::unique_ptr<Workload> workload_;
 };
 

@@ -37,6 +37,7 @@ RunResult::summary() const
     out << "throughput:        " << throughput()
         << " flits/terminal/cycle\n";
     out << energy.summary();
+    out << resilience.summary();
     return out.str();
 }
 
@@ -80,6 +81,10 @@ RunResult::toJson() const
     root["latency"] = std::move(latency);
     if (energy.enabled) {
         root["energy"] = energy.toJson();
+    }
+    if (resilience.enabled) {
+        root["fault"] = resilience.faultJson();
+        root["resilience"] = resilience.resilienceJson();
     }
     return root;
 }

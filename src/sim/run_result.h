@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/report.h"
 #include "json/json.h"
 #include "power/report.h"
 #include "stats/latency_sampler.h"
@@ -46,6 +47,10 @@ struct RunResult {
     /** Energy accounting (enabled only when the config has an enabled
      *  "power" section). */
     power::PowerReport energy;
+
+    /** Resilience accounting (enabled only when the config has an
+     *  enabled "fault" section). */
+    fault::ResilienceReport resilience;
 
     /** Mean accepted throughput (flits/terminal/cycle). */
     double throughput() const;

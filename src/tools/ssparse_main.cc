@@ -17,8 +17,11 @@
  *   ssparse collectives.csv +name=grads +iter=1-3
  *
  * Run-result JSON files written by `supersim --json` are detected by
- * their pretty-printed "{" first line; energy mode prints the power
- * model's per-component breakdown and joules-per-bit:
+ * their pretty-printed "{" first line; result mode prints the power
+ * model's per-component breakdown and joules-per-bit when an "energy"
+ * block is present, and the fault/resilience breakdown (injections,
+ * downtime, recovery latency, flit conservation) when a "fault" block
+ * is present:
  *
  *   ssparse result.json
  */
@@ -104,22 +107,9 @@ printEnergyKind(const char* label, const ss::json::Value& kind)
                 ss::json::getFloat(kind, "total_j", 0.0));
 }
 
-int
-energyMode(const std::string& path)
+void
+printEnergy(const ss::json::Value& e)
 {
-    ss::json::Value root = ss::json::parseFile(path);
-    std::printf("run: end_tick %llu  events %llu  throughput %.6g "
-                "flits/terminal/cycle\n",
-                static_cast<unsigned long long>(
-                    ss::json::getUint(root, "end_tick", 0)),
-                static_cast<unsigned long long>(
-                    ss::json::getUint(root, "events_executed", 0)),
-                ss::json::getFloat(root, "throughput", 0.0));
-    ss::checkUser(root.isObject() && root.has("energy"),
-                  "no 'energy' block in ", path,
-                  " (run supersim with an enabled 'power' config "
-                  "section)");
-    const ss::json::Value& e = root.at("energy");
     std::printf("sim time:        %.6e s (tick %.3e s)\n",
                 ss::json::getFloat(e, "sim_seconds", 0.0),
                 ss::json::getFloat(e, "tick_seconds", 0.0));
@@ -146,6 +136,63 @@ energyMode(const std::string& path)
                     ss::json::getUint(e, "bits_delivered", 0)));
     std::printf("joules_per_bit:  %.6e\n",
                 ss::json::getFloat(e, "joules_per_bit", 0.0));
+}
+
+void
+printResilience(const ss::json::Value& fault,
+                const ss::json::Value& resilience)
+{
+    auto u = [](const ss::json::Value& obj, const char* key) {
+        return static_cast<unsigned long long>(
+            ss::json::getUint(obj, key, 0));
+    };
+    std::printf("faults:          %llu injected of %llu scheduled, "
+                "%llu repaired, %llu recovered\n",
+                u(fault, "injected"), u(fault, "scheduled"),
+                u(fault, "completed"), u(fault, "recovered"));
+    std::printf("fault kinds:     link_down %llu  link_degrade %llu  "
+                "port_stall %llu  terminal_pause %llu\n",
+                u(fault, "link_down"), u(fault, "link_degrade"),
+                u(fault, "port_stall"), u(fault, "terminal_pause"));
+    std::printf("downtime:        %llu ticks\n",
+                u(fault, "downtime_ticks"));
+    std::printf("recovery:        mean %.2f min %llu max %llu ticks\n",
+                ss::json::getFloat(resilience, "recovery_latency_mean",
+                                   0.0),
+                u(resilience, "recovery_latency_min"),
+                u(resilience, "recovery_latency_max"));
+    std::printf("conservation:    %llu injected, %llu ejected, %llu "
+                "outstanding (%llu messages in flight)\n",
+                u(resilience, "flits_injected"),
+                u(resilience, "flits_ejected"),
+                u(resilience, "flits_outstanding"),
+                u(resilience, "messages_in_flight"));
+}
+
+int
+resultMode(const std::string& path)
+{
+    ss::json::Value root = ss::json::parseFile(path);
+    ss::checkUser(root.isObject(), "malformed run-result JSON in ", path);
+    std::printf("run: end_tick %llu  events %llu  throughput %.6g "
+                "flits/terminal/cycle\n",
+                static_cast<unsigned long long>(
+                    ss::json::getUint(root, "end_tick", 0)),
+                static_cast<unsigned long long>(
+                    ss::json::getUint(root, "events_executed", 0)),
+                ss::json::getFloat(root, "throughput", 0.0));
+    bool has_energy = root.has("energy");
+    bool has_fault = root.has("fault") && root.has("resilience");
+    ss::checkUser(has_energy || has_fault,
+                  "no 'energy' or 'fault' block in ", path,
+                  " (run supersim with an enabled 'power' or 'fault' "
+                  "config section)");
+    if (has_energy) {
+        printEnergy(root.at("energy"));
+    }
+    if (has_fault) {
+        printResilience(root.at("fault"), root.at("resilience"));
+    }
     return 0;
 }
 
@@ -190,7 +237,7 @@ main(int argc, char** argv)
             trimmed.pop_back();
         }
         if (trimmed == "{") {
-            return energyMode(argv[1]);
+            return resultMode(argv[1]);
         }
         if (ss::SeriesParser::looksLikeSeries(first_line)) {
             return seriesMode(argv[1], filters);

@@ -19,6 +19,15 @@ executer with --threads 1, 2, and 8 and requires every output to be
 byte-identical to the --threads 1 run: thread count must never change
 simulation results (the executer's headline guarantee).
 
+Configs with a "fault" block get two extra checks:
+  - the same-seed runs must carry a "resilience" block in the result
+    JSON (the fault schedule executed);
+  - a run with fault.enabled=bool=false must be byte-identical to a run
+    with the block nulled out entirely (fault=json=null): the fault
+    subsystem draws from its own RNG stream and pays zero overhead when
+    disabled, so merely *having* a disabled block must not perturb
+    traffic or arbiter randomness.
+
 Exits nonzero with a diagnostic on any mismatch.
 """
 
@@ -41,7 +50,7 @@ def strip_wall_clock_lines(data):
         if not any(name in line for name in NONDETERMINISTIC_INSTRUMENTS))
 
 
-def run(binary, config, seed, outdir, tag, threads=None):
+def run(binary, config, seed, outdir, tag, threads=None, extra=()):
     result_path = os.path.join(outdir, f"{tag}_result.json")
     series_path = os.path.join(outdir, f"{tag}_series.csv")
     trace_path = os.path.join(outdir, f"{tag}_trace.json")
@@ -52,6 +61,7 @@ def run(binary, config, seed, outdir, tag, threads=None):
             f"observability.trace_file=string={trace_path}",
             "power.enabled=bool=true",
             f"simulator.seed=uint={seed}"]
+    argv.extend(extra)
     if threads is not None:
         argv.append(f"--threads={threads}")
     subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
@@ -75,11 +85,33 @@ def main():
         sys.exit(__doc__)
     binary, config = argv
 
+    # JSONC configs: probe the raw text for a fault block rather than
+    # parsing (comments and trailing commas are allowed in configs).
+    with open(config) as f:
+        has_fault_block = '"fault"' in f.read()
+
     failures = []
     with tempfile.TemporaryDirectory() as outdir:
         res_a, series_a, trace_a = run(binary, config, 42, outdir, "a")
         res_b, series_b, trace_b = run(binary, config, 42, outdir, "b")
         res_c, series_c, trace_c = run(binary, config, 43, outdir, "c")
+        if has_fault_block:
+            if "resilience" not in res_a:
+                failures.append(
+                    "config has a fault block but the RunResult JSON "
+                    "has no 'resilience' block")
+            disabled = run(binary, config, 42, outdir, "fault_off",
+                           extra=("fault.enabled=bool=false",))
+            absent = run(binary, config, 42, outdir, "fault_absent",
+                         extra=("fault=json=null",))
+            for kind, want, got in zip(
+                    ("RunResult JSON", "metrics series", "trace"),
+                    absent, disabled):
+                if want != got:
+                    failures.append(
+                        f"fault.enabled=false {kind} differs from a run "
+                        f"with no fault block — the disabled fault "
+                        f"subsystem perturbs the simulation")
         if threads_sweep:
             base = run(binary, config, 42, outdir, "t1", threads=1)
             for threads in (2, 8):

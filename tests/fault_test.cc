@@ -1,0 +1,308 @@
+/** @file Fault-injection subsystem tests: spec parsing, gating,
+ *  graceful degradation under every fault kind (with the flit
+ *  conservation ledger as the headline assertion), adaptive-routing
+ *  recovery, stochastic-schedule determinism, and thread-count
+ *  invariance with faults enabled. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_spec.h"
+#include "fault/report.h"
+#include "json/json.h"
+#include "json/settings.h"
+#include "sim/builder.h"
+#include "test_util.h"
+
+namespace ss {
+namespace {
+
+/** 4x4 torus with minimal adaptive routing (2 escape + 2 adaptive VCs)
+ *  and a credit congestion sensor — the config family fault injection
+ *  is designed to disturb. */
+const char* kAdaptiveTorus =
+    R"({"topology": "torus", "widths": [4, 4], "concentration": 1,
+        "num_vcs": 4, "clock_period": 1, "channel_latency": 4,
+        "router": {"architecture": "input_queued",
+                   "input_buffer_size": 16,
+                   "crossbar_latency": 1,
+                   "congestion_sensor": {"algorithm": "credit",
+                                         "granularity": "vc",
+                                         "pools": "downstream"}},
+        "routing": {"algorithm": "torus_minimal_adaptive"}})";
+
+json::Value
+faultyConfig(const std::string& fault_json, std::uint64_t seed = 1)
+{
+    json::Value config = test::makeConfig(
+        kAdaptiveTorus, test::blastWorkload(0.08, 4, 300), seed, 400000);
+    config["fault"] = json::parse(fault_json);
+    return config;
+}
+
+/** Every injected flit is ejected and nothing is left in flight —
+ *  the run drained cleanly through the fault. */
+void
+expectConservation(const fault::ResilienceReport& r)
+{
+    EXPECT_GT(r.flitsInjected, 0u);
+    EXPECT_EQ(r.flitsInjected, r.flitsEjected);
+    EXPECT_EQ(r.messagesInFlight, 0u);
+}
+
+// ----- FaultSpec parsing -----
+
+TEST(FaultSpec, KindNamesRoundTrip)
+{
+    EXPECT_EQ(fault::FaultSpec::kindFromString("link_down"),
+              fault::FaultKind::kLinkDown);
+    EXPECT_EQ(fault::FaultSpec::kindFromString("link_degrade"),
+              fault::FaultKind::kLinkDegrade);
+    EXPECT_EQ(fault::FaultSpec::kindFromString("router_port_stall"),
+              fault::FaultKind::kRouterPortStall);
+    EXPECT_EQ(fault::FaultSpec::kindFromString("terminal_pause"),
+              fault::FaultKind::kTerminalPause);
+    EXPECT_EQ(fault::faultKindName(fault::FaultKind::kLinkDegrade),
+              std::string("link_degrade"));
+    EXPECT_THROW(fault::FaultSpec::kindFromString("meteor_strike"),
+                 FatalError);
+}
+
+TEST(FaultSpec, ParsesEventsAndRandomBlock)
+{
+    fault::FaultSpec spec = fault::FaultSpec::fromJson(json::parse(
+        R"({"enabled": true, "sensor_bias": 500.0,
+            "events": [
+              {"kind": "link_down", "router": 3, "port": 2,
+               "begin": 100, "duration": 50},
+              {"kind": "terminal_pause", "terminal": 7,
+               "begin": 10, "duration": 5}],
+            "random": {"count": 4, "kinds": ["link_degrade"],
+                       "mtbf": 1000, "mttr": 100, "start": 50}})"),
+        /*strict=*/true);
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_DOUBLE_EQ(spec.sensorBias, 500.0);
+    ASSERT_EQ(spec.events.size(), 2u);
+    EXPECT_EQ(spec.events[0].kind, fault::FaultKind::kLinkDown);
+    EXPECT_EQ(spec.events[0].router, 3u);
+    EXPECT_EQ(spec.events[0].port, 2u);
+    EXPECT_EQ(spec.events[1].kind, fault::FaultKind::kTerminalPause);
+    EXPECT_EQ(spec.events[1].terminal, 7u);
+    EXPECT_EQ(spec.random.count, 4u);
+    ASSERT_EQ(spec.random.kinds.size(), 1u);
+    EXPECT_EQ(spec.random.kinds[0], fault::FaultKind::kLinkDegrade);
+}
+
+TEST(FaultSpec, UnknownKeysFatalUnderStrict)
+{
+    json::Value block = json::parse(
+        R"({"enabled": true, "sensor_bais": 1.0})");
+    // Non-strict: parses (the typo only warns).
+    fault::FaultSpec spec =
+        fault::FaultSpec::fromJson(block, /*strict=*/false);
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_THROW(fault::FaultSpec::fromJson(block, /*strict=*/true),
+                 FatalError);
+}
+
+TEST(FaultSpec, InvalidValuesAreFatal)
+{
+    EXPECT_THROW(fault::FaultSpec::fromJson(
+                     json::parse(R"({"enabled": true, "events": [
+                         {"kind": "link_down", "router": 0, "port": 0,
+                          "begin": 10, "duration": 0}]})"),
+                     false),
+                 FatalError);
+    EXPECT_THROW(fault::FaultSpec::fromJson(
+                     json::parse(R"({"enabled": true, "events": [
+                         {"kind": "link_degrade", "router": 0,
+                          "port": 1, "begin": 10, "duration": 5,
+                          "bandwidth_multiplier": 0.0}]})"),
+                     false),
+                 FatalError);
+    EXPECT_THROW(fault::FaultSpec::fromJson(
+                     json::parse(R"({"enabled": true,
+                         "random": {"count": 2, "kinds": ["link_down"],
+                                    "mtbf": 0, "mttr": 10}})"),
+                     false),
+                 FatalError);
+}
+
+// ----- gating -----
+
+TEST(Fault, DisabledByDefault)
+{
+    json::Value config = test::makeConfig(
+        kAdaptiveTorus, test::blastWorkload(0.05, 2, 50));
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.resilience.enabled);
+    json::Value root = result.toJson();
+    EXPECT_FALSE(root.has("fault"));
+    EXPECT_FALSE(root.has("resilience"));
+    EXPECT_EQ(result.summary().find("faults:"), std::string::npos);
+}
+
+TEST(Fault, EnabledFalseStaysOff)
+{
+    json::Value config = test::makeConfig(
+        kAdaptiveTorus, test::blastWorkload(0.05, 2, 50));
+    config["fault"] = json::parse(R"({"enabled": false})");
+    RunResult result = runSimulation(config);
+    EXPECT_FALSE(result.resilience.enabled);
+}
+
+// ----- graceful degradation per fault kind -----
+
+TEST(Fault, LinkDownReroutesAndRecovers)
+{
+    // A long fail-stop outage on an interior link: adaptive routing
+    // must steer around it (the sensor bias poisons the port), traffic
+    // keeps flowing, and after repair the link carries traffic again
+    // (the recovery probe fires).
+    RunResult result = runSimulation(faultyConfig(
+        R"({"enabled": true, "sensor_bias": 1e9,
+            "events": [{"kind": "link_down", "router": 5, "port": 1,
+                        "begin": 2000, "duration": 8000}]})"));
+    const fault::ResilienceReport& r = result.resilience;
+    ASSERT_TRUE(r.enabled);
+    EXPECT_EQ(r.scheduled, 1u);
+    EXPECT_EQ(r.injected, 1u);
+    EXPECT_EQ(r.completed, 1u);
+    EXPECT_EQ(r.recovered, 1u);
+    EXPECT_EQ(r.linkDown, 1u);
+    EXPECT_EQ(r.downtimeTicks, 8000u);
+    EXPECT_GE(r.recoveryLatencyMax, r.recoveryLatencyMin);
+    expectConservation(r);
+    // The run made forward progress while the link was out.
+    EXPECT_GT(result.throughput(), 0.0);
+}
+
+TEST(Fault, LinkDegradeConservesFlits)
+{
+    // Regression: restoring the shorter nominal latency when a degrade
+    // ends must not reorder in-flight flits (monotonic-delivery clamp).
+    // Seed 4 reproduced the original wormhole-order violation.
+    for (std::uint64_t seed : {1u, 4u}) {
+        RunResult result = runSimulation(faultyConfig(
+            R"({"enabled": true,
+                "events": [{"kind": "link_degrade", "router": 5,
+                            "port": 3, "begin": 2000,
+                            "duration": 8000,
+                            "bandwidth_multiplier": 0.5,
+                            "latency_multiplier": 2.0}]})",
+            seed));
+        const fault::ResilienceReport& r = result.resilience;
+        ASSERT_TRUE(r.enabled);
+        EXPECT_EQ(r.injected, 1u);
+        EXPECT_EQ(r.completed, 1u);
+        EXPECT_EQ(r.linkDegrade, 1u);
+        expectConservation(r);
+    }
+}
+
+TEST(Fault, RouterPortStallConservesFlits)
+{
+    RunResult result = runSimulation(faultyConfig(
+        R"({"enabled": true,
+            "events": [{"kind": "router_port_stall", "router": 10,
+                        "port": 2, "begin": 2000,
+                        "duration": 5000}]})"));
+    const fault::ResilienceReport& r = result.resilience;
+    ASSERT_TRUE(r.enabled);
+    EXPECT_EQ(r.injected, 1u);
+    EXPECT_EQ(r.completed, 1u);
+    EXPECT_EQ(r.portStall, 1u);
+    expectConservation(r);
+}
+
+TEST(Fault, TerminalPauseConservesFlits)
+{
+    RunResult result = runSimulation(faultyConfig(
+        R"({"enabled": true,
+            "events": [{"kind": "terminal_pause", "terminal": 7,
+                        "begin": 2000, "duration": 5000}]})"));
+    const fault::ResilienceReport& r = result.resilience;
+    ASSERT_TRUE(r.enabled);
+    EXPECT_EQ(r.injected, 1u);
+    EXPECT_EQ(r.completed, 1u);
+    EXPECT_EQ(r.terminalPause, 1u);
+    expectConservation(r);
+}
+
+TEST(Fault, OverlappingFaultsOnOneLinkHealCleanly)
+{
+    // Two overlapping degrades plus a fail-stop on the same link: the
+    // counter-based fault state must only heal when the last active
+    // fault ends.
+    RunResult result = runSimulation(faultyConfig(
+        R"({"enabled": true,
+            "events": [
+              {"kind": "link_degrade", "router": 5, "port": 1,
+               "begin": 2000, "duration": 8000,
+               "bandwidth_multiplier": 0.5,
+               "latency_multiplier": 2.0},
+              {"kind": "link_degrade", "router": 5, "port": 1,
+               "begin": 4000, "duration": 2000,
+               "bandwidth_multiplier": 0.5,
+               "latency_multiplier": 3.0},
+              {"kind": "link_down", "router": 5, "port": 1,
+               "begin": 6000, "duration": 1000}]})"));
+    const fault::ResilienceReport& r = result.resilience;
+    ASSERT_TRUE(r.enabled);
+    EXPECT_EQ(r.injected, 3u);
+    EXPECT_EQ(r.completed, 3u);
+    expectConservation(r);
+}
+
+// ----- stochastic schedule determinism -----
+
+TEST(Fault, StochasticScheduleIsSeedDeterministic)
+{
+    const char* fault_json =
+        R"({"enabled": true,
+            "random": {"count": 4,
+                       "kinds": ["link_down", "link_degrade"],
+                       "mtbf": 2000, "mttr": 400, "start": 1000}})";
+    RunResult a = runSimulation(faultyConfig(fault_json, 9));
+    RunResult b = runSimulation(faultyConfig(fault_json, 9));
+    ASSERT_TRUE(a.resilience.enabled);
+    EXPECT_GT(a.resilience.injected, 0u);
+    EXPECT_EQ(a.resilience.faultJson(), b.resilience.faultJson());
+    EXPECT_EQ(a.resilience.resilienceJson(),
+              b.resilience.resilienceJson());
+    expectConservation(a.resilience);
+
+    // A different seed draws a different schedule (downtime is the sum
+    // of exponential durations — a collision is astronomically
+    // unlikely).
+    RunResult c = runSimulation(faultyConfig(fault_json, 10));
+    EXPECT_NE(a.resilience.downtimeTicks, c.resilience.downtimeTicks);
+}
+
+// ----- thread-count invariance -----
+
+TEST(Fault, ThreadCountInvariantWithFaultsEnabled)
+{
+    json::Value config = faultyConfig(
+        R"({"enabled": true, "sensor_bias": 1e9,
+            "events": [{"kind": "link_down", "router": 5, "port": 1,
+                        "begin": 2000, "duration": 6000}],
+            "random": {"count": 2,
+                       "kinds": ["link_degrade"],
+                       "mtbf": 20000, "mttr": 3000, "start": 2000}})");
+    auto fingerprint = [&](std::uint64_t threads) {
+        json::Value cfg = config;
+        json::applyOverrides(
+            &cfg, {strf("simulator.threads=uint=", threads)});
+        json::Value v = runSimulation(cfg).toJson();
+        v.at("engine")["wall_seconds"] = 0.0;
+        v.at("engine")["event_rate"] = 0.0;
+        return v.toString(2);
+    };
+    std::string serial = fingerprint(1);
+    EXPECT_EQ(serial, fingerprint(2));
+    EXPECT_EQ(serial, fingerprint(4));
+}
+
+}  // namespace
+}  // namespace ss

@@ -285,5 +285,35 @@ TEST_F(SettingsFileTest, MissingRefIsFatal)
     EXPECT_THROW(loadSettings(top), FatalError);
 }
 
+TEST(ValidateKeys, RecognizedKeysPassUnderStrict)
+{
+    Value v = parse(R"({"enabled": true, "tick_seconds": 1e-9})");
+    validateKeys(v, "power", {"enabled", "tick_seconds"},
+                 /*strict=*/true);  // must not throw
+}
+
+TEST(ValidateKeys, UnknownKeyWarnsWhenNotStrict)
+{
+    Value v = parse(R"({"enabled": true, "sensor_bais": 1.0})");
+    validateKeys(v, "fault", {"enabled", "sensor_bias"},
+                 /*strict=*/false);  // warns only
+}
+
+TEST(ValidateKeys, UnknownKeyFatalUnderStrict)
+{
+    Value v = parse(R"({"enabled": true, "sensor_bais": 1.0})");
+    EXPECT_THROW(
+        validateKeys(v, "fault", {"enabled", "sensor_bias"},
+                     /*strict=*/true),
+        FatalError);
+}
+
+TEST(ValidateKeys, NonObjectIsIgnored)
+{
+    validateKeys(parse("null"), "fault", {"enabled"}, /*strict=*/true);
+    validateKeys(parse("[1, 2]"), "fault", {"enabled"},
+                 /*strict=*/true);
+}
+
 }  // namespace
 }  // namespace ss::json

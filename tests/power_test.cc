@@ -272,5 +272,45 @@ TEST(PowerModel, GaugesRegisterOnlyWithObservability)
     EXPECT_DOUBLE_EQ(jpb->value(), result.energy.joulesPerBit);
 }
 
+TEST(PowerModel, FaultsPreserveEnergyAccounting)
+{
+    // Regression: the lazy (activity-counter) energy accounting must
+    // stay exact when faults stretch channel periods/latencies and
+    // stall ports mid-run — the breakdown still sums to the totals and
+    // the run still drains.
+    json::Value config = poweredConfig();
+    config["fault"] = json::parse(
+        R"({"enabled": true,
+            "events": [
+              {"kind": "link_degrade", "router": 5, "port": 1,
+               "begin": 300, "duration": 600,
+               "bandwidth_multiplier": 0.5,
+               "latency_multiplier": 2.0},
+              {"kind": "router_port_stall", "router": 10, "port": 2,
+               "begin": 400, "duration": 300},
+              {"kind": "terminal_pause", "terminal": 3,
+               "begin": 350, "duration": 400}]})");
+    RunResult result = runSimulation(config);
+    const power::PowerReport& e = result.energy;
+    ASSERT_TRUE(e.enabled);
+    ASSERT_TRUE(result.resilience.enabled);
+    EXPECT_EQ(result.resilience.injected, 3u);
+    EXPECT_EQ(result.resilience.completed, 3u);
+    EXPECT_EQ(result.resilience.flitsInjected,
+              result.resilience.flitsEjected);
+
+    EXPECT_GT(e.totalJ, 0.0);
+    EXPECT_EQ(e.injections, e.ejections);  // drained through the faults
+    EXPECT_DOUBLE_EQ(e.dynamicJ,
+                     e.routers.dynamicJ + e.channels.dynamicJ +
+                         e.creditChannels.dynamicJ + e.interfaces.dynamicJ);
+    EXPECT_DOUBLE_EQ(e.staticJ,
+                     e.routers.staticJ + e.channels.staticJ +
+                         e.creditChannels.staticJ + e.interfaces.staticJ);
+    EXPECT_DOUBLE_EQ(e.totalJ, e.dynamicJ + e.staticJ);
+    EXPECT_EQ(e.bitsDelivered, e.ejections * 128);
+    EXPECT_GT(e.ejections, 0u);
+}
+
 }  // namespace
 }  // namespace ss

@@ -3,8 +3,14 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
+#include "json/json.h"
+#include "json/settings.h"
 #include "rng/random.h"
+#include "sim/builder.h"
+
+#include "test_util.h"
 
 namespace ss {
 namespace {
@@ -112,6 +118,41 @@ TEST(Random, ShuffleIsPermutation)
     EXPECT_NE(v, original);  // astronomically unlikely to be identity
     std::sort(v.begin(), v.end());
     EXPECT_EQ(v, original);
+}
+
+/** Full RunResult JSON with the wall-clock engine fields zeroed. */
+std::string
+runFingerprint(const json::Value& config)
+{
+    json::Value v = runSimulation(config).toJson();
+    v.at("engine")["wall_seconds"] = 0.0;
+    v.at("engine")["event_rate"] = 0.0;
+    return v.toString(2);
+}
+
+TEST(Random, FaultStreamIsIndependent)
+{
+    // The fault controller draws from its own named RNG stream: a run
+    // whose fault block exists but is disabled must be byte-identical
+    // to a run with no fault block at all — merely parsing the block
+    // must not perturb traffic or arbiter randomness.
+    const char* net =
+        R"({"topology": "torus", "widths": [3, 3], "concentration": 1,
+            "num_vcs": 2, "clock_period": 1, "channel_latency": 3,
+            "router": {"architecture": "input_queued",
+                       "input_buffer_size": 8,
+                       "crossbar_latency": 1},
+            "routing": {"algorithm": "torus_dimension_order"}})";
+    json::Value absent = test::makeConfig(
+        net, test::blastWorkload(0.1, 2, 100), 7);
+    json::Value disabled = absent;
+    disabled["fault"] = json::parse(
+        R"({"enabled": false,
+            "events": [{"kind": "link_down", "router": 0, "port": 1,
+                        "begin": 100, "duration": 50}],
+            "random": {"count": 3, "kinds": ["link_down"],
+                       "mtbf": 1000, "mttr": 100}})");
+    EXPECT_EQ(runFingerprint(absent), runFingerprint(disabled));
 }
 
 }  // namespace

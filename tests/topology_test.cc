@@ -154,7 +154,7 @@ INSTANTIATE_TEST_SUITE_P(
                      false},
         TopologyCase{"torus_adaptive",
                      R"({"topology": "torus", "widths": [4, 4],
-                         "concentration": 1, "num_vcs": 2,
+                         "concentration": 1, "num_vcs": 4,
                          "routing": {"algorithm":
                                      "torus_minimal_adaptive"}})",
                      true},
